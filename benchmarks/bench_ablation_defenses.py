@@ -1,0 +1,27 @@
+"""Experiment A1: defense ablation.
+
+Disables each defense in isolation and re-runs the attack it stops.
+Expected shape: every row flips from "prevented" to "succeeded" — no
+defense is redundant, none is theater.
+"""
+
+from repro.bench.experiments import a1_defense_ablation
+from repro.bench.tables import format_table
+
+
+def test_a1_defense_ablation(benchmark):
+    rows = benchmark.pedantic(lambda: a1_defense_ablation(), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            "A1 — defense ablation",
+            rows,
+            columns=["defense", "attack", "with_defense", "without_defense"],
+            notes="each toggle re-admits exactly its attack, end to end "
+            "(money moves / key exfiltrated / PAL memory corrupted)",
+        )
+    )
+    assert len(rows) == 4
+    for row in rows:
+        assert row["with_defense"] == "prevented"
+        assert row["without_defense"] == "succeeded"

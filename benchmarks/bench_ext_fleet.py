@@ -1,0 +1,28 @@
+"""Extension experiment E2: a fleet of clients against one provider.
+
+Provider-side aggregate ground truth for a simulated trading day with a
+partially infected client population.  Expected shape: 100% of honest
+transactions execute, 0% of forged ones do, and every forgery leaves a
+denial record — assurance at fleet scale, not just per-session.
+"""
+
+from repro.bench.fleet import e2_fleet_rows
+from repro.bench.tables import format_table
+
+
+def test_e2_fleet(benchmark):
+    rows = benchmark.pedantic(
+        lambda: e2_fleet_rows(clients=6, infected=2), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            "E2 — fleet day: 6 clients (2 infected), one bank",
+            rows,
+            notes="honest volume executes fully; fraud executes never",
+        )
+    )
+    row = rows[0]
+    assert row["honest_executed"] == row["honest_tx"]
+    assert row["fraud_executed"] == 0
+    assert row["stolen_cents"] == 0

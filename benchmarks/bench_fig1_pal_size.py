@@ -1,0 +1,38 @@
+"""Experiment F1: session latency vs PAL (SLB) size.
+
+Regenerates the launch-cost-vs-size series.  Expected shape: SKINIT
+time affine in padded size with slope = 1/hash-rate per vendor; this is
+why Flicker PALs stay tiny and the SLB is architecturally capped.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig1_latency_vs_pal_size
+from repro.bench.tables import format_table
+from repro.tpm.timing import vendor_profile
+
+
+def test_fig1_pal_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig1_latency_vs_pal_size(), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            "F1 — launch cost vs SLB size (virtual seconds)",
+            rows,
+            columns=["vendor", "slb_bytes", "skinit_s", "machine_added_s"],
+            notes="skinit grows linearly at the TPM hash interface rate",
+        )
+    )
+    for vendor in {row["vendor"] for row in rows}:
+        series = sorted(
+            (r for r in rows if r["vendor"] == vendor),
+            key=lambda r: r["slb_bytes"],
+        )
+        skinit = [r["skinit_s"] for r in series]
+        assert skinit == sorted(skinit)  # monotone in size
+        rate = vendor_profile(vendor).slb_hash_bytes_per_second
+        expected = (series[-1]["slb_bytes"] - series[0]["slb_bytes"]) / rate
+        measured = skinit[-1] - skinit[0]
+        assert measured == pytest.approx(expected, rel=0.25)

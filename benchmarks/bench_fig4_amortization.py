@@ -1,0 +1,31 @@
+"""Experiment F4: setup-phase amortization and the variant crossover.
+
+Regenerates the cumulative perceived-overhead curves of the two
+evidence variants.  Expected shape: the signed variant starts higher
+(one-time setup) with a much shallower slope and crosses below the
+quote variant within a handful of transactions on every vendor.
+"""
+
+from repro.bench.experiments import fig4_amortization
+from repro.bench.experiments.amortization import crossover_k
+from repro.bench.tables import format_table
+
+
+def test_fig4_amortization(benchmark):
+    rows = benchmark.pedantic(lambda: fig4_amortization(), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            "F4 — cumulative perceived overhead: signed vs quote",
+            rows,
+            columns=["vendor", "k", "signed_cum_s", "quote_cum_s", "signed_wins"],
+            notes="signed = setup + k*(hidden-unseal tx); "
+            "quote = k*(quote tx); crossover within a few transactions",
+        )
+    )
+    for vendor in ("infineon", "broadcom"):
+        k = crossover_k(vendor)
+        print(f"crossover({vendor}) = {k} transactions")
+        assert k <= 5
+    final = [row for row in rows if row["k"] == max(r["k"] for r in rows)]
+    assert all(row["signed_wins"] == 1 for row in final)

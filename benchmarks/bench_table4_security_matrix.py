@@ -1,0 +1,42 @@
+"""Experiment T4: the security evaluation matrix.
+
+Executes (not argues) every threat-model attack against password
+re-entry, captcha, iTAN and the trusted path; outcomes are read from
+ledger/gate ground truth.  Expected shape: the trusted path is the only
+scheme whose generation/theft/replay/substitution columns all read
+"prevented", with alteration user-dependent and suppression an
+irreducible DoS.
+"""
+
+from repro.baselines.adversary import ATTACKS, AttackOutcome
+from repro.bench.experiments import table4_security_matrix
+from repro.bench.tables import format_table
+
+
+def test_table4_security_matrix(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table4_security_matrix(), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            "T4 — attack x scheme outcome matrix",
+            rows,
+            columns=["scheme", *ATTACKS],
+            notes="'prevented' = structurally enforced; 'user-dependent' "
+            "= attentive user stops it; executed attacks, not prose",
+        )
+    )
+    by_scheme = {row["scheme"]: row for row in rows}
+    tp = by_scheme["trusted-path"]
+    assert tp["transaction-generation"] == AttackOutcome.PREVENTED.value
+    assert tp["credential-theft-reuse"] == AttackOutcome.PREVENTED.value
+    assert tp["evidence-replay"] == AttackOutcome.PREVENTED.value
+    assert tp["ui-spoofing"] == AttackOutcome.PREVENTED.value
+    assert tp["pal-substitution"] == AttackOutcome.PREVENTED.value
+    assert tp["transaction-alteration"] == AttackOutcome.USER_DEPENDENT.value
+    assert tp["session-suppression"] == AttackOutcome.DEGRADED.value
+    # The baselines all lose to transaction generation or alteration.
+    assert by_scheme["password"]["transaction-generation"] == "succeeded"
+    assert by_scheme["captcha"]["transaction-generation"] == "succeeded"
+    assert by_scheme["iTAN"]["transaction-alteration"] == "succeeded"

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Each file here regenerates one table or figure from the paper's
+evaluation (see DESIGN.md §4 and EXPERIMENTS.md).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` shows the rendered tables; without it only the
+pytest-benchmark wall-clock statistics appear.  Wall-clock here measures
+the *emulator's* Python cost; the numbers the paper cares about are the
+virtual-time columns inside the printed tables.
+"""

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Online banking under attack: the paper's motivating scenario.
+
+Alice pays her bills through a bank that requires trusted-path
+confirmation, while a man-in-the-browser on her machine rewrites every
+transfer to send 4,500.00 to a mule account.  The genuine PAL displays
+the *server's* canonical text, so Alice sees the mule and rejects; her
+legitimate transfers (untouched by the rewrite rule, which only fires
+when the fields match) go through.
+
+Run:  python examples/online_banking.py
+"""
+
+from repro import Transaction, TrustedPathWorld, WorldConfig
+from repro.bench.workloads import transfer_stream
+from repro.os.malware import ManInTheBrowser
+from repro.server.provider import TxStatus
+
+MULE = "mule-account-742"
+
+
+def main() -> None:
+    world = TrustedPathWorld(WorldConfig(seed=2024, vendor="stmicro")).ready()
+    bank = world.bank
+
+    print("== phase 1: normal bill payments ==")
+    rng = world.simulator.rng.stream("workload")
+    for transaction in transfer_stream("alice", rng, count=4):
+        outcome = world.confirm(transaction)
+        print(
+            f"  {transaction.fields['to']:<14} "
+            f"{transaction.fields['amount'] / 100:>9.2f}  ->  "
+            f"{outcome.server_response['status']}"
+        )
+
+    print("\n== phase 2: a man-in-the-browser moves in ==")
+    mitb = ManInTheBrowser(rewrite={"f.to": MULE, "f.amount": 450_000})
+    world.os.install_malware(mitb)
+    intended = Transaction(
+        kind="transfer", account="alice", fields={"to": "rent-llc", "amount": 95_000}
+    )
+    outcome = world.confirm(intended)
+    print(f"  alice intended : rent-llc 950.00")
+    print(f"  malware sent   : {MULE} 4500.00")
+    pal_screen = next(
+        frame for owner, frame in world.machine.display.frames[::-1]
+        if owner == "pal"
+    )
+    print("  the PAL showed the SERVER's text:")
+    for line in pal_screen.splitlines()[:6]:
+        print(f"    | {line}")
+    print(f"  alice's decision: {outcome.decision.decode()}")
+    print(f"  server status   : {outcome.server_response['status']}")
+
+    print("\n== ground truth ==")
+    print(f"  money reaching the mule : {bank.total_stolen_by(MULE) / 100:.2f}")
+    print(f"  executed transfers      : {len(bank.executed_transfers)}")
+    print(f"  transactions by status  : {bank.count_by_status()}")
+    assert bank.total_stolen_by(MULE) == 0
+    altered = list(bank.transactions.values())[-1]
+    assert altered.status is TxStatus.REJECTED_BY_USER
+    print("\nOK — the alteration was surfaced on the trusted display and "
+          "rejected; nothing reached the mule.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the `wheel` package, so
+PEP 517/660 builds (which `pip install -e .` would otherwise use) cannot
+run.  This file lets pip fall back to `setup.py develop`.  All project
+metadata lives in pyproject.toml; this shim only mirrors what the legacy
+path needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Uni-directional Trusted Path: Transaction "
+        "Confirmation on Just One Device' (DSN 2011)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,37 @@
+"""Baseline transaction-protection schemes (system S12).
+
+The paper positions the trusted path against what providers actually
+deploy; each baseline here is implemented as a working scheme plus the
+automated adversary that defeats (or fails to defeat) it:
+
+* :mod:`repro.baselines.password` — plain password re-entry: stops
+  nothing once malware holds the session (the null baseline).
+* :mod:`repro.baselines.captcha` — a challenge the provider hopes only
+  humans can pass, attacked by an OCR bot with a configurable solve
+  rate (published solver studies put machine accuracy well above
+  zero); the abstract's "replacement for captchas" claim is evaluated
+  against this in experiment F3.
+* :mod:`repro.baselines.tan` — indexed TAN lists (what European banks
+  of the era used): defeated by malware that steals codes as the user
+  types them and by man-in-the-browser alteration, since a TAN does
+  not bind the transaction content.
+* :mod:`repro.baselines.adversary` — the automated attack harness that
+  drives each scheme with the same malware repertoire for the T4
+  security matrix.
+"""
+
+from repro.baselines.captcha import CaptchaService, OcrBot
+from repro.baselines.password import PasswordConfirmation
+from repro.baselines.tan import MobileTanScheme, TanList, TanScheme
+from repro.baselines.adversary import AttackOutcome, SchemeUnderTest
+
+__all__ = [
+    "CaptchaService",
+    "OcrBot",
+    "PasswordConfirmation",
+    "TanList",
+    "TanScheme",
+    "MobileTanScheme",
+    "AttackOutcome",
+    "SchemeUnderTest",
+]

@@ -1,0 +1,77 @@
+"""Attack outcome vocabulary and the scheme-under-test interface.
+
+The security matrix (experiment T4) runs the same attack repertoire
+against every confirmation scheme.  Outcomes:
+
+=============  ========================================================
+SUCCEEDED      the attacker's transaction executed / credential stolen
+DEGRADED       no compromise, but the user is denied service (DoS)
+USER_DEPENDENT succeeds only if the user fails to check the screen
+PREVENTED      structurally impossible; the attempt was rejected or
+               produced nothing usable
+=============  ========================================================
+
+`PREVENTED` is reserved for outcomes enforced by mechanism (crypto,
+hardware), not by user diligence — the distinction the paper draws
+between its guarantee and what captchas/TANs offer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+class AttackOutcome(enum.Enum):
+    """Observed result of executing one attack against one scheme."""
+
+    SUCCEEDED = "succeeded"
+    DEGRADED = "degraded (DoS)"
+    USER_DEPENDENT = "user-dependent"
+    PREVENTED = "prevented"
+    NOT_APPLICABLE = "n/a"
+
+
+#: The canonical attack repertoire of the threat model (DESIGN.md §3).
+ATTACKS = (
+    "transaction-generation",
+    "transaction-alteration",
+    "credential-theft-reuse",
+    "evidence-replay",
+    "ui-spoofing",
+    "session-suppression",
+    "pal-substitution",
+)
+
+
+@dataclass
+class SchemeUnderTest:
+    """One confirmation scheme wired into a full world, attackable.
+
+    ``run_attack`` maps an attack name to a callable executing it and
+    returning the observed :class:`AttackOutcome` — observed, not
+    declared: implementations must derive the outcome from ledger /
+    server state, so a regression in a defense flips the matrix.
+    """
+
+    name: str
+    run_attack: Dict[str, Callable[[], AttackOutcome]]
+
+    def evaluate(self) -> Dict[str, AttackOutcome]:
+        results: Dict[str, AttackOutcome] = {}
+        for attack in ATTACKS:
+            runner = self.run_attack.get(attack)
+            results[attack] = runner() if runner else AttackOutcome.NOT_APPLICABLE
+        return results
+
+
+def matrix_rows(schemes: List[SchemeUnderTest]) -> List[Dict[str, str]]:
+    """Evaluate every scheme; returns printable rows (T4)."""
+    rows = []
+    for scheme in schemes:
+        outcome = scheme.evaluate()
+        row = {"scheme": scheme.name}
+        row.update({attack: result.value for attack, result in outcome.items()})
+        rows.append(row)
+    return rows

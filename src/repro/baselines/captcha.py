@@ -1,0 +1,142 @@
+"""Captcha confirmation and the OCR bot that attacks it.
+
+The scheme: alongside each transaction, the provider issues a distorted
+text challenge; the transaction executes if the submitted answer
+matches.  The model abstracts the image into (challenge id, answer,
+difficulty); what matters to the experiments is the *solve
+probability* of machines vs humans and the human time cost:
+
+* human solve accuracy ~90-95%, ~10 s per captcha (Bursztein et al.,
+  "How Good Are Humans at Solving CAPTCHAs?", 2010);
+* automated solvers of the era ranged from a few percent to >60%
+  depending on scheme, and captcha farms reach ~98% for ~$1/1000.
+
+The experiment (F3) sweeps the bot's solve rate: the captcha's attack
+resistance is this one knob, whereas the trusted path's forgery rate is
+structurally zero (there is no solve probability to buy).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.drbg import HmacDrbg
+
+# Human captcha interaction constants (see module docstring).
+HUMAN_SOLVE_SECONDS_MEAN = 9.8
+HUMAN_SOLVE_ACCURACY = 0.92
+
+# A captcha farm's typical turnaround: the attack that renders captchas
+# moot regardless of OCR progress.
+FARM_SOLVE_SECONDS_MEAN = 18.0
+FARM_SOLVE_ACCURACY = 0.98
+
+
+@dataclass
+class CaptchaChallenge:
+    challenge_id: bytes
+    answer: str
+    difficulty: float  # 0 easy .. 1 hard; lowers machine solve rate
+
+
+class CaptchaService:
+    """Issues challenges and grades answers (provider side)."""
+
+    ANSWER_ALPHABET = "abcdefghjkmnpqrstuvwxyz23456789"
+    ANSWER_LENGTH = 6
+
+    def __init__(self, drbg: HmacDrbg, difficulty: float = 0.5) -> None:
+        if not 0 <= difficulty <= 1:
+            raise ValueError("difficulty must be in [0, 1]")
+        self._drbg = drbg
+        self.difficulty = difficulty
+        self._live: Dict[bytes, CaptchaChallenge] = {}
+        self.issued = 0
+        self.passed = 0
+        self.failed = 0
+
+    def issue(self) -> CaptchaChallenge:
+        challenge_id = self._drbg.generate(12)
+        answer = "".join(
+            self.ANSWER_ALPHABET[
+                self._drbg.generate_below(len(self.ANSWER_ALPHABET))
+            ]
+            for _ in range(self.ANSWER_LENGTH)
+        )
+        challenge = CaptchaChallenge(
+            challenge_id=challenge_id, answer=answer, difficulty=self.difficulty
+        )
+        self._live[challenge_id] = challenge
+        self.issued += 1
+        return challenge
+
+    def grade(self, challenge_id: bytes, submitted: str) -> bool:
+        """Single-use grading: a challenge can only be answered once."""
+        challenge = self._live.pop(challenge_id, None)
+        if challenge is None:
+            self.failed += 1
+            return False
+        if submitted == challenge.answer:
+            self.passed += 1
+            return True
+        self.failed += 1
+        return False
+
+
+class OcrBot:
+    """An automated captcha solver with a configurable base solve rate.
+
+    ``solve(challenge)`` returns (seconds_spent, answer) — the answer is
+    correct with probability ``base_rate * (1 - difficulty/2)``.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        base_solve_rate: float = 0.30,
+        seconds_per_attempt: float = 0.8,
+    ) -> None:
+        if not 0 <= base_solve_rate <= 1:
+            raise ValueError("solve rate must be in [0, 1]")
+        self.rng = rng
+        self.base_solve_rate = base_solve_rate
+        self.seconds_per_attempt = seconds_per_attempt
+        self.attempts = 0
+        self.solved = 0
+
+    def effective_rate(self, difficulty: float) -> float:
+        return self.base_solve_rate * (1.0 - difficulty / 2.0)
+
+    def solve(self, challenge: CaptchaChallenge) -> Tuple[float, str]:
+        self.attempts += 1
+        if self.rng.random() < self.effective_rate(challenge.difficulty):
+            self.solved += 1
+            return self.seconds_per_attempt, challenge.answer
+        # A wrong guess: plausible-looking garbage of the right length.
+        wrong = "".join(
+            self.rng.choice(CaptchaService.ANSWER_ALPHABET)
+            for _ in range(len(challenge.answer))
+        )
+        if wrong == challenge.answer:  # freak collision; force wrong
+            wrong = "!" + wrong[1:]
+        return self.seconds_per_attempt, wrong
+
+
+class CaptchaFarm:
+    """Human-labour solving service: high accuracy, minutes of latency,
+    linear cost.  Exists to make F3's point that captchas gate on money,
+    not on humanity."""
+
+    def __init__(self, rng: random.Random, cost_per_solve_cents: int = 1) -> None:
+        self.rng = rng
+        self.cost_per_solve_cents = cost_per_solve_cents
+        self.spent_cents = 0
+
+    def solve(self, challenge: CaptchaChallenge) -> Tuple[float, str]:
+        self.spent_cents += self.cost_per_solve_cents
+        seconds = max(self.rng.normalvariate(FARM_SOLVE_SECONDS_MEAN, 5.0), 3.0)
+        if self.rng.random() < FARM_SOLVE_ACCURACY:
+            return seconds, challenge.answer
+        return seconds, "wrong-" + challenge.answer[:1]

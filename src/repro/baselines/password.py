@@ -1,0 +1,31 @@
+"""Password re-entry confirmation: the null baseline.
+
+The provider asks the user to retype their password before executing a
+transaction.  Against the paper's adversary this protects nothing: the
+malware has already keylogged the password and can replay it from the
+same host.  It exists so the security matrix has an honest floor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class PasswordConfirmation:
+    """Provider-side password re-entry check."""
+
+    def __init__(self) -> None:
+        self._passwords: Dict[str, str] = {}
+        self.checks_passed = 0
+        self.checks_failed = 0
+
+    def enroll(self, account: str, password: str) -> None:
+        self._passwords[account] = password
+
+    def confirm(self, account: str, submitted_password: str) -> bool:
+        ok = self._passwords.get(account) == submitted_password
+        if ok:
+            self.checks_passed += 1
+        else:
+            self.checks_failed += 1
+        return ok

@@ -1,0 +1,31 @@
+"""One module per experiment in DESIGN.md's per-experiment index.
+
+Each experiment is a plain function returning structured rows; the
+files in ``benchmarks/`` wrap these with pytest-benchmark and print the
+tables, and the integration tests assert the expected *shapes* (who
+wins, by roughly what factor) documented in EXPERIMENTS.md.
+"""
+
+from repro.bench.experiments.microbench import table1_tpm_microbench
+from repro.bench.experiments.session_breakdown import table2_session_breakdown
+from repro.bench.experiments.end_to_end import table3_end_to_end
+from repro.bench.experiments.security_matrix import table4_security_matrix
+from repro.bench.experiments.pal_size import fig1_latency_vs_pal_size
+from repro.bench.experiments.server_throughput import fig2_server_throughput
+from repro.bench.experiments.captcha_comparison import fig3_captcha_comparison
+from repro.bench.experiments.amortization import fig4_amortization
+from repro.bench.experiments.noncedb_scale import fig5_noncedb_scalability
+from repro.bench.experiments.ablation import a1_defense_ablation
+
+__all__ = [
+    "table1_tpm_microbench",
+    "table2_session_breakdown",
+    "table3_end_to_end",
+    "table4_security_matrix",
+    "fig1_latency_vs_pal_size",
+    "fig2_server_throughput",
+    "fig3_captcha_comparison",
+    "fig4_amortization",
+    "fig5_noncedb_scalability",
+    "a1_defense_ablation",
+]

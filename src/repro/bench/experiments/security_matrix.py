@@ -1,0 +1,454 @@
+"""Experiment T4: the security evaluation matrix.
+
+Every attack of the threat model is *executed* — not reasoned about —
+against every confirmation scheme, and the outcome is read back from
+ground truth (the bank ledger, the gate's accept/reject counters, the
+provider's denial reasons).  Expected shape:
+
+* password re-entry stops nothing;
+* captchas stop only what the bot's solve rate fails to buy;
+* iTAN stops naive generation and replay but loses to alteration and
+  real-time theft (codes do not bind content);
+* the trusted path structurally prevents generation, theft, replay and
+  PAL substitution; alteration becomes user-dependent (the genuine PAL
+  displays the altered text); spoofing deceives the user but yields the
+  provider nothing; suppression remains as DoS — exactly the claim
+  boundary the paper draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.adversary import AttackOutcome, SchemeUnderTest, matrix_rows
+from repro.baselines.captcha import CaptchaService, OcrBot
+from repro.baselines.password import PasswordConfirmation
+from repro.baselines.tan import MobileTanScheme, TanScheme
+from repro.bench.world import TrustedPathWorld, WorldConfig
+from repro.core.errors import ConfirmationRejected, SessionSuppressed
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.sha1 import sha1
+from repro.os.malware import (
+    EvidenceReplayer,
+    Keylogger,
+    PalSubstituter,
+    SessionSuppressor,
+    TransactionGenerator,
+    UiSpoofer,
+)
+from repro.sim import Simulator
+from repro.tpm.constants import TpmError
+
+
+# ---------------------------------------------------------------------------
+# Baseline schemes: gate + ledger stubs driven by the same attack logic
+# ---------------------------------------------------------------------------
+
+def password_scheme(seed: int) -> SchemeUnderTest:
+    """Password re-entry wired into the attack harness (the null floor)."""
+    gate = PasswordConfirmation()
+    gate.enroll("alice", "hunter2")
+    stolen_password = "hunter2"  # keylogged; the premise of the model
+
+    def generation() -> AttackOutcome:
+        return (
+            AttackOutcome.SUCCEEDED
+            if gate.confirm("alice", stolen_password)
+            else AttackOutcome.PREVENTED
+        )
+
+    def alteration() -> AttackOutcome:
+        # The password covers nothing about the content: if the gate
+        # passes for the original transaction it passes for the altered
+        # one — same credential, same check.
+        return (
+            AttackOutcome.SUCCEEDED
+            if gate.confirm("alice", stolen_password)
+            else AttackOutcome.PREVENTED
+        )
+
+    def theft() -> AttackOutcome:
+        return (
+            AttackOutcome.SUCCEEDED
+            if gate.confirm("alice", stolen_password)
+            else AttackOutcome.PREVENTED
+        )
+
+    return SchemeUnderTest(
+        name="password",
+        run_attack={
+            "transaction-generation": generation,
+            "transaction-alteration": alteration,
+            "credential-theft-reuse": theft,
+            "evidence-replay": theft,  # a password replays trivially
+            "ui-spoofing": theft,  # a fake prompt harvests it once, reuse forever
+            "session-suppression": lambda: AttackOutcome.DEGRADED,
+        },
+    )
+
+
+def captcha_scheme(seed: int, bot_rate: float = 0.30, tries: int = 50) -> SchemeUnderTest:
+    """A captcha gate attacked by an OCR bot with ``bot_rate`` accuracy."""
+    sim = Simulator(seed=seed)
+    service = CaptchaService(HmacDrbg(b"matrix-captcha"), difficulty=0.0)
+    bot = OcrBot(sim.rng.stream("matrix-bot"), base_solve_rate=bot_rate)
+
+    def bot_breaks_gate() -> AttackOutcome:
+        for _ in range(tries):
+            challenge = service.issue()
+            _seconds, answer = bot.solve(challenge)
+            if service.grade(challenge.challenge_id, answer):
+                return AttackOutcome.SUCCEEDED
+        return AttackOutcome.PREVENTED
+
+    def replay() -> AttackOutcome:
+        # Challenges are single-use: replaying a graded answer fails.
+        challenge = service.issue()
+        assert service.grade(challenge.challenge_id, challenge.answer)
+        replay_accepted = service.grade(challenge.challenge_id, challenge.answer)
+        return AttackOutcome.SUCCEEDED if replay_accepted else AttackOutcome.PREVENTED
+
+    def spoof() -> AttackOutcome:
+        # The user solves the captcha on the attacker's fake page; the
+        # answer is relayed in real time.  The gate cannot tell.
+        challenge = service.issue()
+        relayed_answer = challenge.answer  # the human solved it correctly
+        return (
+            AttackOutcome.SUCCEEDED
+            if service.grade(challenge.challenge_id, relayed_answer)
+            else AttackOutcome.PREVENTED
+        )
+
+    return SchemeUnderTest(
+        name="captcha",
+        run_attack={
+            "transaction-generation": bot_breaks_gate,
+            "transaction-alteration": spoof,  # content is never covered
+            "credential-theft-reuse": bot_breaks_gate,
+            "evidence-replay": replay,
+            "ui-spoofing": spoof,
+            "session-suppression": lambda: AttackOutcome.DEGRADED,
+        },
+    )
+
+
+def tan_scheme(seed: int) -> SchemeUnderTest:
+    """Indexed TAN lists wired into the attack harness."""
+    scheme = TanScheme(HmacDrbg(b"matrix-tan"))
+    user_list = scheme.enroll("alice")
+
+    def generation() -> AttackOutcome:
+        # No user in the loop: the attacker must guess the 6-digit code
+        # at a server-chosen index.  One guess, as the server would lock.
+        index = scheme.challenge("alice", tx_digest=sha1(b"forged"))
+        accepted = scheme.confirm("alice", "000000", tx_digest=sha1(b"forged"))
+        del index
+        return AttackOutcome.SUCCEEDED if accepted else AttackOutcome.PREVENTED
+
+    def alteration() -> AttackOutcome:
+        # User reads their intended transfer, types the right TAN; the
+        # MitB swapped the transaction underneath.  The code cannot
+        # notice: it never covered the content.
+        altered_digest = sha1(b"pay the mule instead")
+        index = scheme.challenge("alice", tx_digest=altered_digest)
+        users_code = user_list.code_at(index)  # user faithfully types it
+        accepted = scheme.confirm("alice", users_code, tx_digest=altered_digest)
+        return AttackOutcome.SUCCEEDED if accepted else AttackOutcome.PREVENTED
+
+    def theft() -> AttackOutcome:
+        # Real-time capture: malware intercepts the typed code and spends
+        # it on the attacker's pending transaction at the same index.
+        attacker_digest = sha1(b"attacker tx")
+        index = scheme.challenge("alice", tx_digest=attacker_digest)
+        captured = user_list.code_at(index)  # keylogged as the user types
+        accepted = scheme.confirm("alice", captured, tx_digest=attacker_digest)
+        return AttackOutcome.SUCCEEDED if accepted else AttackOutcome.PREVENTED
+
+    def replay() -> AttackOutcome:
+        index = scheme.challenge("alice", tx_digest=sha1(b"legit"))
+        code = user_list.code_at(index)
+        assert scheme.confirm("alice", code, tx_digest=sha1(b"legit"))
+        scheme.challenge("alice", tx_digest=sha1(b"replayed"))
+        accepted = scheme.confirm("alice", code, tx_digest=sha1(b"replayed"))
+        return AttackOutcome.SUCCEEDED if accepted else AttackOutcome.PREVENTED
+
+    return SchemeUnderTest(
+        name="iTAN",
+        run_attack={
+            "transaction-generation": generation,
+            "transaction-alteration": alteration,
+            "credential-theft-reuse": theft,
+            "evidence-replay": replay,
+            "ui-spoofing": theft,  # fake page phishing the indexed code
+            "session-suppression": lambda: AttackOutcome.DEGRADED,
+        },
+    )
+
+
+def mobile_tan_scheme(seed: int) -> SchemeUnderTest:
+    """SMS-TAN: the second-device baseline the paper wants to obviate.
+
+    Content IS bound (the phone displays it), so alteration becomes
+    user-dependent rather than silent — matching the trusted path's
+    column, at the price of a second device.
+    """
+    scheme = MobileTanScheme(HmacDrbg(b"matrix-mtan"))
+
+    def generation() -> AttackOutcome:
+        # No user: the attacker must guess the code on the victim's phone.
+        scheme.challenge("alice", sha1(b"forged"), "pay mule 999")
+        accepted = scheme.confirm("alice", "000000", sha1(b"forged"))
+        return AttackOutcome.SUCCEEDED if accepted else AttackOutcome.PREVENTED
+
+    def alteration() -> AttackOutcome:
+        # The phone faithfully shows the ALTERED content; an attentive
+        # user refuses to type the code.  User-dependent, like the
+        # trusted path — but requiring the second device.
+        altered = sha1(b"pay the mule")
+        message = scheme.challenge("alice", altered, "transfer 4500.00 to mule")
+        user_reads_and_refuses = "mule" in message.display_text
+        if user_reads_and_refuses:
+            return AttackOutcome.USER_DEPENDENT
+        accepted = scheme.confirm("alice", message.code, altered)
+        return AttackOutcome.SUCCEEDED if accepted else AttackOutcome.PREVENTED
+
+    def theft() -> AttackOutcome:
+        # A code keylogged on the PC authorizes only the content the
+        # phone showed; spending it on different content fails.
+        legit = sha1(b"user's own transfer")
+        message = scheme.challenge("alice", legit, "transfer 20.00 to bob")
+        captured = message.code
+        accepted = scheme.confirm("alice", captured, sha1(b"attacker tx"))
+        return AttackOutcome.SUCCEEDED if accepted else AttackOutcome.PREVENTED
+
+    def replay() -> AttackOutcome:
+        digest = sha1(b"once")
+        message = scheme.challenge("alice", digest, "transfer 5.00")
+        assert scheme.confirm("alice", message.code, digest)
+        accepted = scheme.confirm("alice", message.code, digest)
+        return AttackOutcome.SUCCEEDED if accepted else AttackOutcome.PREVENTED
+
+    return SchemeUnderTest(
+        name="SMS-TAN (2nd device)",
+        run_attack={
+            "transaction-generation": generation,
+            "transaction-alteration": alteration,
+            "credential-theft-reuse": theft,
+            "evidence-replay": replay,
+            "ui-spoofing": theft,  # phishing the code still binds content
+            "session-suppression": lambda: AttackOutcome.DEGRADED,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# The trusted path: attacks run in a full world, outcomes read from the bank
+# ---------------------------------------------------------------------------
+
+MULE = "mule-account"
+
+
+def _fresh_world(seed: int) -> TrustedPathWorld:
+    return TrustedPathWorld(WorldConfig(seed=seed)).ready()
+
+
+def _tp_generation(seed: int) -> AttackOutcome:
+    world = _fresh_world(seed)
+    bank = world.bank
+    generator = TransactionGenerator()
+    world.os.install_malware(generator)
+    forged = world.sample_transfer(amount_cents=99_000, to=MULE)
+    from repro.core.protocol import build_transaction_request
+
+    response = generator.forge(
+        world.browser, bank.endpoint, "tx.request",
+        build_transaction_request(forged),
+    )
+    # The provider issued a challenge; the generator has no human and no
+    # PAL identity, so the best it can do is submit junk evidence.
+    submission = {
+        "tx_id": response["tx_id"],
+        "decision": b"accept",
+        "evidence": "signed",
+        "signature": b"\x00" * 64,
+    }
+    try:
+        world.browser.call(bank.endpoint, "tx.confirm", submission)
+    except Exception:
+        pass
+    world.simulator.clock.advance(bank.policy.nonce_lifetime_seconds + 1)
+    bank.expire_stale_transactions()
+    if bank.total_stolen_by(MULE) > 0:
+        return AttackOutcome.SUCCEEDED
+    return AttackOutcome.PREVENTED
+
+
+def _tp_alteration(seed: int) -> AttackOutcome:
+    from repro.os.malware import ManInTheBrowser
+
+    world = _fresh_world(seed)
+    bank = world.bank
+    mitb = ManInTheBrowser(rewrite={"f.to": MULE, "f.amount": 450_000})
+    world.os.install_malware(mitb)
+    intended = world.sample_transfer(amount_cents=2_000, to="bob")
+    outcome = world.confirm(intended)  # attentive user
+    if bank.total_stolen_by(MULE) > 0:
+        return AttackOutcome.SUCCEEDED
+    # The genuine PAL displayed the altered text; the attentive user
+    # rejected.  A careless user would have confirmed: user-dependent.
+    assert outcome.decision == b"reject", outcome.decision
+    return AttackOutcome.USER_DEPENDENT
+
+
+def _tp_theft(seed: int) -> AttackOutcome:
+    world = _fresh_world(seed)
+    keylogger = Keylogger()
+    world.os.install_malware(keylogger)
+    # Legitimate confirmation happens; malware sees only OS-path keys.
+    outcome = world.confirm(world.sample_transfer(amount_cents=4_000))
+    assert outcome.executed
+    # The sealed credential sits on disk; try to use it from the OS.
+    credential = world.client.credentials.sealed_credential
+    from repro.tpm.structures import SealedBlob
+
+    try:
+        world.machine.chipset.tpm_command_as_os(
+            "unseal", blob=SealedBlob.from_bytes(credential)
+        )
+        return AttackOutcome.SUCCEEDED
+    except TpmError:
+        pass
+    # And the PAL-path keystrokes never crossed the OS driver.
+    if keylogger.captured:
+        return AttackOutcome.SUCCEEDED
+    return AttackOutcome.PREVENTED
+
+
+def _tp_replay(seed: int) -> AttackOutcome:
+    world = _fresh_world(seed)
+    bank = world.bank
+    replayer = EvidenceReplayer()
+    world.os.install_malware(replayer)
+    outcome = world.confirm(world.sample_transfer(amount_cents=7_500, to="bob"))
+    assert outcome.executed and replayer.captured
+    balance_before = bank.balance_of("bob")
+    try:
+        replayer.replay(world.browser, bank.endpoint, "tx.confirm")
+    except Exception:
+        pass
+    if bank.balance_of("bob") != balance_before:
+        return AttackOutcome.SUCCEEDED
+    # Also: captured evidence against a *new* transaction of the attacker.
+    from repro.core.protocol import build_transaction_request
+
+    fresh = world.sample_transfer(amount_cents=88_000, to=MULE)
+    response = world.browser.call(
+        bank.endpoint, "tx.request", build_transaction_request(fresh)
+    )
+    grafted = dict(replayer.captured[-1])
+    grafted["tx_id"] = response["tx_id"]
+    try:
+        world.browser.call(bank.endpoint, "tx.confirm", grafted)
+    except Exception:
+        pass
+    if bank.total_stolen_by(MULE) > 0:
+        return AttackOutcome.SUCCEEDED
+    return AttackOutcome.PREVENTED
+
+
+def _tp_spoof(seed: int) -> AttackOutcome:
+    world = _fresh_world(seed)
+    bank = world.bank
+    spoofer = UiSpoofer()
+    world.os.install_malware(spoofer)
+    # The attacker wants this transfer; it spoofs the PAL screen showing
+    # the victim's *intended* transaction so the victim presses Y.
+    intended = world.sample_transfer(amount_cents=3_000, to="bob")
+    world.human.intend(intended)
+    from repro.core.protocol import build_transaction_request
+
+    attacker_tx = world.sample_transfer(amount_cents=95_000, to=MULE)
+    response = world.browser.call(
+        bank.endpoint, "tx.request", build_transaction_request(attacker_tx)
+    )
+    fake_lines = ["=== TRANSACTION CONFIRMATION ==="] + intended.display_lines()[1:] + [
+        "", "Press  Y = confirm    N = reject",
+    ]
+    harvested = spoofer.spoof_confirmation(fake_lines, world.human)
+    # The user WAS deceived (pressed Y on the fake screen)...
+    assert harvested is not None, "spoof failed to deceive the user"
+    # ...but a keystroke is not evidence; the attacker submits what it has.
+    submission = {
+        "tx_id": response["tx_id"],
+        "decision": b"accept",
+        "evidence": "signed",
+        "signature": b"\xab" * 64,
+    }
+    try:
+        world.browser.call(bank.endpoint, "tx.confirm", submission)
+    except Exception:
+        pass
+    world.simulator.clock.advance(bank.policy.nonce_lifetime_seconds + 1)
+    bank.expire_stale_transactions()
+    if bank.total_stolen_by(MULE) > 0:
+        return AttackOutcome.SUCCEEDED
+    return AttackOutcome.PREVENTED
+
+
+def _tp_suppression(seed: int) -> AttackOutcome:
+    world = _fresh_world(seed)
+    bank = world.bank
+    world.os.install_malware(SessionSuppressor())
+    try:
+        world.confirm(world.sample_transfer(amount_cents=1_000))
+        return AttackOutcome.SUCCEEDED  # a suppressed session must not confirm
+    except SessionSuppressed:
+        pass
+    if bank.total_stolen_by(MULE) > 0 or bank.executed_transfers:
+        return AttackOutcome.SUCCEEDED
+    return AttackOutcome.DEGRADED
+
+
+def _tp_substitution(seed: int) -> AttackOutcome:
+    world = _fresh_world(seed)
+    bank = world.bank
+    world.os.install_malware(PalSubstituter())
+    try:
+        outcome = world.confirm(
+            world.sample_transfer(amount_cents=66_000, to=MULE), mode="quote"
+        )
+        if outcome.executed:
+            return AttackOutcome.SUCCEEDED
+    except ConfirmationRejected:
+        pass
+    if bank.total_stolen_by(MULE) > 0:
+        return AttackOutcome.SUCCEEDED
+    return AttackOutcome.PREVENTED
+
+
+def trusted_path_scheme(seed: int) -> SchemeUnderTest:
+    """The trusted path, attacked in full worlds with ledger ground truth."""
+    return SchemeUnderTest(
+        name="trusted-path",
+        run_attack={
+            "transaction-generation": lambda: _tp_generation(seed),
+            "transaction-alteration": lambda: _tp_alteration(seed + 1),
+            "credential-theft-reuse": lambda: _tp_theft(seed + 2),
+            "evidence-replay": lambda: _tp_replay(seed + 3),
+            "ui-spoofing": lambda: _tp_spoof(seed + 4),
+            "session-suppression": lambda: _tp_suppression(seed + 5),
+            "pal-substitution": lambda: _tp_substitution(seed + 6),
+        },
+    )
+
+
+def table4_security_matrix(seed: int = 211) -> List[Dict[str, str]]:
+    """The full matrix: one row per scheme, one column per attack."""
+    schemes = [
+        password_scheme(seed),
+        captcha_scheme(seed),
+        tan_scheme(seed),
+        mobile_tan_scheme(seed),
+        trusted_path_scheme(seed),
+    ]
+    return matrix_rows(schemes)

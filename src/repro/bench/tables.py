@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment tables and series.
+
+Benchmarks print through these helpers so every experiment's output
+reads the way the paper's tables would: a title, aligned columns, and a
+notes line stating the expected shape being checked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+Row = Dict[str, Cell]
+
+
+def _render_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Row],
+    columns: Sequence[str] = (),
+    notes: str = "",
+) -> str:
+    """Render ``rows`` as an aligned ASCII table."""
+    if not rows:
+        return f"== {title} ==\n(no rows)\n"
+    if not columns:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [_render_cell(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = [f"== {title} =="]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    if notes:
+        lines.append(f"note: {notes}")
+    return "\n".join(lines) + "\n"
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Sequence[Sequence[Cell]],
+    notes: str = "",
+) -> str:
+    """Render a figure's data series as a table of (x, y1, y2, ...)."""
+    rows = [
+        {x_label: point[0], **{label: point[i + 1] for i, label in enumerate(y_labels)}}
+        for point in points
+    ]
+    return format_table(title, rows, columns=[x_label, *y_labels], notes=notes)

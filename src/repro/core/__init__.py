@@ -1,0 +1,51 @@
+"""The paper's contribution (system S11): the uni-directional trusted path.
+
+The protocol in one paragraph: the service provider answers every
+transaction request with a *confirmation challenge* (fresh nonce plus
+the canonical transaction text).  The client launches the
+**ConfirmationPal** under DRTM; the PAL displays the server's text,
+waits for the human's physical accept/reject keystroke, and emits
+TPM-rooted evidence binding ``SHA1(text || nonce || decision)`` to the
+PAL's measured identity.  The provider executes the transaction only
+after verifying that evidence.  Two evidence variants exist:
+
+* **quote** — the PAL extends the digest into PCR 18 and returns a TPM
+  quote over PCRs 17/18 (no setup needed; one expensive TPM_Quote per
+  transaction).
+* **signed** — a one-time *setup phase* creates a signing key inside a
+  PAL session, certifies it with the AIK, and seals it to the PAL's
+  PCR state; each confirmation unseals and signs (cheaper per
+  transaction on most TPMs — the paper's practical optimization,
+  quantified in experiments T2 and F4).
+
+Public API
+----------
+:class:`Transaction`, :class:`ConfirmationPal`, :class:`SetupPal`,
+:class:`TrustedPathClient`, :class:`ClientCredentials`, plus the
+protocol message builders in :mod:`repro.core.protocol`.
+"""
+
+from repro.core.client import (
+    ClientCredentials,
+    ConfirmOutcome,
+    ProviderCredential,
+    TrustedPathClient,
+)
+from repro.core.confirmation_pal import ConfirmationPal, Decision
+from repro.core.errors import ProtocolError, SetupError, TrustedPathError
+from repro.core.setup import SetupPal
+from repro.core.transaction import Transaction
+
+__all__ = [
+    "Transaction",
+    "ConfirmationPal",
+    "SetupPal",
+    "Decision",
+    "TrustedPathClient",
+    "ClientCredentials",
+    "ProviderCredential",
+    "ConfirmOutcome",
+    "TrustedPathError",
+    "ProtocolError",
+    "SetupError",
+]

@@ -1,0 +1,183 @@
+"""The ConfirmationPal: the trusted path's entire TCB.
+
+Inputs (all bytes, per the PAL ABI):
+
+========== =============================================================
+text        the server-sent canonical transaction text (UTF-8 lines)
+nonce       the server's 20-byte anti-replay nonce
+mode        b"quote" or b"signed"
+aik_handle  4-byte handle of the loaded AIK            (quote mode)
+credential  serialized sealed signing credential        (signed mode)
+========== =============================================================
+
+Behaviour: display the text, wait for the human's keystroke, compute
+``D = SHA1(text || nonce || decision)`` and emit evidence for D.  A
+reject decision produces evidence too — the server distinguishes "user
+said no" from "no human answered", which matters for the DoS analysis.
+
+This class's source is part of its measured identity
+(`repro.drtm.slb.measured_image`): edit anything here and every sealed
+credential in existence stops unsealing, exactly like re-hashing a real
+PAL binary.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.crypto.sha1 import sha1
+from repro.drtm.pal import Pal, PalServices
+from repro.drtm.sealing import pal_pcr_selection
+from repro.hardware.keyboard import ScanCode
+from repro.tpm.constants import PCR_DRTM_DATA
+from repro.tpm.structures import SealedBlob
+
+PAL_VERSION = "unitp-confirmation-pal/1.0"
+
+#: How long the PAL waits for the human before giving up.
+INPUT_TIMEOUT_SECONDS = 60.0
+
+#: Modeled CPU cost of one software RSA-1024 signature on the paper's
+#: testbed class of hardware.
+SOFTWARE_SIGN_SECONDS = 0.0117
+
+
+class Decision:
+    """The three possible confirmation outcomes."""
+
+    ACCEPT = b"accept"
+    REJECT = b"reject"
+    TIMEOUT = b"timeout"
+
+
+def confirmation_digest(
+    text: bytes, nonce: bytes, decision: bytes, counter: int = -1
+) -> bytes:
+    """D = SHA1(len-framed text || nonce || decision [|| counter]).
+
+    ``counter`` is the optional TPM monotonic counter value of the
+    anti-rollback extension; -1 (the default) means the deployment does
+    not use it and the digest layout is the base protocol's.
+    """
+    framed = struct.pack(">I", len(text)) + text + nonce + decision
+    if counter >= 0:
+        framed += struct.pack(">Q", counter)
+    return sha1(framed)
+
+
+class ConfirmationPal(Pal):
+    """Displays a transaction, reads the verdict, emits evidence."""
+
+    name = "confirmation-pal"
+
+    def config_bytes(self) -> bytes:
+        return PAL_VERSION.encode("ascii")
+
+    def run(self, services: PalServices, inputs: Dict[str, bytes]) -> Dict[str, bytes]:
+        text = inputs["text"]
+        nonce = inputs["nonce"]
+        mode = inputs["mode"]
+        if len(nonce) != 20:
+            raise ValueError("challenge nonce must be 20 bytes")
+        if mode not in (b"quote", b"signed"):
+            raise ValueError(f"unknown evidence mode {mode!r}")
+
+        # 1. Show the server-authoritative transaction text.
+        lines = text.decode("utf-8").splitlines()
+        lines += ["", "Press  Y = confirm    N = reject"]
+        services.show(lines)
+
+        # 2. Signed mode: issue the TPM_Unseal *now*, behind the prompt —
+        #    it does not depend on the decision, so its latency hides
+        #    under the human's reading time (the paper's latency trick).
+        signing_key = None
+        if mode == b"signed":
+            signing_key = self._unseal_signing_key(services, inputs)
+
+        # 3. Physical human verdict.
+        decision = self._await_decision(services)
+
+        # 4. Optional anti-rollback extension: advance the TPM monotonic
+        #    counter and bind its value into the digest, making
+        #    confirmations strictly ordered even across reboots.
+        counter_value = -1
+        if "counter_id" in inputs:
+            (counter_id,) = struct.unpack(">I", inputs["counter_id"])
+            counter_value = services.tpm(
+                "increment_counter", counter_id=counter_id
+            )
+
+        # 5. Bind (text, nonce, decision[, counter]) into evidence.
+        digest = confirmation_digest(text, nonce, decision, counter_value)
+        outputs: Dict[str, bytes] = {"decision": decision, "digest": digest}
+        if counter_value >= 0:
+            outputs["counter"] = struct.pack(">Q", counter_value)
+        if decision == Decision.TIMEOUT:
+            return outputs  # no evidence for an absent human
+
+        if mode == b"quote":
+            outputs.update(self._quote_evidence(services, inputs, digest, nonce))
+        else:
+            assert signing_key is not None
+            outputs.update(self._signed_evidence(services, signing_key, digest))
+        return outputs
+
+    # ------------------------------------------------------------------
+    def _await_decision(self, services: PalServices) -> bytes:
+        deadline_budget = INPUT_TIMEOUT_SECONDS
+        while True:
+            key = services.read_key(timeout=deadline_budget)
+            if key is None:
+                return Decision.TIMEOUT
+            if key == ScanCode.KEY_Y:
+                return Decision.ACCEPT
+            if key in (ScanCode.KEY_N, ScanCode.KEY_ESC):
+                return Decision.REJECT
+            # Any other key: ignore and keep waiting (human fumbled).
+
+    def _quote_evidence(
+        self,
+        services: PalServices,
+        inputs: Dict[str, bytes],
+        digest: bytes,
+        nonce: bytes,
+    ) -> Dict[str, bytes]:
+        """Extend D into PCR 18, then quote PCRs 17+18 with the AIK."""
+        (aik_handle,) = struct.unpack(">I", inputs["aik_handle"])
+        services.tpm("extend", pcr_index=PCR_DRTM_DATA, measurement=digest)
+        bundle = services.tpm(
+            "quote",
+            key_handle=aik_handle,
+            selection=pal_pcr_selection(),
+            external_data=sha1(nonce),
+        )
+        return {"quote": bundle.to_bytes()}
+
+    def _unseal_signing_key(self, services: PalServices, inputs: Dict[str, bytes]):
+        """Release the setup-phase signing key into PAL memory.
+
+        The unseal succeeds only because PCR 17 currently holds *this*
+        PAL's launch value — the TPM enforces that, not this code.
+        """
+        from repro.tpm.keys import deserialize_private  # PAL-local import
+
+        blob = SealedBlob.from_bytes(inputs["credential"])
+        private_blob = services.tpm("unseal", blob=blob)
+        return deserialize_private(private_blob)
+
+    def _signed_evidence(
+        self, services: PalServices, signing_key, digest: bytes
+    ) -> Dict[str, bytes]:
+        """Sign D in PAL software with the unsealed key.
+
+        Software RSA on the main CPU, not TPM_Sign: that is the entire
+        point of the sealed-key variant — per-transaction cost is one
+        TPM_Unseal (already paid, hidden under reading time) plus a few
+        milliseconds of CPU.
+        """
+        from repro.crypto.pkcs1 import pkcs1_sign  # PAL-local import
+
+        services.charge_logic(SOFTWARE_SIGN_SECONDS)
+        signature = pkcs1_sign(signing_key.keypair, digest, prehashed=True)
+        return {"signature": signature}

@@ -1,0 +1,23 @@
+"""Error taxonomy of the trusted-path protocol."""
+
+from __future__ import annotations
+
+
+class TrustedPathError(RuntimeError):
+    """Base class for protocol-level failures."""
+
+
+class ProtocolError(TrustedPathError):
+    """A message violated the protocol (missing fields, bad encoding)."""
+
+
+class SetupError(TrustedPathError):
+    """The setup phase failed (certification rejected, seal failure)."""
+
+
+class ConfirmationRejected(TrustedPathError):
+    """The provider refused the submitted confirmation evidence."""
+
+
+class SessionSuppressed(TrustedPathError):
+    """The Flicker launch was suppressed on the client (DoS malware)."""

@@ -1,0 +1,98 @@
+"""Protocol message builders and parsers.
+
+The wire protocol between client and provider, as message dicts
+(`repro.net.messages`).  Methods exposed by a trusted-path provider:
+
+=====================  ===================================================
+``register``            create an account (username, password)
+``login``               password login → session cookie
+``tp.setup_begin``      → setup challenge {nonce}
+``tp.setup_complete``   setup evidence → key registered
+``tx.request``          transaction fields → confirmation challenge
+                        {tx_id, nonce, text}
+``tx.confirm``          confirmation evidence → executed / rejected
+``tx.status``           tx_id → pending / executed / rejected / expired
+=====================  ===================================================
+
+Builders in this module are shared by the honest client and the malware
+(the adversary speaks fluent protocol; security never rests on message
+syntax).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.errors import ProtocolError
+from repro.core.transaction import Transaction
+from repro.net.messages import Message
+
+EVIDENCE_QUOTE = "quote"
+EVIDENCE_SIGNED = "signed"
+
+
+def build_transaction_request(transaction: Transaction) -> Message:
+    """Encode a transaction as the ``tx.request`` message body."""
+    request: Message = {"kind": transaction.kind, "account": transaction.account}
+    for key, value in transaction.fields.items():
+        request[f"f.{key}"] = value
+    return request
+
+
+def transaction_from_request(request: Message) -> Transaction:
+    """Provider-side parse of a ``tx.request`` body (canonicalization)."""
+    if "kind" not in request or "account" not in request:
+        raise ProtocolError("transaction request missing kind/account")
+    fields = {
+        key[2:]: value for key, value in request.items() if key.startswith("f.")
+    }
+    return Transaction(
+        kind=str(request["kind"]), account=str(request["account"]), fields=fields
+    )
+
+
+def build_confirmation_submission(
+    tx_id: bytes, decision: bytes, evidence_type: str, evidence: Dict[str, bytes]
+) -> Message:
+    """Assemble the ``tx.confirm`` message from PAL session outputs."""
+    submission: Message = {
+        "tx_id": tx_id,
+        "decision": decision,
+        "evidence": evidence_type,
+    }
+    if evidence_type == EVIDENCE_QUOTE:
+        submission["quote"] = evidence["quote"]
+    elif evidence_type == EVIDENCE_SIGNED:
+        submission["signature"] = evidence["signature"]
+    else:
+        raise ProtocolError(f"unknown evidence type {evidence_type!r}")
+    if "counter" in evidence:  # anti-rollback extension
+        submission["counter"] = int.from_bytes(evidence["counter"], "big")
+    return submission
+
+
+def build_setup_completion(outputs: Dict[str, bytes], nonce: bytes) -> Message:
+    """Assemble the ``tp.setup_complete`` message (sealed blob stays local)."""
+    required = ("public_key", "quote")
+    for key in required:
+        if key not in outputs:
+            raise ProtocolError(f"setup outputs missing {key!r}")
+    return {
+        "public_key": outputs["public_key"],
+        "quote": outputs["quote"],
+        "nonce": nonce,
+    }
+
+
+def parse_challenge(response: Message) -> Dict[str, bytes]:
+    """Extract (tx_id, nonce, text) from a ``tx.request`` response."""
+    for key in ("tx_id", "nonce", "text"):
+        if key not in response:
+            raise ProtocolError(f"challenge missing {key!r}")
+    text = response["text"]
+    if isinstance(text, str):
+        text = text.encode("utf-8")
+    nonce = response["nonce"]
+    if not isinstance(nonce, bytes) or len(nonce) != 20:
+        raise ProtocolError("challenge nonce must be 20 bytes")
+    return {"tx_id": response["tx_id"], "nonce": nonce, "text": text}

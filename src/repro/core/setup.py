@@ -1,0 +1,120 @@
+"""The setup phase: mint and certify the PAL's signing key.
+
+Runs once per (platform, provider).  Inside a late-launch session the
+SetupPal:
+
+1. generates an RSA signing key pair **in PAL software**, seeded from
+   the TPM's RNG (Flicker-style PALs do their crypto on the main CPU —
+   TPM command latency is the thing being avoided);
+2. extends SHA1(public key) into PCR 18 and obtains **one TPM quote**
+   over (PCR 17, PCR 18): the quote proves to the provider that this
+   public key was emitted by the genuine ConfirmationPal identity;
+3. seals the private key to PCR 17 — the code-identity register — so
+   only a future genuine-PAL session can ever release it.
+
+The provider registers the certified public key for the account; every
+subsequent confirmation costs one TPM_Unseal plus a software signature
+instead of a TPM_Quote — and the unseal hides behind the human's
+reading time (see `repro.drtm.session.FlickerSession.consult_human`),
+which is the paper's user-perceived-latency argument.
+
+Design subtlety: the SetupPal's measured identity must equal the
+ConfirmationPal's, or the sealed key would not unseal in confirmation
+sessions.  SetupPal therefore *is* a ConfirmationPal — same class
+hierarchy, same config — dispatching on an input flag, exactly as the
+paper's single PAL binary dispatches on its input structure.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.core.confirmation_pal import ConfirmationPal
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.crypto.sha1 import sha1
+from repro.drtm.pal import PalServices
+from repro.drtm.sealing import pal_pcr_selection
+from repro.tpm.constants import PCR_DRTM_CODE, PCR_DRTM_DATA
+from repro.tpm.keys import KeyUsage, TpmKey, serialize_private
+from repro.tpm.structures import PcrSelection
+
+# Modeled CPU cost of RSA key generation inside the PAL on the paper's
+# testbed class of hardware (RSA-1024, ~2008 desktop CPU).
+PAL_KEYGEN_SECONDS = 0.182
+
+# Key size the PAL generates.  512 keeps pure-Python keygen fast in the
+# emulator; the charged virtual time above is what enters the results.
+PAL_SIGNING_KEY_BITS = 512
+
+
+class SetupPal(ConfirmationPal):
+    """The setup-mode entry of the confirmation PAL.
+
+    NOTE: being a subclass, its measured image contains both class
+    sources; `repro.core.client` launches *SetupPal* for both phases
+    (with ``phase`` selecting the behaviour) so PCR 17 is identical
+    across setup and confirmation sessions.
+    """
+
+    name = "confirmation-pal.setup"
+
+    def run(self, services: PalServices, inputs: Dict[str, bytes]) -> Dict[str, bytes]:
+        if inputs.get("phase", b"confirm") == b"setup":
+            return self._run_setup(services, inputs)
+        return super().run(services, inputs)
+
+    def _run_setup(
+        self, services: PalServices, inputs: Dict[str, bytes]
+    ) -> Dict[str, bytes]:
+        setup_nonce = inputs["nonce"]
+        if len(setup_nonce) != 20:
+            raise ValueError("setup nonce must be 20 bytes")
+        (aik_handle,) = struct.unpack(">I", inputs["aik_handle"])
+
+        services.show(
+            [
+                "=== TRUSTED PATH SETUP ===",
+                "Generating and certifying the",
+                "confirmation signing key.",
+                "No action required.",
+            ]
+        )
+
+        # 1. Software key generation, seeded from the TPM's RNG.
+        entropy = services.tpm("get_random", num_bytes=32)
+        keypair = generate_rsa_keypair(
+            PAL_SIGNING_KEY_BITS, HmacDrbg(entropy, personalization=b"pal-signing")
+        )
+        services.charge_logic(PAL_KEYGEN_SECONDS)
+        public_bytes = keypair.public.to_bytes()
+
+        # 2. Bind the public key to this PAL identity with one quote.
+        services.tpm(
+            "extend", pcr_index=PCR_DRTM_DATA, measurement=sha1(public_bytes)
+        )
+        quote = services.tpm(
+            "quote",
+            key_handle=aik_handle,
+            selection=pal_pcr_selection(),
+            external_data=sha1(setup_nonce),
+        )
+
+        # 3. Seal the private key to the code-identity register alone:
+        #    PCR 18 differs per session (it carries per-run data), so
+        #    the unseal policy must not include it.
+        private_blob = serialize_private(
+            TpmKey(usage=KeyUsage.SIGNING, keypair=keypair)
+        )
+        sealed = services.tpm(
+            "seal",
+            data=private_blob,
+            selection=PcrSelection(indices=(PCR_DRTM_CODE,)),
+        )
+
+        return {
+            "public_key": public_bytes,
+            "quote": quote.to_bytes(),
+            "sealed_credential": sealed.to_bytes(),
+        }

@@ -1,0 +1,41 @@
+"""DRTM late launch and PAL runtime (system S6) — the Flicker substrate.
+
+This package implements the dynamic root of trust for measurement the
+paper's trusted path stands on:
+
+* :mod:`repro.drtm.slb` — the Secure Loader Block: a PAL plus the bytes
+  that constitute its measured identity.
+* :mod:`repro.drtm.skinit` — the SKINIT late-launch sequence: suspend
+  state checks, DMA protection, the locality-4 dynamic-PCR reset, and
+  the measurement of the SLB into PCR 17.
+* :mod:`repro.drtm.pal` — the PAL programming interface: a PAL receives
+  a restricted :class:`~repro.drtm.pal.PalServices` capability surface
+  (TPM at locality 2, exclusive display and keyboard) and nothing else.
+* :mod:`repro.drtm.session` — :class:`FlickerSession`: the full
+  suspend → launch → run → cap → teardown → resume cycle, with a
+  per-phase latency breakdown (experiment T2).
+* :mod:`repro.drtm.sealing` — helpers for sealing data to a PAL's
+  identity, including the session-end "cap" extend that closes the
+  post-session unseal window.
+"""
+
+from repro.drtm.pal import Pal, PalAbortError, PalServices, PalTimeoutError
+from repro.drtm.session import FlickerSession, SessionRecord
+from repro.drtm.skinit import LateLaunchError, perform_skinit
+from repro.drtm.slb import SecureLoaderBlock, measured_image
+from repro.drtm.sealing import CAP_MEASUREMENT, pal_pcr_selection
+
+__all__ = [
+    "Pal",
+    "PalServices",
+    "PalAbortError",
+    "PalTimeoutError",
+    "FlickerSession",
+    "SessionRecord",
+    "perform_skinit",
+    "LateLaunchError",
+    "SecureLoaderBlock",
+    "measured_image",
+    "CAP_MEASUREMENT",
+    "pal_pcr_selection",
+]

@@ -1,0 +1,84 @@
+"""The Secure Loader Block: code identity for late launch.
+
+On real hardware, SKINIT hashes the literal bytes of the SLB.  In the
+simulation a PAL's behaviour lives in Python code, so the honest
+analogue is to derive the measured image from the **source code** of the
+PAL's class hierarchy plus its configuration bytes: change the PAL's
+behaviour (subclass it, edit a method) and its measurement changes, so
+PCR 17 diverges and sealed credentials stay out of reach — the same
+consequence the hardware enforces.
+
+(Limit of the model: monkey-patching a method at runtime would change
+behaviour without changing the measured source.  Nothing in this repo
+does that, and the adversary models attack the protocol, not the Python
+runtime; DESIGN.md §substitutions discusses this boundary.)
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crypto.sha1 import sha1
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.drtm.pal import Pal
+
+
+def measured_image(pal: "Pal") -> bytes:
+    """Bytes constituting the PAL's measured identity.
+
+    Concatenates the source of every class in the PAL's MRO (so
+    inherited behaviour is covered) with the PAL's configuration bytes.
+    Per-invocation *data* (the transaction text, the nonce) is NOT part
+    of the image — the PAL extends that into PCR 18 itself, mirroring
+    how Flicker separates code identity from inputs.
+    """
+    sources = []
+    for cls in type(pal).__mro__:
+        if cls is object:
+            continue
+        try:
+            sources.append(inspect.getsource(cls))
+        except (OSError, TypeError):
+            # Classes without retrievable source (e.g. defined in a REPL)
+            # fall back to their qualified name; still behaviour-coupled
+            # for everything defined in this repository.
+            sources.append(f"<unsourced:{cls.__module__}.{cls.__qualname__}>")
+    blob = "\n".join(sources).encode("utf-8")
+    return blob + b"\x00CONFIG\x00" + pal.config_bytes()
+
+
+@dataclass(frozen=True)
+class SecureLoaderBlock:
+    """A PAL packaged for launch, with its measured image.
+
+    ``padded_size`` models the real SLB's size on the bus: SKINIT
+    streams this many bytes through the hash engine, which is what makes
+    session latency grow with PAL size (experiment F1).  Real SLBs are
+    capped at 64 KiB; we allow larger values so the sweep can show the
+    trend past the architectural limit.
+    """
+
+    pal: "Pal"
+    image: bytes
+    padded_size: int
+
+    @classmethod
+    def package(cls, pal: "Pal", padded_size: int = 64 * 1024) -> "SecureLoaderBlock":
+        image = measured_image(pal)
+        if padded_size < len(image):
+            padded_size = len(image)
+        return cls(pal=pal, image=image, padded_size=padded_size)
+
+    def measurement(self) -> bytes:
+        """SHA-1 of the SLB image — the value SKINIT puts in PCR 17."""
+        return sha1(self.image)
+
+    def __repr__(self) -> str:
+        return (
+            f"SecureLoaderBlock(pal={type(self.pal).__name__}, "
+            f"image={len(self.image)}B, padded={self.padded_size}B, "
+            f"measurement={self.measurement().hex()[:16]}...)"
+        )

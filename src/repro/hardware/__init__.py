@@ -1,0 +1,50 @@
+"""Simulated platform hardware (system S3).
+
+This package models the testbed machine of the paper at the level of
+abstraction the trusted-path protocol actually depends on:
+
+* :mod:`repro.hardware.memory` — physical memory regions with owners and
+  access control; the isolation boundary late launch enforces.
+* :mod:`repro.hardware.dma` — a DMA engine plus the Device Exclusion
+  Vector (AMD's DEV): the mechanism that stops devices from scribbling
+  over the PAL while the OS is suspended.
+* :mod:`repro.hardware.cpu` — CPU execution modes, interrupt flag, and
+  the locality-assertion primitive SKINIT relies on.
+* :mod:`repro.hardware.keyboard` — a PS/2 keyboard controller with a
+  scancode FIFO; the human's physical input source.
+* :mod:`repro.hardware.display` — an 80x25 VGA text buffer; the PAL's
+  output device.
+* :mod:`repro.hardware.chipset` — wires CPU, TPM locality gate, DMA and
+  devices together.
+* :mod:`repro.hardware.machine` — the composed machine with an SRTM
+  power-on sequence.
+
+Fidelity contract (DESIGN.md substitution S3): the *security-relevant
+interfaces* are exact — who may access the TPM at which locality, when
+DMA is blocked, who owns the input/output devices — while electrical
+detail is elided.
+"""
+
+from repro.hardware.cpu import Cpu, CpuMode, HardwareError
+from repro.hardware.display import VgaTextDisplay
+from repro.hardware.dma import DeviceExclusionVector, DmaEngine
+from repro.hardware.keyboard import Ps2KeyboardController, ScanCode
+from repro.hardware.memory import MemoryRegion, PhysicalMemory
+from repro.hardware.chipset import Chipset
+from repro.hardware.machine import Machine, MachineConfig
+
+__all__ = [
+    "Cpu",
+    "CpuMode",
+    "HardwareError",
+    "VgaTextDisplay",
+    "DeviceExclusionVector",
+    "DmaEngine",
+    "Ps2KeyboardController",
+    "ScanCode",
+    "MemoryRegion",
+    "PhysicalMemory",
+    "Chipset",
+    "Machine",
+    "MachineConfig",
+]

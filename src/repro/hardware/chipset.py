@@ -1,0 +1,54 @@
+"""Chipset: the glue between CPU, TPM, DMA and platform devices.
+
+Its one security job is **locality enforcement**: TPM commands arrive
+tagged with a locality token minted by the CPU, and the chipset refuses
+commands whose token is stale or whose locality the command does not
+permit.  This is the mechanism that makes PCR 17 unreachable from
+ordinary software (see `repro.tpm.pcr` for the per-PCR locality policy).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.hardware.cpu import Cpu, HardwareError
+from repro.hardware.display import VgaTextDisplay
+from repro.hardware.dma import DeviceExclusionVector, DmaEngine
+from repro.hardware.keyboard import Ps2KeyboardController
+from repro.hardware.memory import PhysicalMemory
+
+
+class Chipset:
+    """Wires the platform together and gates TPM access by locality."""
+
+    def __init__(
+        self,
+        cpu: Cpu,
+        memory: PhysicalMemory,
+        tpm: Any,
+        keyboard: Ps2KeyboardController,
+        display: VgaTextDisplay,
+    ) -> None:
+        self.cpu = cpu
+        self.memory = memory
+        self.tpm = tpm
+        self.keyboard = keyboard
+        self.display = display
+        self.dev = DeviceExclusionVector()
+        self.dma = DmaEngine(memory, self.dev)
+
+    def tpm_command(self, token: Any, command: str, **arguments: Any) -> Any:
+        """Deliver a TPM command at the locality proven by ``token``.
+
+        ``token`` must be a live locality token from the CPU; anything
+        else is rejected, so software cannot spoof a locality by passing
+        an integer.
+        """
+        if token is None or not getattr(token, "valid", False):
+            raise HardwareError("TPM access requires a valid locality token")
+        locality = token.locality
+        return self.tpm.execute(locality, command, **arguments)
+
+    def tpm_command_as_os(self, command: str, **arguments: Any) -> Any:
+        """Convenience: execute a TPM command at locality 0 (OS level)."""
+        return self.tpm_command(self.cpu.os_locality(), command, **arguments)

@@ -1,0 +1,103 @@
+"""VGA text-mode display.
+
+An 80x25 character buffer.  Whoever owns the display decides what the
+human sees — and *that is the point of the uni-directional design*: the
+paper accepts that malware can paint a pixel-perfect fake confirmation
+screen (the display is not an authenticated channel to the user), and
+shows that the server-side guarantee survives anyway.  The display model
+therefore deliberately allows any actor to take ownership while the OS
+runs; only during a late-launch session is ownership pinned to the PAL.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+ROWS = 25
+COLUMNS = 80
+
+
+class VgaTextDisplay:
+    """80x25 text framebuffer with an ownership label and history.
+
+    ``frames`` keeps a log of (owner, snapshot) pairs so experiments and
+    the human user model can inspect exactly what was shown and by whom.
+    """
+
+    def __init__(self) -> None:
+        self._buffer: List[List[str]] = [[" "] * COLUMNS for _ in range(ROWS)]
+        self._owner = "os"
+        self._pinned = False
+        self.frames: List[tuple] = []
+
+    @property
+    def owner(self) -> str:
+        return self._owner
+
+    def acquire(self, actor: str, pin: bool = False) -> None:
+        """Take over the display.  ``pin=True`` (late launch only) stops
+        further takeovers until :meth:`release`."""
+        if self._pinned:
+            raise PermissionError(
+                f"display is pinned by {self._owner!r}; {actor!r} cannot acquire"
+            )
+        self._owner = actor
+        self._pinned = pin
+
+    def release(self, actor: str) -> None:
+        if actor != self._owner:
+            raise PermissionError(
+                f"{actor!r} released display owned by {self._owner!r}"
+            )
+        self._pinned = False
+        self._owner = "os"
+
+    def clear(self, actor: str) -> None:
+        self._require_owner(actor)
+        self._buffer = [[" "] * COLUMNS for _ in range(ROWS)]
+
+    def write_text(self, actor: str, row: int, column: int, text: str) -> None:
+        """Write ``text`` at (row, column); clips at the line end."""
+        self._require_owner(actor)
+        if not 0 <= row < ROWS:
+            raise ValueError(f"row {row} outside display")
+        if not 0 <= column < COLUMNS:
+            raise ValueError(f"column {column} outside display")
+        for index, char in enumerate(text):
+            if column + index >= COLUMNS:
+                break
+            self._buffer[row][column + index] = char
+
+    def write_lines(self, actor: str, lines: List[str], start_row: int = 0) -> None:
+        for offset, line in enumerate(lines):
+            if start_row + offset >= ROWS:
+                break
+            self.write_text(actor, start_row + offset, 0, line)
+
+    def commit_frame(self, actor: str) -> None:
+        """Present the current buffer to the human (records history)."""
+        self._require_owner(actor)
+        self.frames.append((actor, self.snapshot()))
+
+    def snapshot(self) -> str:
+        """The full screen as a newline-joined string."""
+        return "\n".join("".join(row).rstrip() for row in self._buffer)
+
+    def visible_text(self) -> str:
+        """What the human currently reads (non-empty lines, stripped)."""
+        return "\n".join(
+            line for line in self.snapshot().splitlines() if line.strip()
+        )
+
+    def last_frame(self) -> Optional[tuple]:
+        return self.frames[-1] if self.frames else None
+
+    def _require_owner(self, actor: str) -> None:
+        if actor != self._owner:
+            raise PermissionError(
+                f"{actor!r} wrote to display owned by {self._owner!r}"
+            )
+
+    def __repr__(self) -> str:
+        pin = ", pinned" if self._pinned else ""
+        return f"VgaTextDisplay(owner={self._owner!r}{pin})"

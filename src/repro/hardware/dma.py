@@ -1,0 +1,92 @@
+"""DMA engine and Device Exclusion Vector (DEV).
+
+On AMD hardware, SKINIT programs the DEV so that no bus-master device can
+DMA into the Secure Loader Block while the PAL runs.  We model the DEV as
+a set of protected address ranges consulted by the DMA engine on every
+transfer.  Malware with OS privileges *can* program device DMA — that is
+exactly the attack the DEV exists to stop — so the engine is reachable
+from the untrusted OS model and the protection must hold by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.hardware.memory import PhysicalMemory
+
+
+class DmaBlockedError(PermissionError):
+    """Raised when a DMA transfer hits a DEV-protected range."""
+
+
+class DeviceExclusionVector:
+    """Set of physical address ranges protected from device DMA."""
+
+    def __init__(self) -> None:
+        self._ranges: List[Tuple[int, int]] = []
+
+    def protect(self, base: int, size: int) -> None:
+        """Add ``[base, base+size)`` to the protected set."""
+        if size <= 0:
+            raise ValueError("protected range must have positive size")
+        self._ranges.append((base, base + size))
+
+    def unprotect_all(self) -> None:
+        """Clear every protection (done at session teardown)."""
+        self._ranges.clear()
+
+    def blocks(self, base: int, size: int) -> bool:
+        """True if any byte of ``[base, base+size)`` is protected."""
+        end = base + size
+        return any(base < r_end and r_base < end for r_base, r_end in self._ranges)
+
+    @property
+    def protected_ranges(self) -> List[Tuple[int, int]]:
+        return list(self._ranges)
+
+    def __repr__(self) -> str:
+        return f"DeviceExclusionVector(ranges={self._ranges})"
+
+
+class DmaEngine:
+    """Bus-master DMA as available to (possibly malicious) device drivers.
+
+    ``device_write`` is the attack-relevant operation: a compromised OS
+    can ask any device to overwrite arbitrary physical memory.  The DEV
+    check is the only thing standing between that and the PAL.
+    """
+
+    def __init__(self, memory: PhysicalMemory, dev: DeviceExclusionVector) -> None:
+        self._memory = memory
+        self.dev = dev
+        self.transfers_completed = 0
+        self.transfers_blocked = 0
+
+    def device_write(self, device: str, address: int, data: bytes) -> None:
+        """A device DMAs ``data`` to physical ``address``."""
+        if self.dev.blocks(address, len(data)):
+            self.transfers_blocked += 1
+            raise DmaBlockedError(
+                f"DEV blocked DMA write by {device!r} to "
+                f"[{address:#x}, {address + len(data):#x})"
+            )
+        region = self._memory.region_at(address)
+        if region is None:
+            raise ValueError(f"DMA write by {device!r} to unmapped {address:#x}")
+        # DMA bypasses CPU access control by definition: write as the
+        # region's own owner.  Only the DEV can stop it.
+        region.write(region.owner, data, offset=address - region.base)
+        self.transfers_completed += 1
+
+    def device_read(self, device: str, address: int, length: int) -> bytes:
+        """A device DMAs ``length`` bytes from physical ``address``."""
+        if self.dev.blocks(address, length):
+            self.transfers_blocked += 1
+            raise DmaBlockedError(
+                f"DEV blocked DMA read by {device!r} from "
+                f"[{address:#x}, {address + length:#x})"
+            )
+        region = self._memory.region_at(address)
+        if region is None:
+            raise ValueError(f"DMA read by {device!r} from unmapped {address:#x}")
+        return region.read(region.owner, offset=address - region.base, length=length)

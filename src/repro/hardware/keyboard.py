@@ -1,0 +1,106 @@
+"""PS/2 keyboard controller.
+
+The human produces scancodes; software consumes them from the
+controller's FIFO.  Two consumption paths exist, matching the paper:
+
+* **OS path** — the commodity keyboard driver drains the FIFO and hands
+  keystrokes to applications.  Malware hooks *this* path (keyloggers,
+  input injectors live in `repro.os.malware`).
+* **PAL path** — during a late-launch session the PAL claims the
+  controller and polls it directly; the OS (and its malware) is
+  suspended, so nothing can interpose.  Crucially, software *injection*
+  into the FIFO is only possible through the OS driver layer, not at the
+  controller: the FIFO's producer side is the physical key matrix.  A
+  transaction generator therefore cannot type "yes" into a PAL session.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional
+
+
+class ScanCode(enum.IntEnum):
+    """Subset of PS/2 set-1 make codes used by the confirmation UI."""
+
+    KEY_ESC = 0x01
+    KEY_1 = 0x02
+    KEY_2 = 0x03
+    KEY_3 = 0x04
+    KEY_Y = 0x15
+    KEY_N = 0x31
+    KEY_ENTER = 0x1C
+    KEY_F10 = 0x44
+    KEY_F12 = 0x58
+
+
+class KeyboardError(RuntimeError):
+    """Raised on ownership violations of the controller."""
+
+
+class Ps2KeyboardController:
+    """Keyboard controller with a bounded scancode FIFO.
+
+    ``press_physical_key`` is the hardware producer — only the human
+    user model calls it.  ``read_scancode`` is the consumer, gated by an
+    ownership claim so the PAL can get exclusive access.
+    """
+
+    FIFO_CAPACITY = 16  # i8042-era controllers buffer very few codes
+
+    def __init__(self) -> None:
+        self._fifo: Deque[ScanCode] = deque()
+        self._owner = "os"
+        self.keys_pressed = 0
+        self.overruns = 0
+
+    @property
+    def owner(self) -> str:
+        return self._owner
+
+    def claim(self, actor: str) -> None:
+        """Take exclusive ownership of the consumer side."""
+        self._owner = actor
+
+    def release_to_os(self) -> None:
+        self._owner = "os"
+
+    # -- producer side (hardware only) -------------------------------------
+    def press_physical_key(self, code: ScanCode) -> None:
+        """A physical key press by the human at the machine."""
+        self.keys_pressed += 1
+        if len(self._fifo) >= self.FIFO_CAPACITY:
+            self.overruns += 1
+            return  # controller drops codes on overrun, silently
+        self._fifo.append(code)
+
+    # -- consumer side ------------------------------------------------------
+    def read_scancode(self, actor: str) -> Optional[ScanCode]:
+        """Pop the oldest scancode, or None if the FIFO is empty."""
+        if actor != self._owner:
+            raise KeyboardError(
+                f"{actor!r} read from keyboard owned by {self._owner!r}"
+            )
+        if not self._fifo:
+            return None
+        return self._fifo.popleft()
+
+    def drain(self, actor: str) -> None:
+        """Discard pending scancodes (the PAL does this on entry so that
+        buffered OS-era keystrokes cannot pre-confirm a transaction)."""
+        if actor != self._owner:
+            raise KeyboardError(
+                f"{actor!r} drained keyboard owned by {self._owner!r}"
+            )
+        self._fifo.clear()
+
+    @property
+    def pending(self) -> int:
+        return len(self._fifo)
+
+    def __repr__(self) -> str:
+        return (
+            f"Ps2KeyboardController(owner={self._owner!r}, "
+            f"pending={len(self._fifo)})"
+        )

@@ -1,0 +1,150 @@
+"""Physical memory with named regions and owner-based access control.
+
+Late launch carves out an isolated region for the PAL.  We model memory
+as a set of non-overlapping regions, each with an owner label; reads and
+writes name the actor performing them, and the region checks whether
+that actor is currently allowed.  The OS owns its regions, the PAL owns
+its region during a session, and a region may be *locked* so that only
+one owner may touch it regardless of who asks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class MemoryAccessError(PermissionError):
+    """Raised when an actor touches memory it does not control."""
+
+
+class MemoryRegion:
+    """A contiguous, named span of physical memory.
+
+    Attributes
+    ----------
+    name: identifying label ("os.kernel", "pal.slb", ...).
+    base: physical base address.
+    size: length in bytes.
+    owner: actor label currently allowed to access the region.
+    locked: when True, access checks are enforced strictly; when False
+        the region is freely readable (how commodity RAM behaves for a
+        compromised OS — malware can read anything the OS maps).
+    """
+
+    def __init__(self, name: str, base: int, size: int, owner: str) -> None:
+        if size <= 0:
+            raise ValueError(f"region {name!r} must have positive size")
+        if base < 0:
+            raise ValueError(f"region {name!r} must have non-negative base")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.owner = owner
+        self.locked = False
+        self._data = bytearray(size)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def _check(self, actor: str, operation: str) -> None:
+        if self.locked and actor != self.owner:
+            raise MemoryAccessError(
+                f"{actor!r} may not {operation} locked region {self.name!r} "
+                f"(owner {self.owner!r})"
+            )
+
+    def read(self, actor: str, offset: int = 0, length: Optional[int] = None) -> bytes:
+        self._check(actor, "read")
+        if length is None:
+            length = self.size - offset
+        if offset < 0 or offset + length > self.size:
+            raise MemoryAccessError(
+                f"read out of bounds in {self.name!r}: offset={offset} length={length}"
+            )
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, actor: str, data: bytes, offset: int = 0) -> None:
+        self._check(actor, "write")
+        if offset < 0 or offset + len(data) > self.size:
+            raise MemoryAccessError(
+                f"write out of bounds in {self.name!r}: offset={offset} "
+                f"length={len(data)}"
+            )
+        self._data[offset : offset + len(data)] = data
+
+    def zero(self, actor: str) -> None:
+        """Erase the region (the PAL must do this before resuming the OS)."""
+        self._check(actor, "zero")
+        self._data = bytearray(self.size)
+
+    def lock(self, owner: str) -> None:
+        """Give exclusive access to ``owner``."""
+        self.owner = owner
+        self.locked = True
+
+    def unlock(self) -> None:
+        self.locked = False
+
+    def __repr__(self) -> str:
+        flag = "locked" if self.locked else "open"
+        return (
+            f"MemoryRegion({self.name!r}, base={self.base:#x}, "
+            f"size={self.size}, owner={self.owner!r}, {flag})"
+        )
+
+
+class PhysicalMemory:
+    """The machine's physical address space as a set of named regions."""
+
+    def __init__(self, total_size: int = 1 << 30) -> None:
+        self.total_size = total_size
+        self._regions: Dict[str, MemoryRegion] = {}
+
+    def allocate(self, name: str, size: int, owner: str) -> MemoryRegion:
+        """Allocate a new region at the lowest free address."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already exists")
+        base = self._find_free_base(size)
+        region = MemoryRegion(name, base, size, owner)
+        self._regions[name] = region
+        return region
+
+    def _find_free_base(self, size: int) -> int:
+        taken = sorted(self._regions.values(), key=lambda r: r.base)
+        cursor = 0
+        for region in taken:
+            if region.base - cursor >= size:
+                break
+            cursor = max(cursor, region.end)
+        if cursor + size > self.total_size:
+            raise MemoryError(
+                f"out of physical memory allocating {size} bytes "
+                f"({len(self._regions)} regions allocated)"
+            )
+        return cursor
+
+    def free(self, name: str) -> None:
+        if name not in self._regions:
+            raise KeyError(f"no region named {name!r}")
+        del self._regions[name]
+
+    def region(self, name: str) -> MemoryRegion:
+        if name not in self._regions:
+            raise KeyError(f"no region named {name!r}")
+        return self._regions[name]
+
+    def regions(self) -> List[MemoryRegion]:
+        return sorted(self._regions.values(), key=lambda r: r.base)
+
+    def region_at(self, address: int) -> Optional[MemoryRegion]:
+        for region in self._regions.values():
+            if region.base <= address < region.end:
+                return region
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions

@@ -1,0 +1,34 @@
+"""Simulated network substrate (system S9).
+
+* :mod:`repro.net.messages` — canonical, self-delimiting message
+  encoding (the wire format everything serializes to).
+* :mod:`repro.net.network` — a star network with per-link latency and
+  loss; supports synchronous request/response and queued delivery.
+* :mod:`repro.net.channel` — an authenticated-encryption session
+  protocol ("TLS-lite"): RSA key transport + HMAC-SHA256 record MACs
+  with sequence numbers.  The paper runs its protocol inside TLS; the
+  channel gives the same properties (confidentiality, integrity,
+  ordering) so the trusted-path protocol composes with it honestly.
+* :mod:`repro.net.rpc` — request/response endpoints with service-time
+  queueing, used by the server-throughput experiment (F2).
+"""
+
+from repro.net.channel import ChannelError, SecureChannel, establish_channel
+from repro.net.messages import Message, MessageError, decode_message, encode_message
+from repro.net.network import LinkSpec, Network, NetworkError
+from repro.net.rpc import RpcEndpoint, RpcError
+
+__all__ = [
+    "Message",
+    "MessageError",
+    "encode_message",
+    "decode_message",
+    "Network",
+    "NetworkError",
+    "LinkSpec",
+    "SecureChannel",
+    "ChannelError",
+    "establish_channel",
+    "RpcEndpoint",
+    "RpcError",
+]

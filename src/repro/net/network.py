@@ -1,0 +1,129 @@
+"""A star network with per-link latency and loss.
+
+Hosts register by name; a link spec gives one-way latency and loss
+probability between a host and the core.  Two interaction styles:
+
+* :meth:`Network.transfer` — synchronous: charges one-way latency on
+  the shared clock and delivers bytes (used by the single-client
+  end-to-end experiments, where the world genuinely waits).
+* :meth:`Network.send` — asynchronous: schedules delivery to the
+  destination's inbox callback (used by the multi-client throughput
+  experiment F2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.latency import LatencyModel, NormalLatency
+
+
+class NetworkError(RuntimeError):
+    """Delivery failure (unknown host, dropped packet)."""
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One host's connection to the core."""
+
+    latency: LatencyModel
+    loss_probability: float = 0.0
+
+    @classmethod
+    def wan(cls) -> "LinkSpec":
+        """A typical consumer WAN path (~25 ms one-way, light jitter)."""
+        return cls(latency=NormalLatency(mu=0.025, sigma=0.004))
+
+    @classmethod
+    def lan(cls) -> "LinkSpec":
+        """Datacenter-adjacent path (~0.5 ms one-way)."""
+        return cls(latency=NormalLatency(mu=0.0005, sigma=0.00005))
+
+    @classmethod
+    def lossy_wan(cls, loss: float) -> "LinkSpec":
+        return cls(latency=NormalLatency(mu=0.025, sigma=0.004), loss_probability=loss)
+
+
+class Network:
+    """The star network connecting clients and service providers."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self._links: Dict[str, LinkSpec] = {}
+        self._inboxes: Dict[str, Callable[[str, bytes], None]] = {}
+        self._rng = simulator.rng.stream("network")
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    def attach(
+        self,
+        host: str,
+        link: Optional[LinkSpec] = None,
+        inbox: Optional[Callable[[str, bytes], None]] = None,
+    ) -> None:
+        """Register ``host`` with its link; ``inbox`` receives async sends."""
+        if host in self._links:
+            raise NetworkError(f"host {host!r} already attached")
+        self._links[host] = link or LinkSpec.wan()
+        if inbox is not None:
+            self._inboxes[host] = inbox
+
+    def set_inbox(self, host: str, inbox: Callable[[str, bytes], None]) -> None:
+        self._require(host)
+        self._inboxes[host] = inbox
+
+    def _require(self, host: str) -> LinkSpec:
+        if host not in self._links:
+            raise NetworkError(f"unknown host {host!r}")
+        return self._links[host]
+
+    def one_way_latency(self, source: str, destination: str) -> float:
+        """Sample the one-way latency source → core → destination."""
+        src = self._require(source)
+        dst = self._require(destination)
+        return src.latency.sample(self._rng) + dst.latency.sample(self._rng)
+
+    def _maybe_drop(self, source: str, destination: str) -> bool:
+        src = self._require(source)
+        dst = self._require(destination)
+        drop = (
+            self._rng.random() < src.loss_probability
+            or self._rng.random() < dst.loss_probability
+        )
+        if drop:
+            self.packets_dropped += 1
+        return drop
+
+    # -- synchronous -----------------------------------------------------
+    def transfer(self, source: str, destination: str, payload: bytes) -> bytes:
+        """Deliver ``payload`` synchronously; the caller's time advances
+        by the sampled one-way latency.  Raises on a dropped packet so
+        callers implement their own retry policy."""
+        self.packets_sent += 1
+        self.bytes_sent += len(payload)
+        if self._maybe_drop(source, destination):
+            # The sender still waited for its timeout-ish detection delay.
+            self.simulator.clock.advance(self.one_way_latency(source, destination))
+            raise NetworkError(f"packet {source}->{destination} dropped")
+        self.simulator.clock.advance(self.one_way_latency(source, destination))
+        return payload
+
+    # -- asynchronous ------------------------------------------------------
+    def send(self, source: str, destination: str, payload: bytes) -> None:
+        """Schedule delivery to the destination's inbox callback."""
+        self.packets_sent += 1
+        self.bytes_sent += len(payload)
+        if destination not in self._inboxes:
+            raise NetworkError(f"host {destination!r} has no inbox")
+        if self._maybe_drop(source, destination):
+            return
+        delay = self.one_way_latency(source, destination)
+        inbox = self._inboxes[destination]
+        self.simulator.schedule(
+            delay,
+            lambda: inbox(source, payload),
+            label=f"net:{source}->{destination}",
+        )

@@ -1,0 +1,216 @@
+"""Request/response endpoints with service-time queueing.
+
+An :class:`RpcEndpoint` registers handlers by method name.  Two call
+paths mirror the two network styles:
+
+* :meth:`call_sync` — the client blocks; network latency and the
+  server's service time advance the shared clock inline.  Used by
+  single-client end-to-end runs.
+* :meth:`submit` — queued: the request joins the endpoint's FIFO and is
+  served by ``workers`` parallel servers, each charging the handler's
+  service time.  This is the path the throughput experiment (F2)
+  drives, so server saturation behaves like a real queueing system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from repro.net.channel import SecureChannel, establish_channel
+from repro.net.messages import Message, decode_message, encode_message
+from repro.net.network import Network, NetworkError
+from repro.sim.kernel import Simulator
+
+Handler = Callable[[Message], Message]
+
+#: Transport retries on packet loss (the paper's protocol sits on TCP;
+#: a couple of retransmits is the honest abstraction).
+MAX_TRANSFER_ATTEMPTS = 4
+
+
+class RpcError(RuntimeError):
+    """Remote handler failure, surfaced to the caller."""
+
+
+class RpcEndpoint:
+    """A named host serving methods over the network.
+
+    With :meth:`enable_tls` the synchronous path wraps every request and
+    response in a per-caller :class:`SecureChannel` (TLS-lite): key
+    transport at first contact, then HMAC-authenticated records.  The
+    threat this addresses is the *network*; the malicious client OS sits
+    above the channel, exactly as in the paper's deployment.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        host: str,
+        workers: int = 1,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.host = host
+        self.workers = workers
+        self._handlers: Dict[str, Handler] = {}
+        self._service_time: Dict[str, float] = {}
+        self._queue: Deque[Tuple[str, Message, Callable[[Message], None]]] = deque()
+        self._busy_workers = 0
+        self.requests_served = 0
+        self.requests_failed = 0
+        self.queue_peak = 0
+        self._tls_keypair = None
+        self._server_channels: Dict[str, SecureChannel] = {}
+        self._client_channels: Dict[str, SecureChannel] = {}
+        self.tls_handshakes = 0
+
+    # -- TLS-lite ----------------------------------------------------------
+    def enable_tls(self, server_keypair) -> None:
+        """Require the secure channel on the synchronous call path."""
+        self._tls_keypair = server_keypair
+
+    @property
+    def tls_enabled(self) -> bool:
+        return self._tls_keypair is not None
+
+    def _channel_for(self, caller: str) -> Tuple[SecureChannel, SecureChannel]:
+        """(client-side, server-side) channel pair for ``caller``."""
+        if caller not in self._server_channels:
+            from repro.crypto.drbg import HmacDrbg
+
+            client_drbg = HmacDrbg(
+                self.simulator.rng.derive_seed(
+                    f"tls:{caller}->{self.host}"
+                ).to_bytes(8, "big")
+            )
+            client, server, handshake = establish_channel(
+                self._tls_keypair.public, self._tls_keypair, client_drbg
+            )
+            # The handshake crosses the wire once per (caller, endpoint).
+            self._transfer_with_retry(caller, self.host, handshake)
+            self._client_channels[caller] = client
+            self._server_channels[caller] = server
+            self.tls_handshakes += 1
+        return self._client_channels[caller], self._server_channels[caller]
+
+    def _transfer_with_retry(self, source: str, destination: str,
+                             payload: bytes) -> None:
+        last_error: Optional[NetworkError] = None
+        for _ in range(MAX_TRANSFER_ATTEMPTS):
+            try:
+                self.network.transfer(source, destination, payload)
+                return
+            except NetworkError as exc:
+                last_error = exc
+        raise RpcError(f"transport gave up after retries: {last_error}")
+
+    def register(
+        self, method: str, handler: Handler, service_time: float = 0.0
+    ) -> None:
+        """Expose ``handler`` as ``method``; ``service_time`` is the
+        modeled compute cost charged per request."""
+        self._handlers[method] = handler
+        self._service_time[method] = service_time
+
+    # -- synchronous path ---------------------------------------------------
+    def call_sync(self, caller: str, method: str, request: Message) -> Message:
+        """Blocking call: request latency + service time + response latency.
+
+        Retries transport-level losses (TCP abstraction); with TLS
+        enabled, the payload travels as authenticated channel records.
+        """
+        payload = encode_message({"method": method, "body": encode_message(request)})
+        if self.tls_enabled:
+            client_channel, server_channel = self._channel_for(caller)
+            record = client_channel.wrap(payload)
+            self._transfer_with_retry(caller, self.host, record)
+            # The server dispatches from what it *unwraps* — a record
+            # modified in flight raises ChannelError right here.
+            opened = decode_message(server_channel.unwrap(record))
+            served_method = str(opened["method"])
+            served_request = decode_message(opened["body"])
+        else:
+            self._transfer_with_retry(caller, self.host, payload)
+            served_method, served_request = method, request
+        response = self._dispatch(served_method, served_request, charge_time=True)
+        raw = encode_message(response)
+        if self.tls_enabled:
+            response_record = server_channel.wrap(raw)
+            self._transfer_with_retry(self.host, caller, response_record)
+            response = decode_message(client_channel.unwrap(response_record))
+        else:
+            self._transfer_with_retry(self.host, caller, raw)
+        if response.get("error"):
+            raise RpcError(str(response["error"]))
+        return decode_message(encode_message(response))  # defensive copy
+
+    # -- queued path ----------------------------------------------------------
+    def submit(
+        self,
+        caller: str,
+        method: str,
+        request: Message,
+        on_response: Callable[[Message], None],
+    ) -> None:
+        """Send a request over the network into the endpoint's queue."""
+        payload = encode_message({"method": method, "body": encode_message(request)})
+        delay = self.network.one_way_latency(caller, self.host)
+        self.network.packets_sent += 1
+        self.network.bytes_sent += len(payload)
+
+        def arrive() -> None:
+            self._queue.append((method, request, _responder()))
+            self.queue_peak = max(self.queue_peak, len(self._queue))
+            self._pump()
+
+        def _responder() -> Callable[[Message], None]:
+            def respond(response: Message) -> None:
+                back = self.network.one_way_latency(self.host, caller)
+                self.simulator.schedule(
+                    back, lambda: on_response(response), label=f"rpc:resp:{method}"
+                )
+
+            return respond
+
+        self.simulator.schedule(delay, arrive, label=f"rpc:req:{method}")
+
+    def _pump(self) -> None:
+        """Start serving queued requests while workers are free."""
+        while self._busy_workers < self.workers and self._queue:
+            method, request, respond = self._queue.popleft()
+            self._busy_workers += 1
+            service = self._service_time.get(method, 0.0)
+
+            def finish(
+                method: str = method,
+                request: Message = request,
+                respond: Callable[[Message], None] = respond,
+            ) -> None:
+                response = self._dispatch(method, request, charge_time=False)
+                self._busy_workers -= 1
+                respond(response)
+                self._pump()
+
+            self.simulator.schedule(service, finish, label=f"rpc:serve:{method}")
+
+    # -- dispatch -----------------------------------------------------------
+    def _dispatch(self, method: str, request: Message, charge_time: bool) -> Message:
+        handler = self._handlers.get(method)
+        if handler is None:
+            self.requests_failed += 1
+            return {"error": f"no such method {method!r}"}
+        if charge_time:
+            self.simulator.clock.advance(self._service_time.get(method, 0.0))
+        try:
+            response = handler(request)
+            self.requests_served += 1
+            return response
+        except Exception as exc:
+            self.requests_failed += 1
+            return {"error": f"{type(exc).__name__}: {exc}"}
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)

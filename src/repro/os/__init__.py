@@ -1,0 +1,43 @@
+"""Untrusted commodity OS, browser, and malware models (systems S7, S8).
+
+The OS is the adversary's home: every hookable layer a real rootkit
+abuses is represented — the keyboard driver's input path, the browser's
+outbound request path, the display, and the Flicker driver.  Malware in
+:mod:`repro.os.malware` attaches to those hooks; the trusted-path
+experiments then demonstrate which attacks succeed against which
+schemes (experiment T4).
+
+The deliberately absent capability: nothing in this package can mint a
+CPU locality token or reach the keyboard controller's *producer* side —
+those are hardware facts (`repro.hardware`), and their absence from the
+OS API is the model's rendering of "software cannot forge a late launch
+or a physical keypress".
+"""
+
+from repro.os.browser import Browser
+from repro.os.disk import UntrustedDisk
+from repro.os.kernel import UntrustedOS
+from repro.os.malware import (
+    EvidenceReplayer,
+    Keylogger,
+    Malware,
+    ManInTheBrowser,
+    PalSubstituter,
+    SessionSuppressor,
+    TransactionGenerator,
+    UiSpoofer,
+)
+
+__all__ = [
+    "UntrustedOS",
+    "Browser",
+    "UntrustedDisk",
+    "Malware",
+    "Keylogger",
+    "TransactionGenerator",
+    "ManInTheBrowser",
+    "UiSpoofer",
+    "EvidenceReplayer",
+    "SessionSuppressor",
+    "PalSubstituter",
+]

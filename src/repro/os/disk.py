@@ -1,0 +1,64 @@
+"""The untrusted disk.
+
+The paper stores the sealed credential blob and the AIK certificate on
+the client's ordinary filesystem — safe *because* their confidentiality
+and usefulness do not depend on the disk: the sealed blob only opens
+under the genuine PAL's PCR state, and everything else is public.  What
+the disk cannot provide is integrity or availability: resident malware
+can read, corrupt, or delete any file.  This module models exactly that
+contract, and `repro.core.client` persists/restores client state
+through it so the corruption tests exercise the real recovery paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class UntrustedDisk:
+    """A flat file store with malware-grade (non-)guarantees."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # -- the honest owner's interface ---------------------------------------
+    def write_file(self, path: str, data: bytes) -> None:
+        self.writes += 1
+        self._files[path] = bytes(data)
+
+    def read_file(self, path: str) -> Optional[bytes]:
+        self.reads += 1
+        return self._files.get(path)
+
+    def delete_file(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    # -- the adversary's interface (same privileges, explicit names) --------
+    def malware_read(self, path: str) -> Optional[bytes]:
+        """Malware reads anything — confidentiality is not a disk property."""
+        return self._files.get(path)
+
+    def malware_corrupt(self, path: str, flip_byte: int = 0) -> bool:
+        """Flip one byte of a stored file; True if the file existed."""
+        data = self._files.get(path)
+        if data is None or not data:
+            return False
+        index = flip_byte % len(data)
+        mutated = bytearray(data)
+        mutated[index] ^= 0xFF
+        self._files[path] = bytes(mutated)
+        return True
+
+    def malware_delete(self, path: str) -> bool:
+        return self._files.pop(path, None) is not None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.list_files())

@@ -1,0 +1,133 @@
+"""The untrusted commodity OS.
+
+Provides what the paper's client software stack needs — a keyboard
+input path, a display, a network identity, and a Flicker driver — while
+exposing the interposition points malware uses.  The OS is *suspended*
+for the duration of a late-launch session: `FlickerSession` calls the
+``suspend``/``resume`` hooks, and every OS service raises while
+suspended, which is how the model proves malware cannot act during a
+session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.drtm.pal import Pal
+from repro.drtm.session import FlickerSession, SessionRecord
+from repro.hardware.keyboard import ScanCode
+from repro.hardware.machine import Machine
+from repro.net.messages import Message
+from repro.sim.kernel import Simulator
+
+
+class OsSuspendedError(RuntimeError):
+    """An OS service was invoked while the OS is suspended."""
+
+
+class UntrustedOS:
+    """One client host's software stack.
+
+    Hook points (all consumed in installation order):
+
+    * ``input_hooks``   — see/modify/swallow every keystroke the driver
+      delivers (keyloggers, input injectors).
+    * ``outbound_hooks`` — see/modify every message an application sends
+      (man-in-the-browser).
+    * ``inbound_hooks``  — see/modify every response delivered back.
+    * ``flicker_gate``   — may veto Flicker invocations (session
+      suppression / DoS) or substitute the PAL being launched.
+    """
+
+    def __init__(
+        self, simulator: Simulator, machine: Machine, hostname: str = "client-host"
+    ) -> None:
+        self.simulator = simulator
+        self.machine = machine
+        self.hostname = hostname
+        self.suspended = False
+        self.input_hooks: List[Callable[[ScanCode], Optional[ScanCode]]] = []
+        self.outbound_hooks: List[Callable[[str, Message], Message]] = []
+        self.inbound_hooks: List[Callable[[str, Message], Message]] = []
+        self.flicker_gate: List[Callable[[Pal, Dict[str, bytes]], Optional[Pal]]] = []
+        self.installed_malware: List[Any] = []
+        self._flicker: Optional[FlickerSession] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def suspend(self) -> None:
+        self.suspended = True
+
+    def resume(self) -> None:
+        self.suspended = False
+
+    def _require_running(self, what: str) -> None:
+        if self.suspended:
+            raise OsSuspendedError(
+                f"{what} invoked while the OS is suspended (late launch active)"
+            )
+
+    # -- malware ------------------------------------------------------------
+    def install_malware(self, malware: Any) -> None:
+        """Attach malware to this host's hook points."""
+        malware.attach(self)
+        self.installed_malware.append(malware)
+
+    # -- keyboard input path ---------------------------------------------------
+    def read_keyboard(self) -> Optional[ScanCode]:
+        """The keyboard driver: drain one scancode through the hooks.
+
+        Malware hooks may observe (keylogger) or swallow/replace the
+        key.  Returns None when no key is pending or a hook swallowed it.
+        """
+        self._require_running("keyboard driver")
+        if self.machine.keyboard.owner != "os":
+            return None  # a PAL holds the controller
+        code = self.machine.keyboard.read_scancode("os")
+        if code is None:
+            return None
+        current: Optional[ScanCode] = code
+        for hook in self.input_hooks:
+            if current is None:
+                break
+            current = hook(current)
+        return current
+
+    # -- application messaging -------------------------------------------------
+    def apply_outbound_hooks(self, destination: str, message: Message) -> Message:
+        """Run an application's outgoing message through resident malware."""
+        self._require_running("network stack")
+        for hook in self.outbound_hooks:
+            message = hook(destination, message)
+        return message
+
+    def apply_inbound_hooks(self, source: str, message: Message) -> Message:
+        self._require_running("network stack")
+        for hook in self.inbound_hooks:
+            message = hook(source, message)
+        return message
+
+    # -- flicker driver ---------------------------------------------------------
+    def register_flicker(self, flicker: FlickerSession) -> None:
+        """Install the Flicker driver; the session will suspend this OS."""
+        flicker.os_hooks = self
+        self._flicker = flicker
+
+    def invoke_flicker(
+        self, pal: Pal, inputs: Dict[str, bytes], padded_size: int = 64 * 1024
+    ) -> Optional[SessionRecord]:
+        """Launch a PAL session via the Flicker driver.
+
+        The flicker gate hooks run first: malware may suppress the
+        session entirely (returning the sentinel ``SUPPRESS``) or swap
+        in a different PAL — both attacks the evaluation exercises.
+        Returns None when the session was suppressed.
+        """
+        self._require_running("flicker driver")
+        if self._flicker is None:
+            raise RuntimeError("no Flicker driver registered")
+        launched: Optional[Pal] = pal
+        for gate in self.flicker_gate:
+            launched = gate(launched, inputs)
+            if launched is None:
+                return None
+        return self._flicker.run(launched, inputs, padded_size=padded_size)

@@ -1,0 +1,35 @@
+"""Service-provider side (system S10).
+
+* :mod:`repro.server.noncedb` — challenge nonce issuance, single-use
+  consumption, expiry and eviction (experiment F5).
+* :mod:`repro.server.policy` — the verifier's trust anchors: the
+  Privacy CA key and the known-good PAL measurement whitelist.
+* :mod:`repro.server.verifier` — the attestation verifier: checks
+  setup-phase CertifyInfo evidence and per-transaction quote / signed
+  evidence against the policy.
+* :mod:`repro.server.provider` — the protocol endpoint: accounts,
+  pending transactions, challenge issuance, confirmation handling.
+* :mod:`repro.server.bank` / :mod:`repro.server.shop` — two concrete
+  service providers (online banking, e-commerce) with real execution
+  semantics (balances move, orders ship), so "the attack failed"
+  is measured in ledger state, not in log lines.
+"""
+
+from repro.server.bank import BankServer
+from repro.server.noncedb import NonceDatabase, NonceState
+from repro.server.policy import VerifierPolicy
+from repro.server.provider import ServiceProvider, TxStatus
+from repro.server.shop import ShopServer
+from repro.server.verifier import AttestationVerifier, VerificationFailure
+
+__all__ = [
+    "NonceDatabase",
+    "NonceState",
+    "VerifierPolicy",
+    "AttestationVerifier",
+    "VerificationFailure",
+    "ServiceProvider",
+    "TxStatus",
+    "BankServer",
+    "ShopServer",
+]

@@ -1,0 +1,78 @@
+"""An online bank: the paper's motivating service provider.
+
+Balances are integers in cents; transfers move real ledger state, so
+experiments measure attack outcomes in money that did or did not move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.errors import ProtocolError
+from repro.core.transaction import Transaction
+from repro.net.messages import Message
+from repro.server.provider import AccountRecord, ServiceProvider
+
+DEFAULT_OPENING_BALANCE_CENTS = 500_000  # 5000.00
+
+
+@dataclass
+class Transfer:
+    source: str
+    destination: str
+    amount_cents: int
+
+
+class BankServer(ServiceProvider):
+    """Transfers between accounts (external destinations auto-created
+    with zero balance, representing other banks)."""
+
+    SUPPORTED_KINDS = ("transfer",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.balances: Dict[str, int] = {}
+        self.executed_transfers: List[Transfer] = []
+
+    # -- hooks ------------------------------------------------------------
+    def on_account_created(self, record: AccountRecord, request: Message) -> None:
+        opening = request.get("opening_balance", DEFAULT_OPENING_BALANCE_CENTS)
+        self.balances[record.name] = int(opening)
+
+    def validate_transaction(self, transaction: Transaction) -> None:
+        if transaction.kind not in self.SUPPORTED_KINDS:
+            raise ProtocolError(f"bank does not support {transaction.kind!r}")
+        destination = transaction.fields.get("to")
+        amount = transaction.fields.get("amount")
+        if not isinstance(destination, str) or not destination:
+            raise ProtocolError("transfer needs a destination ('to')")
+        if not isinstance(amount, int) or amount <= 0:
+            raise ProtocolError("transfer amount must be a positive integer (cents)")
+        if self.balances.get(transaction.account, 0) < amount:
+            raise ProtocolError("insufficient funds")
+
+    def execute_transaction(self, transaction: Transaction) -> str:
+        source = transaction.account
+        destination = str(transaction.fields["to"])
+        amount = int(transaction.fields["amount"])
+        if self.balances.get(source, 0) < amount:
+            raise ProtocolError("insufficient funds at execution time")
+        self.balances[source] -= amount
+        self.balances[destination] = self.balances.get(destination, 0) + amount
+        self.executed_transfers.append(
+            Transfer(source=source, destination=destination, amount_cents=amount)
+        )
+        return f"transferred {amount} cents {source}->{destination}"
+
+    # -- experiment accessors ----------------------------------------------
+    def balance_of(self, account: str) -> int:
+        return self.balances.get(account, 0)
+
+    def total_stolen_by(self, mule_account: str) -> int:
+        """Money that reached a mule account via executed transfers."""
+        return sum(
+            transfer.amount_cents
+            for transfer in self.executed_transfers
+            if transfer.destination == mule_account
+        )

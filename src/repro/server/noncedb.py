@@ -1,0 +1,117 @@
+"""Challenge nonce database.
+
+Every confirmation challenge carries a fresh 20-byte nonce; evidence is
+accepted only if its nonce is (a) known, (b) unexpired, and (c) never
+consumed before.  This is the whole replay story, so the structure gets
+its own scalability experiment (F5): issuance/consumption cost and the
+eviction sweep as the live set grows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.drbg import HmacDrbg
+
+
+class NonceState(enum.Enum):
+    """Lifecycle state a nonce is observed in at consume time."""
+
+    UNKNOWN = "unknown"
+    LIVE = "live"
+    CONSUMED = "consumed"
+    EXPIRED = "expired"
+
+
+@dataclass
+class _NonceRecord:
+    tx_id: bytes
+    issued_at: float
+    expires_at: float
+    consumed: bool = False
+
+
+class NonceDatabase:
+    """Single-use nonces with expiry and periodic eviction."""
+
+    def __init__(
+        self,
+        drbg: HmacDrbg,
+        lifetime_seconds: float = 300.0,
+        eviction_interval: float = 60.0,
+    ) -> None:
+        self._drbg = drbg
+        self.lifetime_seconds = lifetime_seconds
+        self.eviction_interval = eviction_interval
+        self._records: Dict[bytes, _NonceRecord] = {}
+        self._last_eviction = 0.0
+        self.issued = 0
+        self.consumed = 0
+        self.rejected_replays = 0
+        self.rejected_expired = 0
+        self.rejected_unknown = 0
+
+    def issue(self, tx_id: bytes, now: float) -> bytes:
+        """Mint a fresh nonce bound to ``tx_id``."""
+        nonce = self._drbg.generate(20)
+        self._records[nonce] = _NonceRecord(
+            tx_id=tx_id, issued_at=now, expires_at=now + self.lifetime_seconds
+        )
+        self.issued += 1
+        self._maybe_evict(now)
+        return nonce
+
+    def consume(self, nonce: bytes, tx_id: bytes, now: float) -> Tuple[bool, NonceState]:
+        """Atomically consume a nonce for ``tx_id``.
+
+        Returns (accepted, state-observed).  Only LIVE nonces bound to
+        the same tx_id are accepted, exactly once.
+        """
+        record = self._records.get(nonce)
+        if record is None:
+            self.rejected_unknown += 1
+            return False, NonceState.UNKNOWN
+        if record.consumed:
+            self.rejected_replays += 1
+            return False, NonceState.CONSUMED
+        if now > record.expires_at:
+            self.rejected_expired += 1
+            return False, NonceState.EXPIRED
+        if record.tx_id != tx_id:
+            self.rejected_unknown += 1
+            return False, NonceState.UNKNOWN
+        record.consumed = True
+        self.consumed += 1
+        return True, NonceState.LIVE
+
+    def state_of(self, nonce: bytes, now: float) -> NonceState:
+        record = self._records.get(nonce)
+        if record is None:
+            return NonceState.UNKNOWN
+        if record.consumed:
+            return NonceState.CONSUMED
+        if now > record.expires_at:
+            return NonceState.EXPIRED
+        return NonceState.LIVE
+
+    def _maybe_evict(self, now: float) -> None:
+        if now - self._last_eviction < self.eviction_interval:
+            return
+        self.evict(now)
+
+    def evict(self, now: float) -> int:
+        """Drop expired and consumed records; returns how many went."""
+        before = len(self._records)
+        self._records = {
+            nonce: record
+            for nonce, record in self._records.items()
+            if not record.consumed and now <= record.expires_at
+        }
+        self._last_eviction = now
+        return before - len(self._records)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._records)

@@ -1,0 +1,516 @@
+"""The trusted-path service provider endpoint.
+
+Implements the protocol of `repro.core.protocol` over an
+:class:`~repro.net.rpc.RpcEndpoint`.  The provider is the party the
+paper gives the security guarantee to, so this class owns the decision
+sequence for every transaction:
+
+1. ``tx.request``  — authenticate the session, validate the transaction
+   against business rules, **canonicalize it server-side**, mint a
+   challenge nonce, and hold the transaction PENDING.
+2. ``tx.confirm``  — consume the nonce (single-use, fresh), verify the
+   attestation evidence against the canonical text *the provider
+   itself issued*, and only then execute.
+
+Nothing the client sends after step 1 can change what text the evidence
+must bind — that server-authoritativeness is what defeats the
+man-in-the-browser.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.errors import ProtocolError
+from repro.core.protocol import EVIDENCE_QUOTE, EVIDENCE_SIGNED, transaction_from_request
+from repro.core.transaction import Transaction
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaPublicKey
+from repro.net.messages import Message
+from repro.net.network import Network
+from repro.net.rpc import RpcEndpoint
+from repro.server.noncedb import NonceDatabase
+from repro.server.policy import VerifierPolicy
+from repro.server.verifier import (
+    AttestationVerifier,
+    VerificationFailure,
+    VerificationResult,
+)
+from repro.sim.kernel import Simulator
+from repro.tpm.ca import AikCertificate, deserialize_certificate
+from repro.tpm.quote import QuoteBundle
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle of a transaction held by a provider."""
+
+    PENDING = "pending"
+    EXECUTED = "executed"
+    REJECTED_BY_USER = "rejected_by_user"
+    DENIED = "denied"  # evidence failed verification
+    EXPIRED = "expired"
+
+
+# Modeled server-side compute per request (seconds); the RSA checks in
+# tx.confirm dominate.  Used as RPC service times.
+SERVICE_TIMES = {
+    "register": 0.0008,
+    "login": 0.0009,
+    "tp.enroll_aik": 0.0021,
+    "tp.setup_begin": 0.0007,
+    "tp.setup_complete": 0.0032,
+    "tx.request": 0.0011,
+    "tx.confirm": 0.0024,
+    "tx.status": 0.0004,
+    "tx.request_batch": 0.0019,
+    "tx.confirm_batch": 0.0026,
+}
+
+
+@dataclass
+class AccountRecord:
+    name: str
+    password: str
+    cookie: Optional[bytes] = None
+    aik_certificate: Optional[AikCertificate] = None
+    registered_key: Optional[RsaPublicKey] = None
+    pending_setup_nonce: Optional[bytes] = None
+    #: highest monotonic counter value seen (anti-rollback extension).
+    last_counter: int = 0
+
+
+@dataclass
+class PendingTransaction:
+    tx_id: bytes
+    transaction: Transaction
+    canonical_text: bytes
+    nonce: bytes
+    issued_at: float
+    status: TxStatus = TxStatus.PENDING
+    detail: str = ""
+
+
+@dataclass
+class PendingBatch:
+    """A set of transactions under one confirmation challenge (batch
+    extension): one session, one nonce, one digest — all-or-nothing."""
+
+    batch_id: bytes
+    tx_ids: list
+    canonical_text: bytes
+    nonce: bytes
+    issued_at: float
+    status: TxStatus = TxStatus.PENDING
+    detail: str = ""
+
+
+class ServiceProvider:
+    """Base provider; subclasses add business semantics."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        host: str,
+        policy: VerifierPolicy,
+        workers: int = 1,
+    ) -> None:
+        self.simulator = simulator
+        self.host = host
+        self.policy = policy
+        self.verifier = AttestationVerifier(policy)
+        self._drbg = HmacDrbg(
+            simulator.rng.derive_seed(f"provider:{host}").to_bytes(8, "big")
+        )
+        self.nonces = NonceDatabase(
+            self._drbg.fork(b"nonces"),
+            lifetime_seconds=policy.nonce_lifetime_seconds,
+        )
+        self.endpoint = RpcEndpoint(simulator, network, host, workers=workers)
+        self.accounts: Dict[str, AccountRecord] = {}
+        self._cookies: Dict[bytes, str] = {}
+        self.transactions: Dict[bytes, PendingTransaction] = {}
+        self.batches: Dict[bytes, PendingBatch] = {}
+        self.denials: Dict[str, int] = {}
+        self.allow_reconfirmation = False  # ablation-only; see tx.confirm
+        self._register_handlers()
+
+    def enable_tls(self) -> None:
+        """Serve over the TLS-lite secure channel (`repro.net.channel`).
+
+        Off by default in the simulation to keep whole-suite runs fast;
+        the protocol's security does not depend on it (the endpoint OS
+        is the adversary), matching the paper's trust analysis.
+        """
+        from repro.crypto.rsa import generate_rsa_keypair
+
+        keypair = generate_rsa_keypair(512, self._drbg.fork(b"tls-key"))
+        self.endpoint.enable_tls(keypair)
+
+    def _register_handlers(self) -> None:
+        handlers = {
+            "register": self._handle_register,
+            "login": self._handle_login,
+            "tp.enroll_aik": self._handle_enroll_aik,
+            "tp.setup_begin": self._handle_setup_begin,
+            "tp.setup_complete": self._handle_setup_complete,
+            "tx.request": self._handle_tx_request,
+            "tx.confirm": self._handle_tx_confirm,
+            "tx.status": self._handle_tx_status,
+            "tx.request_batch": self._handle_tx_request_batch,
+            "tx.confirm_batch": self._handle_tx_confirm_batch,
+        }
+        for method, handler in handlers.items():
+            self.endpoint.register(method, handler, SERVICE_TIMES[method])
+
+    # ------------------------------------------------------------------
+    # Business hooks for subclasses
+    # ------------------------------------------------------------------
+    def validate_transaction(self, transaction: Transaction) -> None:
+        """Raise ProtocolError if the transaction is not well-formed for
+        this provider (amounts, recipients, stock...)."""
+
+    def execute_transaction(self, transaction: Transaction) -> str:
+        """Perform the confirmed transaction; returns a receipt string."""
+        return "ok"
+
+    def on_account_created(self, record: AccountRecord, request: Message) -> None:
+        """Subclass hook (e.g. set the opening balance)."""
+
+    # ------------------------------------------------------------------
+    # Account handlers
+    # ------------------------------------------------------------------
+    def _handle_register(self, request: Message) -> Message:
+        name = str(request["account"])
+        if name in self.accounts:
+            return {"error": f"account {name!r} exists"}
+        record = AccountRecord(name=name, password=str(request["password"]))
+        self.accounts[name] = record
+        self.on_account_created(record, request)
+        return {"ok": 1}
+
+    def _handle_login(self, request: Message) -> Message:
+        record = self.accounts.get(str(request["account"]))
+        if record is None or record.password != str(request["password"]):
+            return {"error": "bad credentials"}
+        cookie = self._drbg.generate(16)
+        record.cookie = cookie
+        self._cookies[cookie] = record.name
+        return {"ok": 1, "set_session": cookie}
+
+    def _authenticate(self, request: Message) -> AccountRecord:
+        cookie = request.get("session")
+        if not isinstance(cookie, bytes) or cookie not in self._cookies:
+            raise ProtocolError("not logged in")
+        return self.accounts[self._cookies[cookie]]
+
+    # ------------------------------------------------------------------
+    # Trusted-path enrollment / setup
+    # ------------------------------------------------------------------
+    def _handle_enroll_aik(self, request: Message) -> Message:
+        record = self._authenticate(request)
+        certificate = deserialize_certificate(request["aik_certificate"])
+        result = self.verifier.verify_aik_certificate(certificate)
+        if not result.ok:
+            return self._denial_response(result)
+        record.aik_certificate = certificate
+        return {"ok": 1}
+
+    def _handle_setup_begin(self, request: Message) -> Message:
+        record = self._authenticate(request)
+        if record.aik_certificate is None:
+            return {"error": "enroll an AIK certificate first"}
+        nonce = self._drbg.generate(20)
+        record.pending_setup_nonce = nonce
+        return {"ok": 1, "nonce": nonce}
+
+    def _handle_setup_complete(self, request: Message) -> Message:
+        record = self._authenticate(request)
+        if record.aik_certificate is None or record.pending_setup_nonce is None:
+            return {"error": "no setup in progress"}
+        try:
+            public_key = RsaPublicKey.from_bytes(request["public_key"])
+            quote = QuoteBundle.from_bytes(request["quote"])
+        except Exception as exc:
+            return {"error": f"malformed setup evidence: {exc}"}
+        result = self.verifier.verify_setup(
+            aik_public=record.aik_certificate.aik_public,
+            presented_public_key=public_key,
+            quote=quote,
+            expected_nonce=record.pending_setup_nonce,
+        )
+        record.pending_setup_nonce = None
+        if not result.ok:
+            return self._denial_response(result)
+        record.registered_key = public_key
+        return {"ok": 1}
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def _handle_tx_request(self, request: Message) -> Message:
+        record = self._authenticate(request)
+        transaction = transaction_from_request(request)
+        if transaction.account != record.name:
+            return {"error": "transaction account does not match session"}
+        self.validate_transaction(transaction)
+        tx_id = self._drbg.generate(16)
+        now = self.simulator.now
+        nonce = self.nonces.issue(tx_id, now)
+        canonical_text = "\n".join(transaction.display_lines()).encode("utf-8")
+        self.transactions[tx_id] = PendingTransaction(
+            tx_id=tx_id,
+            transaction=transaction,
+            canonical_text=canonical_text,
+            nonce=nonce,
+            issued_at=now,
+        )
+        return {"ok": 1, "tx_id": tx_id, "nonce": nonce, "text": canonical_text}
+
+    def _handle_tx_confirm(self, request: Message) -> Message:
+        self._authenticate(request)
+        pending = self.transactions.get(request.get("tx_id", b""))
+        if pending is None:
+            return {"error": "unknown transaction"}
+        if pending.status is not TxStatus.PENDING:
+            # allow_reconfirmation exists only for the replay-ablation
+            # experiment (A1); a production provider never re-opens an
+            # executed transaction.
+            reopenable = (
+                self.allow_reconfirmation and pending.status is TxStatus.EXECUTED
+            )
+            if not reopenable:
+                return {"error": f"transaction already {pending.status.value}"}
+        decision = request.get("decision", b"")
+        if decision not in (b"accept", b"reject"):
+            return {"error": f"bad decision {decision!r}"}
+
+        # Anti-rollback extension: when the policy demands it, evidence
+        # must carry a strictly increasing TPM counter value.
+        record = self.accounts[pending.transaction.account]
+        counter = request.get("counter", -1)
+        if self.policy.require_monotonic_counter:
+            if not isinstance(counter, int) or counter <= record.last_counter:
+                return self._deny(
+                    pending,
+                    f"counter rollback ({counter} <= {record.last_counter})",
+                )
+
+        if self.policy.check_nonce_freshness:
+            accepted, state = self.nonces.consume(
+                pending.nonce, pending.tx_id, self.simulator.now
+            )
+            if not accepted:
+                return self._deny(pending, f"nonce {state.value}")
+
+        result = self._verify_evidence(pending, request, decision)
+        if not result.ok:
+            return self._deny(pending, result.failure.value)
+        if self.policy.require_monotonic_counter:
+            record.last_counter = int(counter)
+
+        if decision == b"reject":
+            pending.status = TxStatus.REJECTED_BY_USER
+            return {"ok": 1, "status": pending.status.value}
+
+        receipt = self.execute_transaction(pending.transaction)
+        pending.status = TxStatus.EXECUTED
+        pending.detail = receipt
+        return {"ok": 1, "status": pending.status.value, "receipt": receipt}
+
+    def _verify_evidence(
+        self, pending: PendingTransaction, request: Message, decision: bytes
+    ) -> VerificationResult:
+        record = self.accounts[pending.transaction.account]
+        evidence_type = request.get("evidence")
+        counter = request.get("counter", -1)
+        if not isinstance(counter, int):
+            counter = -1
+        if evidence_type == EVIDENCE_QUOTE:
+            if record.aik_certificate is None:
+                return VerificationResult.reject(
+                    VerificationFailure.BAD_CA_SIGNATURE, "no enrolled AIK"
+                )
+            try:
+                quote = QuoteBundle.from_bytes(request["quote"])
+            except Exception as exc:
+                return VerificationResult.reject(
+                    VerificationFailure.MALFORMED, str(exc)
+                )
+            return self.verifier.verify_quote_confirmation(
+                aik_public=record.aik_certificate.aik_public,
+                quote=quote,
+                text=pending.canonical_text,
+                nonce=pending.nonce,
+                decision=decision,
+                counter=counter,
+            )
+        if evidence_type == EVIDENCE_SIGNED:
+            signature = request.get("signature")
+            if not isinstance(signature, bytes):
+                return VerificationResult.reject(VerificationFailure.MALFORMED)
+            return self.verifier.verify_signed_confirmation(
+                registered_key=record.registered_key,
+                signature=signature,
+                text=pending.canonical_text,
+                nonce=pending.nonce,
+                decision=decision,
+                counter=counter,
+            )
+        return VerificationResult.reject(
+            VerificationFailure.MALFORMED, f"evidence type {evidence_type!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Batch confirmation (extension): one session covers N transactions
+    # ------------------------------------------------------------------
+    def _handle_tx_request_batch(self, request: Message) -> Message:
+        """Validate N transactions, issue ONE challenge for all of them."""
+        record = self._authenticate(request)
+        from repro.net.messages import decode_message
+
+        encoded_list = request.get("transactions")
+        if not isinstance(encoded_list, list) or not encoded_list:
+            return {"error": "batch needs a non-empty transaction list"}
+        if len(encoded_list) > 16:
+            return {"error": "batch too large (max 16)"}
+        transactions = []
+        for encoded in encoded_list:
+            transaction = transaction_from_request(decode_message(encoded))
+            if transaction.account != record.name:
+                return {"error": "batch member account mismatch"}
+            self.validate_transaction(transaction)
+            transactions.append(transaction)
+
+        now = self.simulator.now
+        batch_id = self._drbg.generate(16)
+        nonce = self.nonces.issue(batch_id, now)
+        tx_ids = []
+        lines = [f"BATCH CONFIRMATION — {len(transactions)} transactions", ""]
+        for position, transaction in enumerate(transactions, start=1):
+            tx_id = self._drbg.generate(16)
+            tx_ids.append(tx_id)
+            self.transactions[tx_id] = PendingTransaction(
+                tx_id=tx_id,
+                transaction=transaction,
+                canonical_text=b"",  # confirmed via the batch text
+                nonce=nonce,
+                issued_at=now,
+            )
+            lines.append(f"--- [{position}/{len(transactions)}] ---")
+            lines.extend(transaction.display_lines())
+        canonical_text = "\n".join(lines).encode("utf-8")
+        self.batches[batch_id] = PendingBatch(
+            batch_id=batch_id,
+            tx_ids=tx_ids,
+            canonical_text=canonical_text,
+            nonce=nonce,
+            issued_at=now,
+        )
+        return {
+            "ok": 1,
+            "tx_id": batch_id,  # challenge shape shared with tx.request
+            "nonce": nonce,
+            "text": canonical_text,
+        }
+
+    def _handle_tx_confirm_batch(self, request: Message) -> Message:
+        """Verify one evidence blob; execute every member or none."""
+        self._authenticate(request)
+        batch = self.batches.get(request.get("tx_id", b""))
+        if batch is None:
+            return {"error": "unknown batch"}
+        if batch.status is not TxStatus.PENDING:
+            return {"error": f"batch already {batch.status.value}"}
+        decision = request.get("decision", b"")
+        if decision not in (b"accept", b"reject"):
+            return {"error": f"bad decision {decision!r}"}
+
+        if self.policy.check_nonce_freshness:
+            accepted, state = self.nonces.consume(
+                batch.nonce, batch.batch_id, self.simulator.now
+            )
+            if not accepted:
+                return self._deny_batch(batch, f"nonce {state.value}")
+
+        # Reuse the single-transaction evidence check against the batch
+        # text: the digest covers the whole rendered batch.
+        proxy = PendingTransaction(
+            tx_id=batch.batch_id,
+            transaction=self.transactions[batch.tx_ids[0]].transaction,
+            canonical_text=batch.canonical_text,
+            nonce=batch.nonce,
+            issued_at=batch.issued_at,
+        )
+        result = self._verify_evidence(proxy, request, decision)
+        if not result.ok:
+            return self._deny_batch(batch, result.failure.value)
+
+        if decision == b"reject":
+            batch.status = TxStatus.REJECTED_BY_USER
+            for tx_id in batch.tx_ids:
+                self.transactions[tx_id].status = TxStatus.REJECTED_BY_USER
+            return {"ok": 1, "status": batch.status.value}
+
+        receipts = []
+        for tx_id in batch.tx_ids:
+            pending = self.transactions[tx_id]
+            receipts.append(self.execute_transaction(pending.transaction))
+            pending.status = TxStatus.EXECUTED
+        batch.status = TxStatus.EXECUTED
+        batch.detail = "; ".join(receipts)
+        return {"ok": 1, "status": batch.status.value, "receipt": batch.detail}
+
+    def _deny_batch(self, batch: PendingBatch, reason: str) -> Message:
+        batch.status = TxStatus.DENIED
+        for tx_id in batch.tx_ids:
+            self.transactions[tx_id].status = TxStatus.DENIED
+            self.transactions[tx_id].detail = reason
+        self.denials[reason] = self.denials.get(reason, 0) + 1
+        return {"error": f"batch denied: {reason}", "status": "denied"}
+
+    def _handle_tx_status(self, request: Message) -> Message:
+        self._authenticate(request)
+        pending = self.transactions.get(request.get("tx_id", b""))
+        if pending is None:
+            return {"error": "unknown transaction"}
+        self._expire_if_stale(pending)
+        return {"ok": 1, "status": pending.status.value, "detail": pending.detail}
+
+    # ------------------------------------------------------------------
+    def _expire_if_stale(self, pending: PendingTransaction) -> None:
+        if pending.status is not TxStatus.PENDING:
+            return
+        if self.simulator.now - pending.issued_at > self.policy.nonce_lifetime_seconds:
+            pending.status = TxStatus.EXPIRED
+            pending.detail = "confirmation never arrived"
+
+    def expire_stale_transactions(self) -> int:
+        """Sweep: mark overdue PENDING transactions EXPIRED."""
+        count = 0
+        for pending in self.transactions.values():
+            before = pending.status
+            self._expire_if_stale(pending)
+            if before is TxStatus.PENDING and pending.status is TxStatus.EXPIRED:
+                count += 1
+        return count
+
+    def _deny(self, pending: PendingTransaction, reason: str) -> Message:
+        pending.status = TxStatus.DENIED
+        pending.detail = reason
+        self.denials[reason] = self.denials.get(reason, 0) + 1
+        return {"error": f"confirmation denied: {reason}", "status": "denied"}
+
+    def _denial_response(self, result: VerificationResult) -> Message:
+        reason = result.failure.value
+        self.denials[reason] = self.denials.get(reason, 0) + 1
+        return {"error": f"denied: {reason}"}
+
+    # -- experiment accessors -------------------------------------------------
+    def count_by_status(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for pending in self.transactions.values():
+            counts[pending.status.value] = counts.get(pending.status.value, 0) + 1
+        return counts

@@ -1,0 +1,164 @@
+"""The attestation verifier: the provider-side security decision.
+
+Three verdicts, each a full cryptographic check against the policy:
+
+* :meth:`AttestationVerifier.verify_aik_certificate` — the AIK chains
+  to a trusted Privacy CA.
+* :meth:`AttestationVerifier.verify_setup` — the setup quote was signed
+  by that AIK under a genuine-PAL PCR 17, with PCR 18 binding exactly
+  the presented public key and the expected setup nonce.
+* :meth:`AttestationVerifier.verify_confirmation` — per-transaction
+  evidence: either an AIK quote whose PCR 17 is an approved PAL value
+  and whose PCR 18 equals exactly one extend of the expected
+  confirmation digest, or a signature by the setup-registered key over
+  that digest.
+
+Every rejection carries a reason code; the security-matrix experiment
+(T4) asserts on reasons, not just on booleans, so a check that silently
+stopped running would be caught.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.pkcs1 import pkcs1_verify
+from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.sha1 import sha1
+from repro.core.confirmation_pal import confirmation_digest
+from repro.server.policy import VerifierPolicy
+from repro.tpm.ca import AikCertificate
+from repro.tpm.constants import PCR_DRTM_CODE, PCR_DRTM_DATA
+from repro.tpm.quote import QuoteBundle, verify_quote
+
+
+class VerificationFailure(enum.Enum):
+    """Why evidence was rejected."""
+
+    NONE = "ok"
+    BAD_CA_SIGNATURE = "aik certificate not signed by a trusted CA"
+    BAD_CERTIFY_SIGNATURE = "certify-info signature invalid"
+    CERTIFY_WRONG_KEY = "certify-info names a different key"
+    CERTIFY_WRONG_PCRS = "key was not certified under a genuine PAL state"
+    CERTIFY_WRONG_NONCE = "certify-info nonce mismatch"
+    BAD_QUOTE_SIGNATURE = "quote signature invalid"
+    QUOTE_WRONG_PCR17 = "quoted PCR 17 is not an approved PAL"
+    QUOTE_WRONG_PCR18 = "quoted PCR 18 does not bind this confirmation"
+    QUOTE_WRONG_NONCE = "quote external data mismatch"
+    BAD_SIGNATURE = "confirmation signature invalid"
+    NO_REGISTERED_KEY = "no setup-registered key for this account"
+    MALFORMED = "evidence malformed"
+
+
+@dataclass
+class VerificationResult:
+    ok: bool
+    failure: VerificationFailure
+    detail: str = ""
+
+    @classmethod
+    def success(cls) -> "VerificationResult":
+        return cls(ok=True, failure=VerificationFailure.NONE)
+
+    @classmethod
+    def reject(cls, failure: VerificationFailure, detail: str = ""):
+        return cls(ok=False, failure=failure, detail=detail)
+
+
+class AttestationVerifier:
+    """Stateless evidence checks against one policy."""
+
+    def __init__(self, policy: VerifierPolicy) -> None:
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    def verify_aik_certificate(self, certificate: AikCertificate) -> VerificationResult:
+        for ca_key in self.policy.ca_public_keys:
+            if certificate.verify(ca_key):
+                return VerificationResult.success()
+        return VerificationResult.reject(VerificationFailure.BAD_CA_SIGNATURE)
+
+    # ------------------------------------------------------------------
+    def verify_setup(
+        self,
+        aik_public: RsaPublicKey,
+        presented_public_key: RsaPublicKey,
+        quote: QuoteBundle,
+        expected_nonce: bytes,
+    ) -> VerificationResult:
+        """Validate the setup phase's key-certification quote.
+
+        A genuine setup session exhibits: PCR 17 = an approved PAL
+        value, PCR 18 = exactly one extend of SHA1(public key), and
+        external data = SHA1(setup nonce).
+        """
+        if not verify_quote(aik_public, quote):
+            return VerificationResult.reject(
+                VerificationFailure.BAD_CERTIFY_SIGNATURE
+            )
+        if quote.external_data != sha1(expected_nonce):
+            return VerificationResult.reject(VerificationFailure.CERTIFY_WRONG_NONCE)
+        try:
+            reported_17 = quote.reported_value(PCR_DRTM_CODE)
+            reported_18 = quote.reported_value(PCR_DRTM_DATA)
+        except KeyError as exc:
+            return VerificationResult.reject(
+                VerificationFailure.MALFORMED, detail=str(exc)
+            )
+        if not self.policy.pcr17_is_approved(reported_17):
+            return VerificationResult.reject(VerificationFailure.CERTIFY_WRONG_PCRS)
+        expected_18 = self.policy.expected_pcr18_after_digest(
+            sha1(presented_public_key.to_bytes())
+        )
+        if reported_18 != expected_18:
+            return VerificationResult.reject(VerificationFailure.CERTIFY_WRONG_KEY)
+        return VerificationResult.success()
+
+    # ------------------------------------------------------------------
+    def verify_quote_confirmation(
+        self,
+        aik_public: RsaPublicKey,
+        quote: QuoteBundle,
+        text: bytes,
+        nonce: bytes,
+        decision: bytes,
+        counter: int = -1,
+    ) -> VerificationResult:
+        """Quote-variant evidence for one confirmation."""
+        if not verify_quote(aik_public, quote):
+            return VerificationResult.reject(VerificationFailure.BAD_QUOTE_SIGNATURE)
+        if quote.external_data != sha1(nonce):
+            return VerificationResult.reject(VerificationFailure.QUOTE_WRONG_NONCE)
+        try:
+            reported_17 = quote.reported_value(PCR_DRTM_CODE)
+            reported_18 = quote.reported_value(PCR_DRTM_DATA)
+        except KeyError as exc:
+            return VerificationResult.reject(
+                VerificationFailure.MALFORMED, detail=str(exc)
+            )
+        if not self.policy.pcr17_is_approved(reported_17):
+            return VerificationResult.reject(VerificationFailure.QUOTE_WRONG_PCR17)
+        digest = confirmation_digest(text, nonce, decision, counter)
+        if reported_18 != self.policy.expected_pcr18_after_digest(digest):
+            return VerificationResult.reject(VerificationFailure.QUOTE_WRONG_PCR18)
+        return VerificationResult.success()
+
+    # ------------------------------------------------------------------
+    def verify_signed_confirmation(
+        self,
+        registered_key: Optional[RsaPublicKey],
+        signature: bytes,
+        text: bytes,
+        nonce: bytes,
+        decision: bytes,
+        counter: int = -1,
+    ) -> VerificationResult:
+        """Signed-variant evidence for one confirmation."""
+        if registered_key is None:
+            return VerificationResult.reject(VerificationFailure.NO_REGISTERED_KEY)
+        digest = confirmation_digest(text, nonce, decision, counter)
+        if not pkcs1_verify(registered_key, digest, signature, prehashed=True):
+            return VerificationResult.reject(VerificationFailure.BAD_SIGNATURE)
+        return VerificationResult.success()

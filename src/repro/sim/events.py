@@ -1,0 +1,76 @@
+"""Event and event-queue primitives for the simulation kernel.
+
+The queue is a binary heap ordered by (time, sequence).  The sequence
+number makes ordering of same-time events deterministic (FIFO in schedule
+order), which keeps whole-system runs reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A callback scheduled at a point in virtual time.
+
+    Attributes
+    ----------
+    time:
+        Absolute virtual time at which the event fires.
+    seq:
+        Tie-breaker assigned by the queue; preserves schedule order.
+    action:
+        Zero-argument callable executed when the event is dispatched.
+    label:
+        Human-readable description, used in traces and error messages.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it at dispatch time."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` at absolute virtual ``time``."""
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the fire time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()

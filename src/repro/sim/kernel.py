@@ -1,0 +1,156 @@
+"""The simulation kernel: an event loop over virtual time.
+
+Design notes
+------------
+The kernel is deliberately small.  Components interact with it in two ways:
+
+* **Synchronous costs.**  Most of the platform model (TPM commands, SKINIT,
+  memory hashing) executes inline in the caller and simply charges time via
+  ``simulator.clock.advance(...)``.  This mirrors how those operations block
+  the single CPU of the paper's testbed.
+
+* **Asynchronous events.**  The network, human think time, and concurrent
+  clients use scheduled events / generator processes (`repro.sim.process`),
+  dispatched in deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import MetricRegistry
+from repro.sim.randoms import SeededRng
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Owns the virtual clock, the event queue, metrics and randomness.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named random streams (see :class:`SeededRng`).
+        Two simulators built with the same seed and the same schedule of
+        operations produce bit-identical results.
+    trace:
+        Optional callable invoked as ``trace(time, label)`` for every
+        dispatched event; useful for debugging whole-system runs.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[Callable[[float, str], None]] = None,
+    ) -> None:
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.metrics = MetricRegistry(clock=self.clock)
+        self.rng = SeededRng(seed)
+        self._trace = trace
+        self._dispatched = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    def schedule(
+        self, delay: float, action: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.queue.push(self.clock.now + delay, action, label)
+
+    def schedule_at(
+        self, time: float, action: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now ({self.clock.now})"
+            )
+        return self.queue.push(time, action, label)
+
+    def spawn(self, generator: Iterator, label: str = "process") -> "Event":
+        """Run a generator-based process (see `repro.sim.process`).
+
+        The generator yields either a float (sleep seconds) or objects with
+        a ``resolve(simulator, wake)`` method.
+        """
+
+        def step(send_value: Any = None) -> None:
+            try:
+                yielded = generator.send(send_value)
+            except StopIteration:
+                return
+            if isinstance(yielded, (int, float)):
+                self.schedule(float(yielded), step, label=f"{label}:sleep")
+            elif hasattr(yielded, "resolve"):
+                yielded.resolve(self, step)
+            else:
+                raise SimulationError(
+                    f"process {label!r} yielded unsupported value {yielded!r}"
+                )
+
+        return self.schedule(0.0, step, label=f"{label}:start")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Dispatch events until the queue drains or ``until`` is reached.
+
+        Returns the number of events dispatched by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        dispatched_before = self._dispatched
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    break
+                event = self.queue.pop()
+                assert event is not None
+                if event.time > self.clock.now:
+                    self.clock.advance_to(event.time)
+                if self._trace is not None:
+                    self._trace(self.clock.now, event.label)
+                event.action()
+                self._dispatched += 1
+                if self._dispatched - dispatched_before >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a runaway loop"
+                    )
+        finally:
+            self._running = False
+        return self._dispatched - dispatched_before
+
+    def run_for(self, duration: float) -> int:
+        """Run for ``duration`` virtual seconds from the current time."""
+        return self.run(until=self.clock.now + duration)
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total events dispatched over the simulator's lifetime."""
+        return self._dispatched
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.clock.now:.6f}, pending={len(self.queue)}, "
+            f"dispatched={self._dispatched})"
+        )

@@ -1,0 +1,91 @@
+"""Generator-based cooperative processes.
+
+A process is a generator passed to :meth:`Simulator.spawn`.  It may yield:
+
+* a float — sleep that many virtual seconds;
+* :class:`Sleep` — same, but explicit and self-documenting;
+* :class:`WaitFor` — block until a condition holds, polled at a fixed
+  period (used sparingly; most coordination is event-driven).
+
+This is a deliberately minimal take on SimPy-style processes: enough to
+express concurrent clients hammering a server without pulling in an
+external dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.sim.kernel import Simulator
+
+
+class Sleep:
+    """Yieldable: suspend the process for ``seconds`` of virtual time."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep negative time {seconds}")
+        self.seconds = float(seconds)
+
+    def resolve(self, simulator: Simulator, wake: Callable[[Any], None]) -> None:
+        simulator.schedule(self.seconds, lambda: wake(None), label="sleep")
+
+
+class WaitFor:
+    """Yieldable: suspend until ``predicate()`` is true, polling."""
+
+    def __init__(
+        self,
+        predicate: Callable[[], bool],
+        poll_period: float = 0.001,
+        timeout: float = float("inf"),
+    ) -> None:
+        if poll_period <= 0:
+            raise ValueError("poll period must be positive")
+        self.predicate = predicate
+        self.poll_period = poll_period
+        self.timeout = timeout
+
+    def resolve(self, simulator: Simulator, wake: Callable[[Any], None]) -> None:
+        deadline = simulator.now + self.timeout
+
+        def poll() -> None:
+            if self.predicate():
+                wake(True)
+            elif simulator.now >= deadline:
+                wake(False)
+            else:
+                simulator.schedule(self.poll_period, poll, label="waitfor:poll")
+
+        simulator.schedule(0.0, poll, label="waitfor:first-poll")
+
+
+class SimProcess:
+    """Convenience wrapper holding a generator factory and its simulator.
+
+    Subclasses override :meth:`body`; calling :meth:`start` spawns it.
+    Completion is visible through :attr:`done` and :attr:`result`.
+    """
+
+    def __init__(self, simulator: Simulator, label: str = "") -> None:
+        self.simulator = simulator
+        self.label = label or type(self).__name__
+        self.done = False
+        self.result: Any = None
+
+    def body(self) -> Iterator:
+        raise NotImplementedError
+
+    def start(self) -> "SimProcess":
+        def wrapped() -> Iterator:
+            generator = self.body()
+            try:
+                value = None
+                while True:
+                    value = yield generator.send(value)
+            except StopIteration as stop:
+                self.result = stop.value
+                self.done = True
+
+        self.simulator.spawn(wrapped(), label=self.label)
+        return self

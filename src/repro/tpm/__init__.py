@@ -1,0 +1,70 @@
+"""TPM v1.2 emulator (systems S4 and S5).
+
+A functionally honest software TPM: PCRs are real SHA-1 hash chains,
+quotes are real RSA-PKCS#1 v1.5 signatures over the serialized
+TPM_QUOTE_INFO structure, sealed blobs really are bound to PCR state and
+really fail to unseal anywhere else.  Command latency is charged to the
+shared virtual clock according to a per-vendor timing profile
+(:mod:`repro.tpm.timing`), modeled on published Flicker-era measurements
+of discrete v1.2 parts — TPM command cost is what dominates the paper's
+performance story, so this is the load-bearing part of the model.
+
+Modules
+-------
+constants    — localities, PCR layout, error codes.
+pcr          — the PCR bank with per-PCR locality policy.
+structures   — TPM wire structures and their serialization.
+keys         — key objects and the EK/SRK/AIK hierarchy.
+timing       — vendor latency profiles.
+device       — the command interface (`TpmDevice.execute`).
+nvram        — NV storage and monotonic counters.
+ca           — a Privacy CA issuing AIK credentials (S5).
+quote        — verifier-side helpers for checking quotes.
+"""
+
+from repro.tpm.constants import (
+    DYNAMIC_PCR_FIRST,
+    DYNAMIC_PCR_LAST,
+    NUM_PCRS,
+    PCR_DRTM_CODE,
+    PCR_DRTM_DATA,
+    TpmError,
+    TpmResult,
+)
+from repro.tpm.ca import AikCertificate, PrivacyCa
+from repro.tpm.device import TpmDevice
+from repro.tpm.keys import KeyUsage, TpmKey
+from repro.tpm.pcr import PcrBank
+from repro.tpm.quote import QuoteBundle, verify_quote
+from repro.tpm.structures import (
+    PcrComposite,
+    PcrSelection,
+    QuoteInfo,
+    SealedBlob,
+)
+from repro.tpm.timing import TimingProfile, vendor_profile, VENDOR_PROFILES
+
+__all__ = [
+    "NUM_PCRS",
+    "DYNAMIC_PCR_FIRST",
+    "DYNAMIC_PCR_LAST",
+    "PCR_DRTM_CODE",
+    "PCR_DRTM_DATA",
+    "TpmError",
+    "TpmResult",
+    "PcrBank",
+    "PcrSelection",
+    "PcrComposite",
+    "QuoteInfo",
+    "SealedBlob",
+    "TpmKey",
+    "KeyUsage",
+    "TpmDevice",
+    "TimingProfile",
+    "vendor_profile",
+    "VENDOR_PROFILES",
+    "PrivacyCa",
+    "AikCertificate",
+    "QuoteBundle",
+    "verify_quote",
+]

@@ -1,0 +1,162 @@
+"""Privacy CA: AIK enrollment and credential issuance (system S5).
+
+The paper assumes the platform owns an AIK certificate chained to a CA
+the service provider trusts.  We implement the TCG enrollment flow:
+
+1. The platform creates an AIK (TPM_MakeIdentity) and sends the AIK
+   public key plus its EK public key to the CA.
+2. The CA checks the EK against its manufacturer list, builds an AIK
+   certificate, encrypts a session key **to the EK** naming the AIK, and
+   returns (encrypted blob, certificate ciphertext).
+3. Only a TPM holding that EK *and* that AIK can run
+   TPM_ActivateIdentity to recover the session key and decrypt the
+   certificate — which is how the CA knows the AIK lives in a real TPM
+   without ever seeing the private halves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.oaep import oaep_encrypt
+from repro.crypto.pkcs1 import pkcs1_sign, pkcs1_verify
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
+from repro.crypto.stream import open_box, seal_box
+
+
+@dataclass(frozen=True)
+class AikCertificate:
+    """CA-signed binding of an AIK public key to a platform class."""
+
+    aik_public: RsaPublicKey
+    platform_class: str
+    signature: bytes
+
+    def signed_body(self) -> bytes:
+        return self.aik_public.to_bytes() + self.platform_class.encode("utf-8")
+
+    def verify(self, ca_public: RsaPublicKey) -> bool:
+        return pkcs1_verify(ca_public, self.signed_body(), self.signature)
+
+
+@dataclass(frozen=True)
+class EnrollmentResponse:
+    """What the CA returns: an EK-encrypted activation blob plus the
+    certificate encrypted under the contained session key."""
+
+    encrypted_activation: bytes
+    encrypted_certificate: bytes
+
+
+class EnrollmentError(ValueError):
+    """CA refused to enroll (unknown EK, malformed request)."""
+
+
+def derive_activation_key(seed: bytes) -> bytes:
+    """Session key derivation shared by the CA and the TPM."""
+    from repro.crypto.hmac_impl import hmac_sha256
+
+    return hmac_sha256(seed, b"aik-activation-session-key")
+
+
+class PrivacyCa:
+    """A certificate authority for attestation identity keys."""
+
+    def __init__(self, seed: int, key_bits: int = 512) -> None:
+        self._drbg = HmacDrbg(seed.to_bytes(8, "big"), personalization=b"privacy-ca")
+        self._keypair: RsaKeyPair = generate_rsa_keypair(key_bits, self._drbg)
+        self._known_eks: Set[bytes] = set()
+        self.certificates_issued = 0
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._keypair.public
+
+    def register_manufacturer_ek(self, ek_public: RsaPublicKey) -> None:
+        """Record an EK as genuine (the manufacturer-cert check)."""
+        self._known_eks.add(ek_public.fingerprint())
+
+    def enroll(
+        self,
+        aik_public: RsaPublicKey,
+        ek_public: RsaPublicKey,
+        platform_class: str = "pc-client-v1.2",
+    ) -> EnrollmentResponse:
+        """Issue an AIK credential, deliverable only to the genuine TPM."""
+        if ek_public.fingerprint() not in self._known_eks:
+            raise EnrollmentError("EK not on the manufacturer list")
+        certificate = AikCertificate(
+            aik_public=aik_public,
+            platform_class=platform_class,
+            signature=pkcs1_sign(
+                self._keypair,
+                aik_public.to_bytes() + platform_class.encode("utf-8"),
+            ),
+        )
+        # EK encryption uses OAEP; the AIK binding rides in the OAEP
+        # *label* (associated data), so only a TPM holding this EK AND
+        # activating exactly this AIK can recover the seed.  The session
+        # key is derived from the seed on both sides.
+        seed = self._drbg.generate(20)
+        session_key = derive_activation_key(seed)
+        activation = oaep_encrypt(
+            ek_public, seed, self._drbg, label=aik_public.fingerprint()
+        )
+        encrypted_certificate = seal_box(
+            session_key, _serialize_certificate(certificate), self._drbg.generate(16)
+        )
+        self.certificates_issued += 1
+        return EnrollmentResponse(
+            encrypted_activation=activation,
+            encrypted_certificate=encrypted_certificate,
+        )
+
+
+def serialize_certificate(certificate: AikCertificate) -> bytes:
+    """Length-prefixed encoding: aik || platform_class || signature.
+
+    Used both inside the CA's encrypted delivery and as the plain wire
+    form the client later presents to service providers.
+    """
+    parts = [
+        certificate.aik_public.to_bytes(),
+        certificate.platform_class.encode("utf-8"),
+        certificate.signature,
+    ]
+    return b"".join(len(part).to_bytes(4, "big") + part for part in parts)
+
+
+def deserialize_certificate(data: bytes) -> AikCertificate:
+    """Parse the plain wire form produced by :func:`serialize_certificate`."""
+    fields = []
+    offset = 0
+    for _ in range(3):
+        length = int.from_bytes(data[offset : offset + 4], "big")
+        fields.append(data[offset + 4 : offset + 4 + length])
+        offset += 4 + length
+    return AikCertificate(
+        aik_public=RsaPublicKey.from_bytes(fields[0]),
+        platform_class=fields[1].decode("utf-8"),
+        signature=fields[2],
+    )
+
+
+_serialize_certificate = serialize_certificate
+
+
+def decrypt_certificate(session_key: bytes, encrypted: bytes) -> AikCertificate:
+    """Client-side: decrypt the CA's certificate with the activated key."""
+    blob = open_box(session_key, encrypted)
+    fields = []
+    offset = 0
+    for _ in range(3):
+        length = int.from_bytes(blob[offset : offset + 4], "big")
+        fields.append(blob[offset + 4 : offset + 4 + length])
+        offset += 4 + length
+    return AikCertificate(
+        aik_public=RsaPublicKey.from_bytes(fields[0]),
+        platform_class=fields[1].decode("utf-8"),
+        signature=fields[2],
+    )

@@ -1,0 +1,81 @@
+"""TPM v1.2 constants, PCR layout and error codes.
+
+PCR usage follows the TCG PC Client and DRTM conventions the paper's
+platform used:
+
+* PCRs 0–15: static, reset only by TPM_Startup(CLEAR) at reboot.
+* PCR 16: debug.
+* **PCR 17**: DRTM — receives the measurement of the late-launched code
+  (the SLB/PAL).  Resettable only at locality 4, i.e. only by the
+  SKINIT microcode.  This one register carries the whole scheme.
+* **PCR 18**: DRTM data — the PAL extends its inputs/outputs here.
+* PCRs 19–22: additional dynamic PCRs.
+* PCR 23: application, resettable at any locality.
+"""
+
+from __future__ import annotations
+
+import enum
+
+NUM_PCRS = 24
+SHA1_SIZE = 20
+
+DYNAMIC_PCR_FIRST = 17
+DYNAMIC_PCR_LAST = 22
+
+PCR_DEBUG = 16
+PCR_DRTM_CODE = 17
+PCR_DRTM_DATA = 18
+PCR_APPLICATION = 23
+
+# Dynamic PCRs read as all-ones until a late launch has occurred, and are
+# reset to all-zeros by the locality-4 reset.  Static PCRs start at zero.
+DYNAMIC_PCR_DEFAULT = b"\xff" * SHA1_SIZE
+STATIC_PCR_DEFAULT = b"\x00" * SHA1_SIZE
+
+# Localities: 0 = ordinary software, 1 = dynamic OS, 2 = the late-launched
+# environment (PAL), 3 = auxiliary, 4 = CPU microcode during SKINIT.
+LOCALITY_SOFTWARE = 0
+LOCALITY_PAL = 2
+LOCALITY_MICROCODE = 4
+
+# Localities allowed to extend / reset each dynamic PCR (TCG DRTM spec,
+# simplified to the registers this reproduction uses).
+DYNAMIC_EXTEND_LOCALITIES = frozenset({2, 3, 4})
+DYNAMIC_RESET_LOCALITIES = frozenset({4})
+APPLICATION_RESET_LOCALITIES = frozenset({0, 1, 2, 3, 4})
+
+
+class TpmResult(enum.Enum):
+    """Outcome codes surfaced by TPM commands (subset of TPM_RESULT)."""
+
+    SUCCESS = 0
+    BAD_PARAMETER = 3
+    DEACTIVATED = 6
+    KEY_NOT_FOUND = 13
+    BAD_LOCALITY = 44
+    WRONG_PCR_VALUE = 24
+    AUTH_FAIL = 1
+    NO_SPACE = 17
+    INVALID_POSTINIT = 38
+
+
+class TpmError(RuntimeError):
+    """A TPM command failed; carries the TPM_RESULT code."""
+
+    def __init__(self, result: TpmResult, message: str) -> None:
+        super().__init__(f"{result.name}: {message}")
+        self.result = result
+
+
+def is_dynamic_pcr(index: int) -> bool:
+    """True for the DRTM-resettable registers (17–22)."""
+    return DYNAMIC_PCR_FIRST <= index <= DYNAMIC_PCR_LAST
+
+
+def validate_pcr_index(index: int) -> None:
+    """Raise TpmError(BAD_PARAMETER) for an out-of-range PCR index."""
+    if not 0 <= index < NUM_PCRS:
+        raise TpmError(
+            TpmResult.BAD_PARAMETER, f"PCR index {index} out of range 0..{NUM_PCRS-1}"
+        )

@@ -1,0 +1,125 @@
+"""TPM key objects and the EK/SRK hierarchy.
+
+Key material never leaves the device unwrapped: ``TPM_CreateWrapKey``
+returns the private half encrypted under its parent storage key, and
+``TPM_LoadKey2`` decrypts it back into a volatile slot.  The emulator
+reproduces that flow (with the repo's own crypto) because the
+trusted-path setup phase depends on it: the PAL's signing key exists
+outside the TPM only as a wrapped blob sealed to PCR state.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
+from repro.crypto.stream import open_box, seal_box
+
+
+class KeyUsage(enum.Enum):
+    """TPM_KEY_USAGE values this emulator supports."""
+
+    STORAGE = "storage"
+    SIGNING = "signing"
+    IDENTITY = "identity"  # AIK
+    ENDORSEMENT = "endorsement"
+
+
+@dataclass
+class TpmKey:
+    """A key living inside the TPM (or loadable into it).
+
+    ``wrap_secret`` is the symmetric secret a *storage* key uses to wrap
+    children (real TPMs use the RSA key itself with OAEP; the hybrid
+    substitution is documented in DESIGN.md and `repro.crypto.stream`).
+
+    ``usage_auth`` is the 20-byte OIAP usage secret; None (or the
+    well-known all-zero secret) means private-key use needs no
+    authorization.  It travels inside the wrapped blob, so a reloaded
+    key keeps its requirement.
+    """
+
+    usage: KeyUsage
+    keypair: RsaKeyPair
+    wrap_secret: Optional[bytes] = None
+    usage_auth: Optional[bytes] = None
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return self.keypair.public
+
+    def fingerprint(self) -> bytes:
+        return self.public.fingerprint()
+
+    @classmethod
+    def generate(
+        cls, usage: KeyUsage, drbg: HmacDrbg, bits: int
+    ) -> "TpmKey":
+        keypair = generate_rsa_keypair(bits, drbg)
+        wrap_secret = None
+        if usage in (KeyUsage.STORAGE, KeyUsage.ENDORSEMENT):
+            wrap_secret = drbg.generate(32)
+        return cls(usage=usage, keypair=keypair, wrap_secret=wrap_secret)
+
+
+def serialize_private(key: TpmKey) -> bytes:
+    """Serialize the private parameters for wrapping."""
+    fields = [
+        key.usage.value.encode("ascii"),
+        _int_bytes(key.keypair.public.n),
+        _int_bytes(key.keypair.public.e),
+        _int_bytes(key.keypair.d),
+        _int_bytes(key.keypair.p),
+        _int_bytes(key.keypair.q),
+        _int_bytes(key.keypair.d_p),
+        _int_bytes(key.keypair.d_q),
+        _int_bytes(key.keypair.q_inv),
+        key.wrap_secret or b"",
+        key.usage_auth or b"",
+    ]
+    return b"".join(struct.pack(">I", len(f)) + f for f in fields)
+
+
+def deserialize_private(blob: bytes) -> TpmKey:
+    """Rebuild a key from its serialized private parameters."""
+    fields = []
+    offset = 0
+    while offset < len(blob):
+        (length,) = struct.unpack(">I", blob[offset : offset + 4])
+        fields.append(blob[offset + 4 : offset + 4 + length])
+        offset += 4 + length
+    if len(fields) != 11:
+        raise ValueError(f"malformed private key blob ({len(fields)} fields)")
+    usage = KeyUsage(fields[0].decode("ascii"))
+    n, e, d, p, q, d_p, d_q, q_inv = (int.from_bytes(f, "big") for f in fields[1:9])
+    keypair = RsaKeyPair(
+        public=RsaPublicKey(n=n, e=e), d=d, p=p, q=q, d_p=d_p, d_q=d_q, q_inv=q_inv
+    )
+    return TpmKey(
+        usage=usage,
+        keypair=keypair,
+        wrap_secret=fields[9] or None,
+        usage_auth=fields[10] or None,
+    )
+
+
+def wrap_key(parent: TpmKey, child: TpmKey, nonce: bytes) -> bytes:
+    """Encrypt ``child``'s private half under ``parent``'s wrap secret."""
+    if parent.wrap_secret is None:
+        raise ValueError(f"{parent.usage.value} key cannot wrap children")
+    return seal_box(parent.wrap_secret, serialize_private(child), nonce)
+
+
+def unwrap_key(parent: TpmKey, wrapped: bytes) -> TpmKey:
+    """Decrypt a wrapped key blob under ``parent``."""
+    if parent.wrap_secret is None:
+        raise ValueError(f"{parent.usage.value} key cannot unwrap children")
+    return deserialize_private(open_box(parent.wrap_secret, wrapped))
+
+
+def _int_bytes(value: int) -> bytes:
+    return value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")

@@ -1,0 +1,85 @@
+"""TPM non-volatile storage and monotonic counters.
+
+The trusted-path client stores its sealed credential blob on the
+untrusted disk (that is safe — the blob is useless without the right PCR
+state), but the *monotonic counter* lives here: `repro.core` can use it
+to give confirmations a strictly increasing sequence number that malware
+cannot roll back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.tpm.constants import TpmError, TpmResult
+
+
+@dataclass
+class NvIndex:
+    """One defined NV index."""
+
+    index: int
+    size: int
+    auth_value: Optional[bytes]
+    data: bytes = b""
+
+
+class NvStorage:
+    """NV index space plus monotonic counters."""
+
+    MAX_TOTAL_BYTES = 1280  # v1.2 parts had ~1.2-2KB of NV
+
+    def __init__(self) -> None:
+        self._indices: Dict[int, NvIndex] = {}
+        self._counters: Dict[int, int] = {}
+
+    def define(self, index: int, size: int, auth_value: Optional[bytes]) -> None:
+        if index in self._indices:
+            raise TpmError(TpmResult.BAD_PARAMETER, f"NV index {index:#x} exists")
+        used = sum(entry.size for entry in self._indices.values())
+        if used + size > self.MAX_TOTAL_BYTES:
+            raise TpmError(
+                TpmResult.NO_SPACE,
+                f"NV space exhausted ({used}+{size} > {self.MAX_TOTAL_BYTES})",
+            )
+        self._indices[index] = NvIndex(index=index, size=size, auth_value=auth_value)
+
+    def write(self, index: int, data: bytes, auth: Optional[bytes]) -> None:
+        entry = self._require(index, auth)
+        if len(data) > entry.size:
+            raise TpmError(
+                TpmResult.BAD_PARAMETER,
+                f"write of {len(data)} bytes exceeds NV index size {entry.size}",
+            )
+        entry.data = data
+
+    def read(self, index: int, auth: Optional[bytes]) -> bytes:
+        return self._require(index, auth).data
+
+    def _require(self, index: int, auth: Optional[bytes]) -> NvIndex:
+        if index not in self._indices:
+            raise TpmError(TpmResult.BAD_PARAMETER, f"NV index {index:#x} undefined")
+        entry = self._indices[index]
+        if entry.auth_value is not None and auth != entry.auth_value:
+            raise TpmError(TpmResult.AUTH_FAIL, f"bad auth for NV index {index:#x}")
+        return entry
+
+    # -- monotonic counters -------------------------------------------------
+    def create_counter(self, counter_id: int) -> None:
+        if counter_id in self._counters:
+            raise TpmError(
+                TpmResult.BAD_PARAMETER, f"counter {counter_id} already exists"
+            )
+        self._counters[counter_id] = 0
+
+    def increment_counter(self, counter_id: int) -> int:
+        if counter_id not in self._counters:
+            raise TpmError(TpmResult.BAD_PARAMETER, f"no counter {counter_id}")
+        self._counters[counter_id] += 1
+        return self._counters[counter_id]
+
+    def read_counter(self, counter_id: int) -> int:
+        if counter_id not in self._counters:
+            raise TpmError(TpmResult.BAD_PARAMETER, f"no counter {counter_id}")
+        return self._counters[counter_id]

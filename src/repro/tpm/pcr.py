@@ -1,0 +1,105 @@
+"""The PCR bank.
+
+A PCR can only move forward: ``extend(i, m)`` sets
+``PCR[i] := SHA1(PCR[i] || m)``.  There is no assignment operation, so
+reaching a given value requires replaying the exact measurement sequence
+— the one-way property the trusted path's security reduces to.  Dynamic
+PCRs additionally enforce the DRTM locality policy: reset only at
+locality 4 (CPU microcode during SKINIT), extend only at localities 2–4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.crypto.sha1 import sha1
+from repro.tpm.constants import (
+    APPLICATION_RESET_LOCALITIES,
+    DYNAMIC_EXTEND_LOCALITIES,
+    DYNAMIC_PCR_DEFAULT,
+    DYNAMIC_RESET_LOCALITIES,
+    NUM_PCRS,
+    PCR_APPLICATION,
+    SHA1_SIZE,
+    STATIC_PCR_DEFAULT,
+    TpmError,
+    TpmResult,
+    is_dynamic_pcr,
+    validate_pcr_index,
+)
+
+
+class PcrBank:
+    """The 24 platform configuration registers of a v1.2 TPM."""
+
+    def __init__(self) -> None:
+        self._values: List[bytes] = []
+        self._extend_log: List[Tuple[int, bytes]] = []
+        self.startup_clear()
+
+    def startup_clear(self) -> None:
+        """TPM_Startup(ST_CLEAR): static PCRs to zero, dynamic to 0xFF.
+
+        The 0xFF default is how a verifier can tell "no late launch has
+        happened since boot" apart from "a late launch measured code
+        hashing to zero" — the states are distinguishable by design.
+        """
+        self._values = [
+            DYNAMIC_PCR_DEFAULT if is_dynamic_pcr(i) else STATIC_PCR_DEFAULT
+            for i in range(NUM_PCRS)
+        ]
+        self._extend_log.clear()
+
+    def read(self, index: int) -> bytes:
+        validate_pcr_index(index)
+        return self._values[index]
+
+    def extend(self, index: int, measurement: bytes, locality: int) -> bytes:
+        """Extend PCR ``index`` with a 20-byte ``measurement``."""
+        validate_pcr_index(index)
+        if len(measurement) != SHA1_SIZE:
+            raise TpmError(
+                TpmResult.BAD_PARAMETER,
+                f"measurement must be {SHA1_SIZE} bytes, got {len(measurement)}",
+            )
+        if is_dynamic_pcr(index) and locality not in DYNAMIC_EXTEND_LOCALITIES:
+            raise TpmError(
+                TpmResult.BAD_LOCALITY,
+                f"locality {locality} may not extend dynamic PCR {index}",
+            )
+        self._values[index] = sha1(self._values[index] + measurement)
+        self._extend_log.append((index, measurement))
+        return self._values[index]
+
+    def reset_dynamic(self, index: int, locality: int) -> None:
+        """Reset a resettable PCR to all-zeros (the locality-4 DRTM reset)."""
+        validate_pcr_index(index)
+        if is_dynamic_pcr(index):
+            allowed = DYNAMIC_RESET_LOCALITIES
+        elif index == PCR_APPLICATION:
+            allowed = APPLICATION_RESET_LOCALITIES
+        else:
+            raise TpmError(
+                TpmResult.BAD_PARAMETER, f"PCR {index} is not resettable"
+            )
+        if locality not in allowed:
+            raise TpmError(
+                TpmResult.BAD_LOCALITY,
+                f"locality {locality} may not reset PCR {index}",
+            )
+        self._values[index] = STATIC_PCR_DEFAULT
+
+    def values(self) -> Dict[int, bytes]:
+        return {index: value for index, value in enumerate(self._values)}
+
+    @property
+    def extend_log(self) -> List[Tuple[int, bytes]]:
+        """History of (index, measurement) extends since startup; the
+        emulator's analogue of a measurement log."""
+        return list(self._extend_log)
+
+    def __repr__(self) -> str:
+        interesting = {
+            i: self._values[i].hex()[:16] for i in (0, 17, 18) if i < NUM_PCRS
+        }
+        return f"PcrBank({interesting})"

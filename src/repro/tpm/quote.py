@@ -1,0 +1,94 @@
+"""Quote bundles and verifier-side quote checking.
+
+A :class:`QuoteBundle` is what travels to the service provider: the
+reported PCR values, the anti-replay external data, and the AIK
+signature over the reconstructed TPM_QUOTE_INFO.  :func:`verify_quote`
+performs exactly the checks a real verifier performs — rebuild the
+composite from the *reported* values, rebuild QUOTE_INFO, check the
+signature — so a forged value anywhere breaks the signature check.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.crypto.pkcs1 import pkcs1_verify
+from repro.crypto.rsa import RsaPublicKey
+from repro.tpm.constants import SHA1_SIZE
+from repro.tpm.structures import PcrComposite, PcrSelection, QuoteInfo
+
+
+@dataclass(frozen=True)
+class QuoteBundle:
+    """A TPM quote as shipped over the network."""
+
+    selection: PcrSelection
+    pcr_values: Tuple[bytes, ...]
+    external_data: bytes
+    signature: bytes
+    signer_fingerprint: bytes
+
+    def composite(self) -> PcrComposite:
+        return PcrComposite(selection=self.selection, values=self.pcr_values)
+
+    def reported_value(self, pcr_index: int) -> bytes:
+        return self.composite().value_of(pcr_index)
+
+    def to_bytes(self) -> bytes:
+        composite = self.composite().to_bytes()
+        parts = [
+            struct.pack(">I", len(composite)),
+            composite,
+            struct.pack(">I", len(self.external_data)),
+            self.external_data,
+            struct.pack(">I", len(self.signature)),
+            self.signature,
+            struct.pack(">I", len(self.signer_fingerprint)),
+            self.signer_fingerprint,
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "QuoteBundle":
+        fields = []
+        offset = 0
+        for _ in range(4):
+            (length,) = struct.unpack(">I", data[offset : offset + 4])
+            fields.append(data[offset + 4 : offset + 4 + length])
+            offset += 4 + length
+        composite = PcrComposite.from_bytes(fields[0])
+        return cls(
+            selection=composite.selection,
+            pcr_values=composite.values,
+            external_data=fields[1],
+            signature=fields[2],
+            signer_fingerprint=fields[3],
+        )
+
+
+def verify_quote(aik_public: RsaPublicKey, bundle: QuoteBundle) -> bool:
+    """Check an AIK signature over the bundle's reported PCR state.
+
+    Returns False rather than raising: callers decide policy.
+    """
+    if len(bundle.external_data) != SHA1_SIZE:
+        return False
+    if bundle.signer_fingerprint != aik_public.fingerprint():
+        return False
+    try:
+        quote_info = QuoteInfo(
+            composite_digest=bundle.composite().digest(),
+            external_data=bundle.external_data,
+        )
+    except Exception:
+        return False
+    return pkcs1_verify(aik_public, quote_info.to_bytes(), bundle.signature)
+
+
+def expected_pcr_values(
+    reported: Dict[int, bytes], policy: Dict[int, bytes]
+) -> bool:
+    """True iff every PCR the policy names has the required value."""
+    return all(reported.get(index) == value for index, value in policy.items())

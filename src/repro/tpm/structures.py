@@ -1,0 +1,251 @@
+"""TPM wire structures and their canonical serialization.
+
+Quotes sign the *serialized* TPM_QUOTE_INFO, and seal binds the
+*serialized* PCR composite — so these encodings are part of the security
+contract, not cosmetics.  The layouts follow the TPM 1.2 structures
+specification, simplified where fields are constant in this setting (we
+keep the tags and the fixed "QUOT" marker so a verifier checks exactly
+what a real verifier checks).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.crypto.sha1 import sha1
+from repro.tpm.constants import NUM_PCRS, SHA1_SIZE, TpmError, TpmResult
+
+QUOTE_FIXED_MARKER = b"QUOT"
+QUOTE_VERSION = bytes((1, 1, 0, 0))  # TPM_STRUCT_VER 1.1.0.0
+
+
+@dataclass(frozen=True)
+class PcrSelection:
+    """Which PCR indices a quote or seal covers (TPM_PCR_SELECTION)."""
+
+    indices: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.indices:
+            raise TpmError(TpmResult.BAD_PARAMETER, "empty PCR selection")
+        if len(set(self.indices)) != len(self.indices):
+            raise TpmError(TpmResult.BAD_PARAMETER, "duplicate PCR indices")
+        for index in self.indices:
+            if not 0 <= index < NUM_PCRS:
+                raise TpmError(
+                    TpmResult.BAD_PARAMETER, f"PCR index {index} out of range"
+                )
+        object.__setattr__(self, "indices", tuple(sorted(self.indices)))
+
+    def to_bytes(self) -> bytes:
+        """Bitmap encoding: 2-byte size, then little-endian-bit bitmap."""
+        size_of_select = (NUM_PCRS + 7) // 8
+        bitmap = bytearray(size_of_select)
+        for index in self.indices:
+            bitmap[index // 8] |= 1 << (index % 8)
+        return struct.pack(">H", size_of_select) + bytes(bitmap)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PcrSelection":
+        if len(data) < 2:
+            raise TpmError(TpmResult.BAD_PARAMETER, "truncated PCR selection")
+        (size_of_select,) = struct.unpack(">H", data[:2])
+        bitmap = data[2 : 2 + size_of_select]
+        indices = [
+            byte_index * 8 + bit
+            for byte_index, value in enumerate(bitmap)
+            for bit in range(8)
+            if value & (1 << bit)
+        ]
+        return cls(indices=tuple(indices))
+
+    @property
+    def encoded_length(self) -> int:
+        return 2 + (NUM_PCRS + 7) // 8
+
+
+@dataclass(frozen=True)
+class PcrComposite:
+    """Selected PCR values (TPM_PCR_COMPOSITE)."""
+
+    selection: PcrSelection
+    values: Tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.selection.indices):
+            raise TpmError(
+                TpmResult.BAD_PARAMETER,
+                f"{len(self.values)} values for "
+                f"{len(self.selection.indices)} selected PCRs",
+            )
+        for value in self.values:
+            if len(value) != SHA1_SIZE:
+                raise TpmError(
+                    TpmResult.BAD_PARAMETER, "PCR value must be 20 bytes"
+                )
+
+    @classmethod
+    def from_bank(cls, selection: PcrSelection, pcr_values: Dict[int, bytes]):
+        return cls(
+            selection=selection,
+            values=tuple(pcr_values[index] for index in selection.indices),
+        )
+
+    def to_bytes(self) -> bytes:
+        blob = b"".join(self.values)
+        return self.selection.to_bytes() + struct.pack(">I", len(blob)) + blob
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PcrComposite":
+        selection = PcrSelection.from_bytes(data)
+        offset = selection.encoded_length
+        (blob_len,) = struct.unpack(">I", data[offset : offset + 4])
+        blob = data[offset + 4 : offset + 4 + blob_len]
+        if len(blob) != blob_len or blob_len % SHA1_SIZE:
+            raise TpmError(TpmResult.BAD_PARAMETER, "malformed PCR composite")
+        values = tuple(
+            blob[i : i + SHA1_SIZE] for i in range(0, blob_len, SHA1_SIZE)
+        )
+        return cls(selection=selection, values=values)
+
+    def digest(self) -> bytes:
+        """TPM_COMPOSITE_HASH = SHA1(serialized composite)."""
+        return sha1(self.to_bytes())
+
+    def value_of(self, index: int) -> bytes:
+        try:
+            position = self.selection.indices.index(index)
+        except ValueError as exc:
+            raise KeyError(f"PCR {index} not in composite") from exc
+        return self.values[position]
+
+
+@dataclass(frozen=True)
+class QuoteInfo:
+    """TPM_QUOTE_INFO: what a quote actually signs.
+
+    version || 'QUOT' || composite-hash || external-data(nonce)
+    """
+
+    composite_digest: bytes
+    external_data: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.composite_digest) != SHA1_SIZE:
+            raise TpmError(
+                TpmResult.BAD_PARAMETER, "composite digest must be 20 bytes"
+            )
+        if len(self.external_data) != SHA1_SIZE:
+            raise TpmError(
+                TpmResult.BAD_PARAMETER,
+                "external data (anti-replay nonce) must be 20 bytes",
+            )
+
+    def to_bytes(self) -> bytes:
+        return (
+            QUOTE_VERSION
+            + QUOTE_FIXED_MARKER
+            + self.composite_digest
+            + self.external_data
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "QuoteInfo":
+        expected_length = 4 + 4 + SHA1_SIZE + SHA1_SIZE
+        if len(data) != expected_length:
+            raise TpmError(TpmResult.BAD_PARAMETER, "quote info length mismatch")
+        if data[:4] != QUOTE_VERSION or data[4:8] != QUOTE_FIXED_MARKER:
+            raise TpmError(TpmResult.BAD_PARAMETER, "bad quote info header")
+        return cls(
+            composite_digest=data[8 : 8 + SHA1_SIZE],
+            external_data=data[8 + SHA1_SIZE :],
+        )
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """Output of TPM_Seal: ciphertext bound to a PCR policy.
+
+    ``pcr_info_digest`` is the composite hash the TPM will require at
+    unseal time; ``ciphertext`` is the encrypted payload under the
+    storage key's internal secret.
+    """
+
+    selection: PcrSelection
+    pcr_info_digest: bytes
+    ciphertext: bytes
+    parent_key_fingerprint: bytes
+
+    def to_bytes(self) -> bytes:
+        parts = [
+            self.selection.to_bytes(),
+            self.pcr_info_digest,
+            struct.pack(">I", len(self.ciphertext)),
+            self.ciphertext,
+            struct.pack(">I", len(self.parent_key_fingerprint)),
+            self.parent_key_fingerprint,
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SealedBlob":
+        selection = PcrSelection.from_bytes(data)
+        offset = selection.encoded_length
+        digest = data[offset : offset + SHA1_SIZE]
+        offset += SHA1_SIZE
+        (ct_len,) = struct.unpack(">I", data[offset : offset + 4])
+        offset += 4
+        ciphertext = data[offset : offset + ct_len]
+        offset += ct_len
+        (fp_len,) = struct.unpack(">I", data[offset : offset + 4])
+        offset += 4
+        fingerprint = data[offset : offset + fp_len]
+        if len(ciphertext) != ct_len or len(fingerprint) != fp_len:
+            raise TpmError(TpmResult.BAD_PARAMETER, "truncated sealed blob")
+        return cls(
+            selection=selection,
+            pcr_info_digest=digest,
+            ciphertext=ciphertext,
+            parent_key_fingerprint=fingerprint,
+        )
+
+
+@dataclass(frozen=True)
+class CertifyInfo:
+    """TPM_CERTIFY_INFO (simplified): a key certified under PCR state.
+
+    Produced by TPM_CertifyKey inside a PAL session during the setup
+    phase; signed by the AIK, it binds a freshly generated signing key's
+    public half to the PCR composite that existed when it was created.
+    """
+
+    public_key_digest: bytes
+    composite_digest: bytes
+    external_data: bytes
+
+    MARKER = b"CERT"
+
+    def to_bytes(self) -> bytes:
+        return (
+            QUOTE_VERSION
+            + self.MARKER
+            + self.public_key_digest
+            + self.composite_digest
+            + self.external_data
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CertifyInfo":
+        expected = 4 + 4 + 3 * SHA1_SIZE
+        if len(data) != expected:
+            raise TpmError(TpmResult.BAD_PARAMETER, "certify info length mismatch")
+        if data[:4] != QUOTE_VERSION or data[4:8] != cls.MARKER:
+            raise TpmError(TpmResult.BAD_PARAMETER, "bad certify info header")
+        body = data[8:]
+        return cls(
+            public_key_digest=body[:SHA1_SIZE],
+            composite_digest=body[SHA1_SIZE : 2 * SHA1_SIZE],
+            external_data=body[2 * SHA1_SIZE :],
+        )

@@ -1,0 +1,183 @@
+"""Per-vendor TPM command latency profiles.
+
+The paper's performance story is dominated by TPM command cost, which in
+the v1.2 era varied enormously between vendors.  The numbers below are
+modeled on the published micro-benchmarks of discrete v1.2 parts in the
+Flicker work (McCune et al., EuroSys 2008, Table 1 and follow-ups),
+which measured Atmel, Broadcom, Infineon and STMicro TPMs.  We encode
+them as mean ± small jitter; absolute values are testbed-dependent but
+the *ordering and ratios* (quote is the costliest; unseal is close;
+vendors differ by 3–5x) are what the reproduction must preserve.
+
+All values are in seconds of virtual time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.latency import LatencyModel, NormalLatency
+
+
+@dataclass(frozen=True)
+class TimingProfile:
+    """Latency model per TPM command for one vendor part."""
+
+    vendor: str
+    command_latency: Dict[str, LatencyModel]
+    # Throughput of the LPC-attached hash interface used by SKINIT when
+    # it streams the SLB to the TPM, bytes/second.  This is why PAL size
+    # shows up in session latency (experiment F1).
+    slb_hash_bytes_per_second: float = 12.0e6
+
+    def latency_for(self, command: str, rng: random.Random) -> float:
+        """Sample the latency of ``command``; unknown commands cost the
+        baseline bus round-trip."""
+        model = self.command_latency.get(command)
+        if model is None:
+            model = self.command_latency["_default"]
+        return model.sample(rng)
+
+    def mean_latency(self, command: str) -> float:
+        model = self.command_latency.get(command)
+        if model is None:
+            model = self.command_latency["_default"]
+        return model.mean()
+
+
+def _profile(vendor: str, means_ms: Dict[str, float], slb_mbps: float) -> TimingProfile:
+    """Build a profile from mean milliseconds (sigma = 3% of the mean)."""
+    models: Dict[str, LatencyModel] = {
+        command: NormalLatency(mu=mean / 1000.0, sigma=0.03 * mean / 1000.0)
+        for command, mean in means_ms.items()
+    }
+    return TimingProfile(
+        vendor=vendor,
+        command_latency=models,
+        slb_hash_bytes_per_second=slb_mbps * 1e6,
+    )
+
+
+# Mean command latencies in milliseconds per vendor.  Modeled on the
+# Flicker-era published measurements; see module docstring.
+VENDOR_PROFILES: Dict[str, TimingProfile] = {
+    # Infineon SLB9635 (Lenovo T60 class): the fast part of the era.
+    "infineon": _profile(
+        "infineon",
+        {
+            "_default": 1.2,
+            "startup": 2.0,
+            "extend": 1.1,
+            "pcr_read": 0.8,
+            "get_random": 1.3,
+            "quote": 331.0,
+            "seal": 21.0,
+            "unseal": 391.0,
+            "create_wrap_key": 2350.0,
+            "load_key2": 680.0,
+            "sign": 189.0,
+            "make_identity": 3120.0,
+            "activate_identity": 570.0,
+            "certify_key": 340.0,
+            "nv_read": 1.4,
+            "nv_write": 2.2,
+            "increment_counter": 2.5,
+        },
+        slb_mbps=14.0,
+    ),
+    # Broadcom BCM5752 (Dell class): notoriously slow private-key ops.
+    "broadcom": _profile(
+        "broadcom",
+        {
+            "_default": 1.6,
+            "startup": 2.4,
+            "extend": 1.4,
+            "pcr_read": 1.0,
+            "get_random": 1.7,
+            "quote": 972.0,
+            "seal": 28.0,
+            "unseal": 905.0,
+            "create_wrap_key": 4900.0,
+            "load_key2": 1290.0,
+            "sign": 646.0,
+            "make_identity": 6200.0,
+            "activate_identity": 980.0,
+            "certify_key": 990.0,
+            "nv_read": 1.8,
+            "nv_write": 2.9,
+            "increment_counter": 3.1,
+        },
+        slb_mbps=9.0,
+    ),
+    # Atmel AT97SC3203 (HP class).
+    "atmel": _profile(
+        "atmel",
+        {
+            "_default": 1.4,
+            "startup": 2.1,
+            "extend": 1.2,
+            "pcr_read": 0.9,
+            "get_random": 1.5,
+            "quote": 793.0,
+            "seal": 24.0,
+            "unseal": 737.0,
+            "create_wrap_key": 3850.0,
+            "load_key2": 1050.0,
+            "sign": 502.0,
+            "make_identity": 5100.0,
+            "activate_identity": 830.0,
+            "certify_key": 810.0,
+            "nv_read": 1.6,
+            "nv_write": 2.6,
+            "increment_counter": 2.8,
+        },
+        slb_mbps=10.5,
+    ),
+    # STMicro ST19NP18 (mid-range).
+    "stmicro": _profile(
+        "stmicro",
+        {
+            "_default": 1.3,
+            "startup": 2.2,
+            "extend": 1.2,
+            "pcr_read": 0.9,
+            "get_random": 1.4,
+            "quote": 651.0,
+            "seal": 23.0,
+            "unseal": 571.0,
+            "create_wrap_key": 3100.0,
+            "load_key2": 880.0,
+            "sign": 398.0,
+            "make_identity": 4300.0,
+            "activate_identity": 720.0,
+            "certify_key": 660.0,
+            "nv_read": 1.5,
+            "nv_write": 2.4,
+            "increment_counter": 2.7,
+        },
+        slb_mbps=11.5,
+    ),
+}
+
+
+def vendor_profile(vendor: str) -> TimingProfile:
+    """Look up a vendor profile by name (case-insensitive)."""
+    key = vendor.lower()
+    if key not in VENDOR_PROFILES:
+        raise KeyError(
+            f"unknown TPM vendor {vendor!r}; have {sorted(VENDOR_PROFILES)}"
+        )
+    return VENDOR_PROFILES[key]
+
+
+def instant_profile() -> TimingProfile:
+    """A zero-latency profile for tests that assert behaviour, not time."""
+    from repro.sim.latency import ConstantLatency
+
+    return TimingProfile(
+        vendor="instant",
+        command_latency={"_default": ConstantLatency(0.0)},
+        slb_hash_bytes_per_second=float("inf"),
+    )

@@ -1,0 +1,12 @@
+"""Human user model (system S13).
+
+The paper's guarantee is about *humans at keyboards*, so experiments
+need a model of one: how long reading takes, whether the user actually
+verifies the displayed transaction, and how they respond to
+confirmation screens (genuine or spoofed — by construction the model
+cannot tell, which is the uni-directional concession).
+"""
+
+from repro.user.human import HumanUser, UserProfile
+
+__all__ = ["HumanUser", "UserProfile"]

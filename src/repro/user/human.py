@@ -1,0 +1,144 @@
+"""A human at the machine.
+
+:class:`HumanUser` implements the session's human-actor protocol: it is
+called with the visible screen text, reads it, decides, and presses
+physical keys on the keyboard controller.  Parameters come from a
+:class:`UserProfile`; the defaults are anchored to published
+human-factors constants (average adult silent reading ≈ 200–250 words
+per minute; captcha solving ≈ 9–15 s, Bursztein et al. 2010), which is
+the substitution DESIGN.md records for the paper's real users.
+
+The model deliberately keys its behaviour off the *rendered text only*:
+it accepts any screen that displays its intended transaction, whether a
+genuine PAL or malware painted it.  Distinguishing them is exactly what
+a human cannot do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.transaction import Transaction
+from repro.hardware.keyboard import Ps2KeyboardController, ScanCode
+
+
+@dataclass
+class UserProfile:
+    """Behavioural parameters of one user."""
+
+    words_per_second: float = 3.7  # ~220 wpm silent reading
+    decision_seconds_mean: float = 0.9
+    decision_seconds_sigma: float = 0.25
+    keystroke_seconds: float = 0.28
+    #: probability the user actually verifies the displayed fields
+    #: against their intention (1.0 = fully attentive).
+    attention: float = 1.0
+    #: average captcha solving time (Bursztein et al., ~9.8 s for text
+    #: captchas) and human solving accuracy.
+    captcha_solve_seconds_mean: float = 9.8
+    captcha_solve_seconds_sigma: float = 2.6
+    captcha_accuracy: float = 0.92
+
+    @classmethod
+    def careless(cls) -> "UserProfile":
+        """A user who confirms without reading carefully."""
+        return cls(attention=0.0, decision_seconds_mean=0.4)
+
+
+class HumanUser:
+    """The physical human: reads screens, presses physical keys."""
+
+    def __init__(
+        self,
+        keyboard: Ps2KeyboardController,
+        rng: random.Random,
+        profile: Optional[UserProfile] = None,
+    ) -> None:
+        self.keyboard = keyboard
+        self.rng = rng
+        self.profile = profile or UserProfile()
+        self.intention: Optional[Transaction] = None
+        self.intended_batch: Optional[List[Transaction]] = None
+        self.screens_seen: List[str] = []
+        self.decisions: List[str] = []
+
+    # ------------------------------------------------------------------
+    def intend(self, transaction: Transaction) -> None:
+        """The user decides to perform ``transaction``."""
+        self.intention = transaction
+        self.intended_batch: Optional[List[Transaction]] = None
+
+    def intend_batch(self, transactions: List[Transaction]) -> None:
+        """The user decides to perform several transactions at once
+        (batch confirmation extension)."""
+        self.intention = None
+        self.intended_batch = list(transactions)
+
+    # -- the session human-actor protocol -----------------------------------
+    def __call__(self, visible_text: str, max_wait: float) -> float:
+        """Look at the screen; maybe press keys; return think time."""
+        self.screens_seen.append(visible_text)
+        if "TRANSACTION CONFIRMATION" not in visible_text:
+            # Not a confirmation prompt (setup screen, noise): wait it out.
+            return max_wait
+        think = self._reading_seconds(visible_text) + self._decision_seconds()
+        if self._screen_matches_intention(visible_text):
+            self.decisions.append("accept")
+            self.keyboard.press_physical_key(ScanCode.KEY_Y)
+        else:
+            self.decisions.append("reject")
+            self.keyboard.press_physical_key(ScanCode.KEY_N)
+        return think + self.profile.keystroke_seconds
+
+    # ------------------------------------------------------------------
+    def _screen_matches_intention(self, visible_text: str) -> bool:
+        batch = getattr(self, "intended_batch", None)
+        if self.intention is None and not batch:
+            return False  # a prompt the user never asked for
+        if self.rng.random() >= self.profile.attention:
+            return True  # careless: confirms whatever is shown
+        # Attentive check: every intended display line must be shown —
+        # and, for a batch, nothing EXTRA may be shown (a rider
+        # transaction smuggled into the list is exactly what careful
+        # users exist to catch).
+        if batch:
+            intended_lines = [
+                line
+                for transaction in batch
+                for line in transaction.display_lines()[1:]
+            ]
+            shown_operations = sum(
+                1
+                for line in visible_text.splitlines()
+                if line.strip().startswith("operation :")
+            )
+            if shown_operations != len(batch):
+                return False
+        else:
+            intended_lines = self.intention.display_lines()[1:]  # skip banner
+        shown = {line.strip() for line in visible_text.splitlines()}
+        return all(line.strip() in shown for line in intended_lines)
+
+    def _reading_seconds(self, text: str) -> float:
+        words = max(len(text.split()), 1)
+        return words / self.profile.words_per_second
+
+    def _decision_seconds(self) -> float:
+        value = self.rng.normalvariate(
+            self.profile.decision_seconds_mean, self.profile.decision_seconds_sigma
+        )
+        return max(value, 0.1)
+
+    # -- captcha behaviour (baseline comparison, experiment F3) -------------
+    def solve_captcha(self) -> tuple:
+        """Return (solve_seconds, solved_correctly)."""
+        seconds = max(
+            self.rng.normalvariate(
+                self.profile.captcha_solve_seconds_mean,
+                self.profile.captcha_solve_seconds_sigma,
+            ),
+            1.0,
+        )
+        return seconds, self.rng.random() < self.profile.captcha_accuracy

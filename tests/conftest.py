@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+World construction costs real seconds (RSA key generation for EK, SRK,
+AIK, CA), so read-mostly integration tests share module- or
+session-scoped worlds, while tests that mutate state build fresh ones
+through the `fresh_world` factory.  Pure unit tests use the cheap
+`instant_tpm` / `simulator` fixtures and never pay for a world.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.world import TrustedPathWorld, WorldConfig
+from repro.hardware.machine import Machine
+from repro.sim import Simulator
+from repro.tpm.device import TpmDevice
+from repro.tpm.timing import instant_profile, vendor_profile
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def instant_tpm(simulator: Simulator) -> TpmDevice:
+    """A started TPM with zero command latency (behavioural tests)."""
+    tpm = TpmDevice(
+        clock=simulator.clock,
+        profile=instant_profile(),
+        seed=simulator.rng.derive_seed("test-tpm"),
+    )
+    tpm.startup()
+    return tpm
+
+
+@pytest.fixture
+def timed_tpm(simulator: Simulator) -> TpmDevice:
+    """A started TPM with the Infineon latency profile (timing tests)."""
+    tpm = TpmDevice(
+        clock=simulator.clock,
+        profile=vendor_profile("infineon"),
+        seed=simulator.rng.derive_seed("test-tpm-timed"),
+    )
+    tpm.startup()
+    return tpm
+
+
+@pytest.fixture
+def machine(simulator: Simulator) -> Machine:
+    """A powered-on machine with an instant-latency TPM."""
+    tpm = TpmDevice(
+        clock=simulator.clock,
+        profile=instant_profile(),
+        seed=simulator.rng.derive_seed("machine-tpm"),
+    )
+    built = Machine(tpm)
+    built.power_on()
+    return built
+
+
+@pytest.fixture
+def fresh_world():
+    """Factory for fully wired worlds; each call is independent."""
+
+    def build(seed: int = 7, vendor: str = "infineon", **overrides) -> TrustedPathWorld:
+        config = WorldConfig(seed=seed, vendor=vendor, **overrides)
+        return TrustedPathWorld(config)
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def shared_ready_world() -> TrustedPathWorld:
+    """A module-scoped world that completed enrollment and setup.
+
+    Tests using it must only *add* transactions (never rely on absolute
+    balances or transaction counts).
+    """
+    return TrustedPathWorld(WorldConfig(seed=4242)).ready()

@@ -1,0 +1,185 @@
+"""Baseline schemes: captcha, password, iTAN — mechanics and weaknesses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.captcha import CaptchaFarm, CaptchaService, OcrBot
+from repro.baselines.password import PasswordConfirmation
+from repro.baselines.tan import TanScheme
+from repro.crypto import HmacDrbg, sha1
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def captcha_service():
+    return CaptchaService(HmacDrbg(b"captcha-tests"), difficulty=0.5)
+
+
+class TestCaptchaService:
+    def test_correct_answer_passes_once(self, captcha_service):
+        challenge = captcha_service.issue()
+        assert captcha_service.grade(challenge.challenge_id, challenge.answer)
+        # Single use: the same challenge cannot be passed twice.
+        assert not captcha_service.grade(challenge.challenge_id, challenge.answer)
+
+    def test_wrong_answer_fails(self, captcha_service):
+        challenge = captcha_service.issue()
+        assert not captcha_service.grade(challenge.challenge_id, "wrong!")
+
+    def test_unknown_challenge_fails(self, captcha_service):
+        assert not captcha_service.grade(b"ghost", "anything")
+
+    def test_answers_from_alphabet(self, captcha_service):
+        challenge = captcha_service.issue()
+        assert len(challenge.answer) == CaptchaService.ANSWER_LENGTH
+        assert all(c in CaptchaService.ANSWER_ALPHABET for c in challenge.answer)
+
+    def test_difficulty_validated(self):
+        with pytest.raises(ValueError):
+            CaptchaService(HmacDrbg(b"x"), difficulty=1.5)
+
+    def test_counters(self, captcha_service):
+        challenge = captcha_service.issue()
+        captcha_service.grade(challenge.challenge_id, challenge.answer)
+        assert captcha_service.issued == 1 and captcha_service.passed == 1
+
+
+class TestOcrBot:
+    def test_solve_rate_calibrated(self):
+        sim = Simulator(seed=5)
+        service = CaptchaService(HmacDrbg(b"rate"), difficulty=0.0)
+        bot = OcrBot(sim.rng.stream("bot"), base_solve_rate=0.4)
+        solved = 0
+        trials = 600
+        for _ in range(trials):
+            challenge = service.issue()
+            _, answer = bot.solve(challenge)
+            if service.grade(challenge.challenge_id, answer):
+                solved += 1
+        assert solved / trials == pytest.approx(0.4, abs=0.07)
+
+    def test_difficulty_lowers_rate(self):
+        sim = Simulator(seed=6)
+        bot = OcrBot(sim.rng.stream("bot"), base_solve_rate=0.5)
+        assert bot.effective_rate(1.0) == pytest.approx(0.25)
+        assert bot.effective_rate(0.0) == pytest.approx(0.5)
+
+    def test_rate_validated(self):
+        sim = Simulator(seed=7)
+        with pytest.raises(ValueError):
+            OcrBot(sim.rng.stream("b"), base_solve_rate=1.5)
+
+    def test_farm_solves_accurately_but_slowly(self):
+        sim = Simulator(seed=8)
+        service = CaptchaService(HmacDrbg(b"farm"), difficulty=0.9)
+        farm = CaptchaFarm(sim.rng.stream("farm"))
+        solved = 0
+        for _ in range(200):
+            challenge = service.issue()
+            seconds, answer = farm.solve(challenge)
+            assert seconds >= 3.0
+            if service.grade(challenge.challenge_id, answer):
+                solved += 1
+        assert solved / 200 > 0.9  # difficulty does not stop humans
+        assert farm.spent_cents == 200
+
+
+class TestPassword:
+    def test_confirm(self):
+        gate = PasswordConfirmation()
+        gate.enroll("alice", "pw")
+        assert gate.confirm("alice", "pw")
+        assert not gate.confirm("alice", "wrong")
+        assert not gate.confirm("ghost", "pw")
+
+    def test_replayable_forever(self):
+        """The structural weakness: a stolen password works N times."""
+        gate = PasswordConfirmation()
+        gate.enroll("alice", "pw")
+        stolen = "pw"
+        assert all(gate.confirm("alice", stolen) for _ in range(10))
+
+
+class TestTan:
+    @pytest.fixture
+    def scheme(self):
+        return TanScheme(HmacDrbg(b"tan-tests"))
+
+    def test_happy_path(self, scheme):
+        tan_list = scheme.enroll("alice")
+        index = scheme.challenge("alice", tx_digest=sha1(b"tx"))
+        assert scheme.confirm("alice", tan_list.code_at(index), sha1(b"tx"))
+
+    def test_wrong_code_rejected(self, scheme):
+        scheme.enroll("alice")
+        scheme.challenge("alice", tx_digest=sha1(b"tx"))
+        assert not scheme.confirm("alice", "999999", sha1(b"tx"))
+
+    def test_codes_single_use(self, scheme):
+        tan_list = scheme.enroll("alice")
+        index = scheme.challenge("alice", tx_digest=sha1(b"tx"))
+        code = tan_list.code_at(index)
+        assert scheme.confirm("alice", code, sha1(b"tx"))
+        # Force the same index again by marking the rest used: instead,
+        # simply verify the used index is recorded.
+        assert index in tan_list.used_indices
+
+    def test_no_pending_challenge_rejected(self, scheme):
+        scheme.enroll("alice")
+        assert not scheme.confirm("alice", "123456", sha1(b"tx"))
+
+    def test_content_not_bound_THE_FLAW(self, scheme):
+        """The structural flaw the trusted path fixes: the provider's
+        tx_digest can change between challenge and confirm and the TAN
+        still verifies."""
+        tan_list = scheme.enroll("alice")
+        index = scheme.challenge("alice", tx_digest=sha1(b"pay bob 10"))
+        altered = sha1(b"pay mule 99999")
+        assert scheme.confirm("alice", tan_list.code_at(index), altered)
+
+    def test_fresh_indices_unused(self, scheme):
+        tan_list = scheme.enroll("alice")
+        seen = set()
+        for i in range(30):
+            index = scheme.challenge("alice", tx_digest=sha1(b"%d" % i))
+            assert index not in tan_list.used_indices
+            seen.add(index)
+            scheme.confirm("alice", tan_list.code_at(index), sha1(b"%d" % i))
+        assert len(seen) == 30
+
+
+class TestMobileTan:
+    @pytest.fixture
+    def scheme(self):
+        from repro.baselines.tan import MobileTanScheme
+
+        return MobileTanScheme(HmacDrbg(b"mtan-tests"))
+
+    def test_happy_path(self, scheme):
+        digest = sha1(b"pay bob 20")
+        message = scheme.challenge("alice", digest, "pay bob 20.00")
+        assert scheme.confirm("alice", message.code, digest)
+
+    def test_content_IS_bound_unlike_itan(self, scheme):
+        """The fix iTAN lacks: a code spent on different content fails."""
+        digest = sha1(b"pay bob 20")
+        message = scheme.challenge("alice", digest, "pay bob 20.00")
+        assert not scheme.confirm("alice", message.code, sha1(b"pay mule 9999"))
+
+    def test_phone_displays_the_real_content(self, scheme):
+        """The alteration is visible on the independent device."""
+        altered = sha1(b"altered")
+        message = scheme.challenge("alice", altered, "transfer 4500.00 to mule")
+        assert "mule" in message.display_text
+
+    def test_code_single_use(self, scheme):
+        digest = sha1(b"once")
+        message = scheme.challenge("alice", digest, "x")
+        assert scheme.confirm("alice", message.code, digest)
+        assert not scheme.confirm("alice", message.code, digest)
+
+    def test_wrong_code_rejected(self, scheme):
+        digest = sha1(b"t")
+        scheme.challenge("alice", digest, "x")
+        assert not scheme.confirm("alice", "999999", digest)

@@ -1,0 +1,150 @@
+"""The batch-confirmation extension: one session, N transactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.world import TrustedPathWorld, WorldConfig
+from repro.core.errors import ConfirmationRejected
+from repro.net.rpc import RpcError
+from repro.server.provider import TxStatus
+
+
+@pytest.fixture(scope="module")
+def world() -> TrustedPathWorld:
+    return TrustedPathWorld(WorldConfig(seed=9090)).ready()
+
+
+def _batch(world, count, prefix="batch", amount=100):
+    return [
+        world.sample_transfer(amount_cents=amount + i, to=f"{prefix}-{i}")
+        for i in range(count)
+    ]
+
+
+class TestBatchHappyPath:
+    def test_all_members_execute(self, world):
+        transactions = _batch(world, 4, prefix="bh")
+        world.human.intend_batch(transactions)
+        outcome = world.client.confirm_batch(world.bank.endpoint, transactions)
+        assert outcome.executed
+        for index in range(4):
+            assert world.bank.balance_of(f"bh-{index}") == 100 + index
+
+    def test_one_session_covers_the_batch(self, world):
+        sessions_before = world.flicker.sessions_run
+        transactions = _batch(world, 5, prefix="bs")
+        world.human.intend_batch(transactions)
+        world.client.confirm_batch(world.bank.endpoint, transactions)
+        assert world.flicker.sessions_run == sessions_before + 1
+
+    def test_quote_variant_batches_too(self, world):
+        transactions = _batch(world, 2, prefix="bq")
+        world.human.intend_batch(transactions)
+        outcome = world.client.confirm_batch(
+            world.bank.endpoint, transactions, mode="quote"
+        )
+        assert outcome.executed
+
+    def test_pagination_reaches_the_human(self, world):
+        """A 6-transaction batch spans multiple display pages; the
+        attentive user still sees every line and accepts."""
+        transactions = _batch(world, 6, prefix="bp")
+        world.human.intend_batch(transactions)
+        outcome = world.client.confirm_batch(world.bank.endpoint, transactions)
+        assert outcome.executed
+        # The session really produced multiple PAL frames.
+        pal_frames = [o for o, _s in world.machine.display.frames if o == "pal"]
+        assert len(pal_frames) >= 2
+
+
+class TestBatchRejection:
+    def test_unintended_member_rejects_whole_batch(self, world):
+        transactions = _batch(world, 3, prefix="br")
+        # The user intended only the first two: the third is malware's.
+        world.human.intend_batch(transactions[:2])
+        outcome = world.client.confirm_batch(world.bank.endpoint, transactions)
+        assert outcome.decision == b"reject"
+        for index in range(3):
+            assert world.bank.balance_of(f"br-{index}") == 0
+
+    def test_all_or_nothing_on_denial(self, world):
+        """Forged evidence denies every member, none executes."""
+        from repro.core.protocol import build_transaction_request
+        from repro.net.messages import encode_message
+
+        transactions = _batch(world, 3, prefix="bd")
+        encoded = [
+            encode_message(build_transaction_request(t)) for t in transactions
+        ]
+        response = world.browser.call(
+            world.bank.endpoint, "tx.request_batch", {"transactions": encoded}
+        )
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm_batch",
+                {
+                    "tx_id": response["tx_id"],
+                    "decision": b"accept",
+                    "evidence": "signed",
+                    "signature": b"\x00" * 64,
+                },
+            )
+        batch = world.bank.batches[response["tx_id"]]
+        assert batch.status is TxStatus.DENIED
+        for tx_id in batch.tx_ids:
+            assert world.bank.transactions[tx_id].status is TxStatus.DENIED
+
+    def test_nonce_single_use_across_batch(self, world):
+        """Replaying a confirmed batch's evidence is rejected."""
+        transactions = _batch(world, 2, prefix="bn", amount=50)
+        world.human.intend_batch(transactions)
+        outcome = world.client.confirm_batch(world.bank.endpoint, transactions)
+        assert outcome.executed
+        # Resubmit the same evidence for the same (already executed) batch.
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm_batch",
+                {
+                    "tx_id": list(world.bank.batches.keys())[-1],
+                    "decision": b"accept",
+                    "evidence": "signed",
+                    "signature": outcome.session.outputs["signature"],
+                },
+            )
+
+
+class TestBatchValidation:
+    def test_empty_batch_rejected(self, world):
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.request_batch", {"transactions": []}
+            )
+
+    def test_oversized_batch_rejected(self, world):
+        from repro.core.protocol import build_transaction_request
+        from repro.net.messages import encode_message
+
+        encoded = [
+            encode_message(
+                build_transaction_request(world.sample_transfer(amount_cents=1))
+            )
+        ] * 17
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.request_batch", {"transactions": encoded}
+            )
+
+    def test_invalid_member_rejects_request(self, world):
+        from repro.core.protocol import build_transaction_request
+        from repro.net.messages import encode_message
+        from repro.core import Transaction
+
+        bad = Transaction(
+            "transfer", world.config.account, {"to": "x", "amount": -1}
+        )
+        encoded = [encode_message(build_transaction_request(bad))]
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.request_batch", {"transactions": encoded}
+            )

@@ -1,0 +1,149 @@
+"""The anti-rollback monotonic-counter extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.world import TrustedPathWorld, WorldConfig
+from repro.core.confirmation_pal import confirmation_digest
+from repro.core.protocol import EVIDENCE_QUOTE
+from repro.net.rpc import RpcError
+
+
+@pytest.fixture(scope="module")
+def counter_world() -> TrustedPathWorld:
+    world = TrustedPathWorld(WorldConfig(seed=2525)).ready()
+    world.policy.require_monotonic_counter = True
+    world.client.enable_monotonic_counter()
+    return world
+
+
+class TestDigestExtension:
+    def test_counter_changes_digest(self):
+        base = confirmation_digest(b"t", b"n" * 20, b"accept")
+        with_counter = confirmation_digest(b"t", b"n" * 20, b"accept", counter=1)
+        assert base != with_counter
+        assert with_counter != confirmation_digest(
+            b"t", b"n" * 20, b"accept", counter=2
+        )
+
+    def test_default_is_base_protocol(self):
+        assert confirmation_digest(b"t", b"n" * 20, b"accept") == (
+            confirmation_digest(b"t", b"n" * 20, b"accept", counter=-1)
+        )
+
+
+class TestCounterFlow:
+    def test_confirmations_carry_increasing_counters(self, counter_world):
+        world = counter_world
+        values = []
+        for index in range(3):
+            outcome = world.confirm(
+                world.sample_transfer(amount_cents=100 + index, to=f"c{index}")
+            )
+            assert outcome.executed
+            values.append(
+                int.from_bytes(outcome.session.outputs["counter"], "big")
+            )
+        assert values == sorted(values)
+        assert len(set(values)) == 3
+
+    def test_quote_variant_also_works(self, counter_world):
+        outcome = counter_world.confirm(
+            counter_world.sample_transfer(amount_cents=55, to="qc"),
+            mode=EVIDENCE_QUOTE,
+        )
+        assert outcome.executed
+
+    def test_server_tracks_last_counter(self, counter_world):
+        record = counter_world.bank.accounts[counter_world.config.account]
+        assert record.last_counter > 0
+
+    def test_stale_counter_rejected(self, counter_world):
+        """Evidence whose counter does not advance is denied before any
+        crypto runs — the rollback gate."""
+        world = counter_world
+        from repro.core.protocol import build_transaction_request
+
+        response = world.browser.call(
+            world.bank.endpoint, "tx.request",
+            build_transaction_request(
+                world.sample_transfer(amount_cents=77, to="stale")
+            ),
+        )
+        record = world.bank.accounts[world.config.account]
+        with pytest.raises(RpcError) as err:
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm",
+                {
+                    "tx_id": response["tx_id"],
+                    "decision": b"accept",
+                    "evidence": "signed",
+                    "signature": b"\x00" * 64,
+                    "counter": record.last_counter,  # not advanced
+                },
+            )
+        assert "rollback" in str(err.value)
+
+    def test_missing_counter_rejected_when_required(self, counter_world):
+        world = counter_world
+        from repro.core.protocol import build_transaction_request
+
+        response = world.browser.call(
+            world.bank.endpoint, "tx.request",
+            build_transaction_request(
+                world.sample_transfer(amount_cents=78, to="nc")
+            ),
+        )
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm",
+                {
+                    "tx_id": response["tx_id"],
+                    "decision": b"accept",
+                    "evidence": "signed",
+                    "signature": b"\x00" * 64,
+                },
+            )
+
+    def test_counter_is_inside_the_signed_digest(self, counter_world):
+        """Forging a higher counter on valid evidence breaks the
+        signature: the counter is not a free-floating field."""
+        world = counter_world
+        outcome = world.confirm(
+            world.sample_transfer(amount_cents=79, to="forge-counter")
+        )
+        assert outcome.executed
+        # Take the valid evidence, bump the claimed counter, resubmit
+        # against a fresh transaction.
+        from repro.core.protocol import build_transaction_request
+
+        response = world.browser.call(
+            world.bank.endpoint, "tx.request",
+            build_transaction_request(
+                world.sample_transfer(amount_cents=80, to="forge-counter")
+            ),
+        )
+        claimed = int.from_bytes(outcome.session.outputs["counter"], "big") + 1000
+        with pytest.raises(RpcError) as err:
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm",
+                {
+                    "tx_id": response["tx_id"],
+                    "decision": b"accept",
+                    "evidence": "signed",
+                    "signature": outcome.session.outputs["signature"],
+                    "counter": claimed,
+                },
+            )
+        assert "signature" in str(err.value)
+
+
+class TestBaseProtocolUnaffected:
+    def test_counterless_deployment_still_works(self, fresh_world):
+        world = fresh_world(seed=2526)
+        world.ready()
+        assert world.policy.require_monotonic_counter is False
+        outcome = world.confirm(world.sample_transfer(amount_cents=5))
+        assert outcome.executed
+        assert "counter" not in outcome.session.outputs

@@ -1,0 +1,101 @@
+"""Protocol message builders/parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Transaction
+from repro.core.errors import ProtocolError
+from repro.core.protocol import (
+    EVIDENCE_QUOTE,
+    EVIDENCE_SIGNED,
+    build_confirmation_submission,
+    build_setup_completion,
+    build_transaction_request,
+    parse_challenge,
+    transaction_from_request,
+)
+
+
+class TestTransactionRequest:
+    def test_roundtrip(self):
+        tx = Transaction("transfer", "alice", {"to": "bob", "amount": 10})
+        assert transaction_from_request(build_transaction_request(tx)) == tx
+
+    def test_request_fields_prefixed(self):
+        tx = Transaction("transfer", "alice", {"to": "bob"})
+        request = build_transaction_request(tx)
+        assert request["f.to"] == "bob"
+        assert request["kind"] == "transfer"
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            transaction_from_request({"account": "alice"})
+
+    def test_extraneous_keys_ignored(self):
+        tx = transaction_from_request(
+            {"kind": "transfer", "account": "a", "f.to": "b", "session": b"c"}
+        )
+        assert tx.fields == {"to": "b"}
+
+
+class TestConfirmationSubmission:
+    def test_signed_shape(self):
+        submission = build_confirmation_submission(
+            b"id", b"accept", EVIDENCE_SIGNED, {"signature": b"sig"}
+        )
+        assert submission == {
+            "tx_id": b"id", "decision": b"accept",
+            "evidence": "signed", "signature": b"sig",
+        }
+
+    def test_quote_shape(self):
+        submission = build_confirmation_submission(
+            b"id", b"reject", EVIDENCE_QUOTE, {"quote": b"bundle"}
+        )
+        assert submission["quote"] == b"bundle"
+        assert submission["evidence"] == "quote"
+
+    def test_unknown_evidence_rejected(self):
+        with pytest.raises(ProtocolError):
+            build_confirmation_submission(b"id", b"accept", "vibes", {})
+
+
+class TestSetupCompletion:
+    def test_shape(self):
+        outputs = {"public_key": b"pk", "quote": b"q", "sealed_credential": b"s"}
+        completion = build_setup_completion(outputs, b"n" * 20)
+        assert completion == {
+            "public_key": b"pk", "quote": b"q", "nonce": b"n" * 20
+        }
+        # The sealed credential stays client-side, never on the wire.
+        assert "sealed_credential" not in completion
+
+    def test_missing_outputs_rejected(self):
+        with pytest.raises(ProtocolError):
+            build_setup_completion({"public_key": b"pk"}, b"n" * 20)
+
+
+class TestParseChallenge:
+    def test_valid(self):
+        challenge = parse_challenge(
+            {"tx_id": b"id", "nonce": b"n" * 20, "text": "shown text", "ok": 1}
+        )
+        assert challenge["text"] == b"shown text"
+        assert challenge["nonce"] == b"n" * 20
+
+    def test_bytes_text_passthrough(self):
+        challenge = parse_challenge(
+            {"tx_id": b"id", "nonce": b"n" * 20, "text": b"bytes text"}
+        )
+        assert challenge["text"] == b"bytes text"
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_challenge({"tx_id": b"id", "text": "x"})
+
+    def test_bad_nonce_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_challenge({"tx_id": b"id", "nonce": b"short", "text": "x"})
+        with pytest.raises(ProtocolError):
+            parse_challenge({"tx_id": b"id", "nonce": "str" * 7, "text": "x"})

@@ -1,0 +1,89 @@
+"""RSAES-OAEP."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import HmacDrbg, generate_rsa_keypair
+from repro.crypto.oaep import OaepError, mgf1, oaep_decrypt, oaep_encrypt
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(512, HmacDrbg(b"oaep-key"))
+
+
+@pytest.fixture(scope="module")
+def other_keypair():
+    return generate_rsa_keypair(512, HmacDrbg(b"oaep-other"))
+
+
+class TestMgf1:
+    def test_deterministic_and_length_exact(self):
+        assert mgf1(b"seed", 10) == mgf1(b"seed", 10)
+        assert len(mgf1(b"seed", 100)) == 100
+        assert mgf1(b"seed", 100)[:10] == mgf1(b"seed", 10)
+
+    def test_seed_sensitivity(self):
+        assert mgf1(b"a", 20) != mgf1(b"b", 20)
+
+
+class TestOaep:
+    def test_roundtrip(self, keypair):
+        ciphertext = oaep_encrypt(keypair.public, b"secret", HmacDrbg(b"r"))
+        assert oaep_decrypt(keypair, ciphertext) == b"secret"
+
+    def test_empty_message(self, keypair):
+        ciphertext = oaep_encrypt(keypair.public, b"", HmacDrbg(b"r"))
+        assert oaep_decrypt(keypair, ciphertext) == b""
+
+    def test_randomized_encryption(self, keypair):
+        drbg = HmacDrbg(b"r")
+        a = oaep_encrypt(keypair.public, b"same", drbg)
+        b = oaep_encrypt(keypair.public, b"same", drbg)
+        assert a != b  # fresh seed per encryption
+        assert oaep_decrypt(keypair, a) == oaep_decrypt(keypair, b) == b"same"
+
+    def test_label_binding(self, keypair):
+        ciphertext = oaep_encrypt(
+            keypair.public, b"m", HmacDrbg(b"r"), label=b"TCPA"
+        )
+        with pytest.raises(OaepError):
+            oaep_decrypt(keypair, ciphertext, label=b"OTHER")
+
+    def test_wrong_key_fails(self, keypair, other_keypair):
+        ciphertext = oaep_encrypt(keypair.public, b"m", HmacDrbg(b"r"))
+        with pytest.raises(OaepError):
+            oaep_decrypt(other_keypair, ciphertext)
+
+    def test_tampering_fails_uniformly(self, keypair):
+        ciphertext = bytearray(
+            oaep_encrypt(keypair.public, b"message", HmacDrbg(b"r"))
+        )
+        messages = set()
+        for position in (0, len(ciphertext) // 2, len(ciphertext) - 1):
+            tampered = bytearray(ciphertext)
+            tampered[position] ^= 0x01
+            with pytest.raises(OaepError) as err:
+                oaep_decrypt(keypair, bytes(tampered))
+            messages.add(str(err.value))
+        # Manger countermeasure: one indistinguishable error message.
+        assert messages == {"decryption error"}
+
+    def test_too_long_rejected(self, keypair):
+        limit = keypair.byte_length - 2 * 20 - 2
+        with pytest.raises(ValueError):
+            oaep_encrypt(keypair.public, b"x" * (limit + 1), HmacDrbg(b"r"))
+
+    def test_max_length_ok(self, keypair):
+        limit = keypair.byte_length - 2 * 20 - 2
+        message = b"y" * limit
+        ciphertext = oaep_encrypt(keypair.public, message, HmacDrbg(b"r"))
+        assert oaep_decrypt(keypair, ciphertext) == message
+
+    @given(st.binary(max_size=22))
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip(self, keypair, message):
+        ciphertext = oaep_encrypt(keypair.public, message, HmacDrbg(b"seed"))
+        assert oaep_decrypt(keypair, ciphertext) == message

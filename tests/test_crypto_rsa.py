@@ -1,0 +1,198 @@
+"""RSA, PKCS#1, primes, and the sealing stream cipher."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    AuthenticationError,
+    HmacDrbg,
+    SignatureError,
+    generate_prime,
+    generate_rsa_keypair,
+    is_probable_prime,
+    open_box,
+    pkcs1_decrypt,
+    pkcs1_encrypt,
+    pkcs1_sign,
+    pkcs1_verify,
+    seal_box,
+    sha1,
+)
+from repro.crypto.pkcs1 import require_valid_signature
+from repro.crypto.rsa import RsaPublicKey
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(512, HmacDrbg(b"test-rsa"))
+
+
+@pytest.fixture(scope="module")
+def other_keypair():
+    return generate_rsa_keypair(512, HmacDrbg(b"other-rsa"))
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 7, 97, 7919, 104729):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for c in (0, 1, 4, 100, 561, 7917, 104730):
+            assert not is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat-test foolers; Miller-Rabin must catch them.
+        for c in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(c)
+
+    def test_generated_prime_has_exact_bits(self):
+        drbg = HmacDrbg(b"primes")
+        for bits in (64, 128, 256):
+            p = generate_prime(bits, drbg)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_tiny_primes_refused(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, HmacDrbg(b"x"))
+
+
+class TestRsaKeys:
+    def test_keygen_deterministic(self):
+        a = generate_rsa_keypair(512, HmacDrbg(b"det"))
+        b = generate_rsa_keypair(512, HmacDrbg(b"det"))
+        assert a.public == b.public and a.d == b.d
+
+    def test_roundtrip_raw(self, keypair):
+        message = 123456789
+        assert keypair.raw_decrypt(keypair.public.raw_encrypt(message)) == message
+
+    def test_crt_matches_plain_exponentiation(self, keypair):
+        c = 2**200 + 12345
+        assert keypair.raw_decrypt(c) == pow(c, keypair.d, keypair.n)
+
+    def test_public_key_serialization_roundtrip(self, keypair):
+        data = keypair.public.to_bytes()
+        restored = RsaPublicKey.from_bytes(data)
+        assert restored == keypair.public
+
+    def test_fingerprint_is_stable_and_distinct(self, keypair, other_keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert keypair.public.fingerprint() != other_keypair.public.fingerprint()
+
+    def test_out_of_range_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.public.raw_encrypt(keypair.n)
+        with pytest.raises(ValueError):
+            keypair.raw_decrypt(-1)
+
+    def test_small_keys_refused(self):
+        with pytest.raises(ValueError):
+            generate_rsa_keypair(256, HmacDrbg(b"small"))
+
+
+class TestPkcs1Signatures:
+    def test_sign_verify_roundtrip(self, keypair):
+        signature = pkcs1_sign(keypair, b"message")
+        assert pkcs1_verify(keypair.public, b"message", signature)
+
+    def test_tampered_message_fails(self, keypair):
+        signature = pkcs1_sign(keypair, b"message")
+        assert not pkcs1_verify(keypair.public, b"messagE", signature)
+
+    def test_tampered_signature_fails(self, keypair):
+        signature = bytearray(pkcs1_sign(keypair, b"message"))
+        signature[10] ^= 0xFF
+        assert not pkcs1_verify(keypair.public, b"message", bytes(signature))
+
+    def test_wrong_key_fails(self, keypair, other_keypair):
+        signature = pkcs1_sign(keypair, b"message")
+        assert not pkcs1_verify(other_keypair.public, b"message", signature)
+
+    def test_wrong_length_signature_fails(self, keypair):
+        assert not pkcs1_verify(keypair.public, b"m", b"\x00" * 63)
+
+    def test_prehashed_mode(self, keypair):
+        digest = sha1(b"payload")
+        signature = pkcs1_sign(keypair, digest, prehashed=True)
+        assert pkcs1_verify(keypair.public, digest, signature, prehashed=True)
+        # And it equals signing the message in non-prehashed mode.
+        assert signature == pkcs1_sign(keypair, b"payload")
+
+    def test_sha256_mode(self, keypair):
+        signature = pkcs1_sign(keypair, b"m", hash_name="sha256")
+        assert pkcs1_verify(keypair.public, b"m", signature, hash_name="sha256")
+        assert not pkcs1_verify(keypair.public, b"m", signature, hash_name="sha1")
+
+    def test_prehashed_wrong_length_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            pkcs1_sign(keypair, b"tooshort", prehashed=True)
+
+    def test_require_valid_signature_raises(self, keypair):
+        with pytest.raises(SignatureError):
+            require_valid_signature(keypair.public, b"m", b"\x01" * 64)
+
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, message):
+        kp = generate_rsa_keypair(512, HmacDrbg(b"prop-key"))
+        signature = pkcs1_sign(kp, message)
+        assert pkcs1_verify(kp.public, message, signature)
+        assert not pkcs1_verify(kp.public, message + b"x", signature)
+
+
+class TestPkcs1Encryption:
+    def test_roundtrip(self, keypair):
+        drbg = HmacDrbg(b"enc")
+        ciphertext = pkcs1_encrypt(keypair.public, b"secret", drbg)
+        assert pkcs1_decrypt(keypair, ciphertext) == b"secret"
+
+    def test_too_long_rejected(self, keypair):
+        limit = keypair.byte_length - 11
+        with pytest.raises(ValueError):
+            pkcs1_encrypt(keypair.public, b"x" * (limit + 1), HmacDrbg(b"e"))
+
+    def test_wrong_key_decryption_fails(self, keypair, other_keypair):
+        ciphertext = pkcs1_encrypt(keypair.public, b"secret", HmacDrbg(b"e"))
+        with pytest.raises(SignatureError):
+            pkcs1_decrypt(other_keypair, ciphertext)
+
+    def test_truncated_ciphertext_rejected(self, keypair):
+        ciphertext = pkcs1_encrypt(keypair.public, b"secret", HmacDrbg(b"e"))
+        with pytest.raises(SignatureError):
+            pkcs1_decrypt(keypair, ciphertext[:-1])
+
+
+class TestSealBox:
+    def test_roundtrip(self):
+        box = seal_box(b"K" * 32, b"payload", b"N" * 16)
+        assert open_box(b"K" * 32, box) == b"payload"
+
+    def test_wrong_key_fails(self):
+        box = seal_box(b"K" * 32, b"payload", b"N" * 16)
+        with pytest.raises(AuthenticationError):
+            open_box(b"L" * 32, box)
+
+    def test_tamper_detected_everywhere(self):
+        box = bytearray(seal_box(b"K" * 32, b"payload-abcdef", b"N" * 16))
+        for position in (0, 16, len(box) - 1):
+            tampered = bytearray(box)
+            tampered[position] ^= 0x01
+            with pytest.raises(AuthenticationError):
+                open_box(b"K" * 32, bytes(tampered))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(AuthenticationError):
+            open_box(b"K" * 32, b"short")
+
+    def test_bad_nonce_length_rejected(self):
+        with pytest.raises(ValueError):
+            seal_box(b"K" * 32, b"p", b"short-nonce")
+
+    @given(st.binary(max_size=1024), st.binary(min_size=16, max_size=16))
+    def test_property_roundtrip(self, payload, nonce):
+        box = seal_box(b"key-material-000" * 2, payload, nonce)
+        assert open_box(b"key-material-000" * 2, box) == payload

@@ -1,0 +1,115 @@
+"""PalServices: the capability surface handed to running PALs."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.crypto.sha1 import sha1
+from repro.drtm.pal import Pal, PalServices
+from repro.drtm.session import FlickerSession
+from repro.hardware.display import ROWS
+from repro.tpm.constants import PCR_DRTM_DATA
+
+
+class _ProbePal(Pal):
+    """Runs a caller-supplied body with the live services object."""
+
+    name = "probe"
+
+    def __init__(self, body):
+        self._body = body
+
+    def config_bytes(self) -> bytes:
+        return b"probe"
+
+    def run(self, services: PalServices, inputs: Dict[str, bytes]):
+        return self._body(services) or {}
+
+
+@pytest.fixture
+def run_pal(simulator, machine):
+    session = FlickerSession(simulator, machine)
+
+    def run(body):
+        record = session.run(_ProbePal(body), {})
+        assert not record.aborted, record.abort_reason
+        return record
+
+    return run
+
+
+class TestTpmAccess:
+    def test_pal_runs_at_locality_2(self, run_pal, machine):
+        """The PAL can extend dynamic PCRs — locality 0 cannot."""
+
+        def body(services):
+            services.tpm(
+                "extend", pcr_index=PCR_DRTM_DATA, measurement=sha1(b"data")
+            )
+
+        run_pal(body)
+
+    def test_tpm_time_accounted(self, run_pal):
+        record = run_pal(lambda services: services.tpm("get_random", num_bytes=8)
+                         and None)
+        assert record.breakdown["pal_tpm"] >= 0
+
+    def test_random_bytes(self, run_pal):
+        collected = {}
+
+        def body(services):
+            collected["bytes"] = services.random_bytes(16)
+
+        run_pal(body)
+        assert len(collected["bytes"]) == 16
+
+
+class TestExtendData:
+    def test_extend_data_hashes_and_logs(self, run_pal, machine):
+        collected = {}
+
+        def body(services):
+            services.extend_data(b"payload-one")
+            services.extend_data(b"payload-two")
+            collected["outputs"] = services.extended_outputs
+
+        run_pal(body)
+        assert collected["outputs"] == [sha1(b"payload-one"), sha1(b"payload-two")]
+
+
+class TestChargeLogic:
+    def test_charges_clock_and_breakdown(self, simulator, machine):
+        session = FlickerSession(simulator, machine)
+        record = session.run(
+            _ProbePal(lambda services: services.charge_logic(0.25)), {}
+        )
+        assert record.breakdown["pal_logic"] == pytest.approx(0.25)
+
+
+class TestShowPagination:
+    def test_short_content_single_frame(self, run_pal, machine):
+        frames_before = len(machine.display.frames)
+        run_pal(lambda services: services.show(["one", "two"]))
+        pal_frames = [
+            owner for owner, _ in machine.display.frames[frames_before:]
+            if owner == "pal"
+        ]
+        assert len(pal_frames) == 1
+
+    def test_long_content_paginates_with_markers(self, run_pal, machine):
+        frames_before = len(machine.display.frames)
+        lines = [f"line-{i}" for i in range(ROWS * 2)]
+        run_pal(lambda services: services.show(lines))
+        pal_frames = [
+            snapshot
+            for owner, snapshot in machine.display.frames[frames_before:]
+            if owner == "pal"
+        ]
+        assert len(pal_frames) >= 2
+        assert "continues" in pal_frames[0]
+        assert "continues" not in pal_frames[-1]
+        # Every line appears on some page.
+        combined = "\n".join(pal_frames)
+        assert all(line in combined for line in lines)

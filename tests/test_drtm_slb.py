@@ -1,0 +1,98 @@
+"""SLB measurement: code identity derivation."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core import ConfirmationPal, SetupPal
+from repro.drtm.pal import Pal, PalServices
+from repro.drtm.slb import SecureLoaderBlock, measured_image
+
+
+class _PalA(Pal):
+    name = "a"
+
+    def run(self, services: PalServices, inputs: Dict[str, bytes]):
+        return {"tag": b"a"}
+
+
+class _PalB(Pal):
+    name = "b"
+
+    def run(self, services: PalServices, inputs: Dict[str, bytes]):
+        return {"tag": b"b"}
+
+
+class _PalASubclass(_PalA):
+    """Overrides nothing new except this docstring — still different code."""
+
+
+class _ConfiguredPal(Pal):
+    def __init__(self, version: bytes) -> None:
+        self.version = version
+
+    def config_bytes(self) -> bytes:
+        return self.version
+
+    def run(self, services: PalServices, inputs: Dict[str, bytes]):
+        return {}
+
+
+class TestMeasuredImage:
+    def test_deterministic(self):
+        assert measured_image(_PalA()) == measured_image(_PalA())
+
+    def test_different_classes_differ(self):
+        assert measured_image(_PalA()) != measured_image(_PalB())
+
+    def test_subclass_differs_from_base(self):
+        # Behaviour inherited but identity changed: the measurement
+        # must cover the whole MRO.
+        assert measured_image(_PalASubclass()) != measured_image(_PalA())
+
+    def test_config_bytes_included(self):
+        assert measured_image(_ConfiguredPal(b"v1")) != measured_image(
+            _ConfiguredPal(b"v2")
+        )
+        assert measured_image(_ConfiguredPal(b"v1")) == measured_image(
+            _ConfiguredPal(b"v1")
+        )
+
+    def test_setup_and_confirmation_pal_share_identity(self):
+        """The protocol requires one identity for both phases — that is
+        why SetupPal subclasses ConfirmationPal and the client launches
+        SetupPal for both (see repro.core.setup)."""
+        setup_measurement = SecureLoaderBlock.package(SetupPal()).measurement()
+        confirmation_measurement = SecureLoaderBlock.package(
+            ConfirmationPal()
+        ).measurement()
+        # They are different classes, hence different measurements — the
+        # client must launch the *same* class for both phases.
+        assert setup_measurement != confirmation_measurement
+        assert (
+            SecureLoaderBlock.package(SetupPal()).measurement()
+            == setup_measurement
+        )
+
+
+class TestSecureLoaderBlock:
+    def test_padding_floor_is_image_size(self):
+        slb = SecureLoaderBlock.package(_PalA(), padded_size=1)
+        assert slb.padded_size == len(slb.image)
+
+    def test_padding_respected_when_larger(self):
+        slb = SecureLoaderBlock.package(_PalA(), padded_size=1 << 20)
+        assert slb.padded_size == 1 << 20
+
+    def test_measurement_is_sha1_of_image(self):
+        from repro.crypto.sha1 import sha1
+
+        slb = SecureLoaderBlock.package(_PalA())
+        assert slb.measurement() == sha1(slb.image)
+
+    def test_measurement_independent_of_padding(self):
+        small = SecureLoaderBlock.package(_PalA(), padded_size=4096)
+        large = SecureLoaderBlock.package(_PalA(), padded_size=1 << 20)
+        assert small.measurement() == large.measurement()

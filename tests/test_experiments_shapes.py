@@ -1,0 +1,183 @@
+"""Experiment shape tests: small-parameter runs of every experiment in
+DESIGN.md's index, asserting the *shapes* EXPERIMENTS.md documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    a1_defense_ablation,
+    fig1_latency_vs_pal_size,
+    fig2_server_throughput,
+    fig4_amortization,
+    fig5_noncedb_scalability,
+    table1_tpm_microbench,
+    table2_session_breakdown,
+    table3_end_to_end,
+)
+from repro.bench.experiments.amortization import crossover_k
+from repro.bench.experiments.captcha_comparison import (
+    captcha_attack_rows,
+    human_overhead_rows,
+    trusted_path_forgery_rows,
+)
+
+
+class TestT1Microbench:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1_tpm_microbench(vendors=("infineon", "broadcom"))
+
+    def _mean(self, rows, vendor, command):
+        return next(
+            r["mean_ms"] for r in rows
+            if r["vendor"] == vendor and r["command"] == command
+        )
+
+    def test_quote_among_most_expensive_per_transaction_ops(self, rows):
+        for vendor in ("infineon", "broadcom"):
+            quote = self._mean(rows, vendor, "quote")
+            for cheap in ("extend", "pcr_read", "get_random", "seal"):
+                assert quote > 5 * self._mean(rows, vendor, cheap)
+
+    def test_vendor_variance_on_quote_is_large(self, rows):
+        assert self._mean(rows, "broadcom", "quote") > 2.5 * self._mean(
+            rows, "infineon", "quote"
+        )
+
+    def test_context_free_commands_about_a_millisecond(self, rows):
+        for vendor in ("infineon", "broadcom"):
+            assert self._mean(rows, vendor, "extend") < 3.0
+
+
+class TestT2Breakdown:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2_session_breakdown(
+            vendors=("infineon", "broadcom"), repetitions=3
+        )
+
+    def _row(self, rows, vendor, variant):
+        return next(
+            r for r in rows if r["vendor"] == vendor and r["variant"] == variant
+        )
+
+    def test_tpm_dominates_machine_phases(self, rows):
+        for row in rows:
+            machine_phases = (
+                row["suspend"] + row["skinit"] + row["cap"] + row["resume"]
+            )
+            assert row["pal_tpm"] > machine_phases
+
+    def test_signed_variant_lower_perceived_overhead(self, rows):
+        for vendor in ("infineon", "broadcom"):
+            signed = self._row(rows, vendor, "signed")["perceived_overhead"]
+            quote = self._row(rows, vendor, "quote")["perceived_overhead"]
+            assert signed < quote
+
+    def test_launch_plumbing_is_milliseconds(self, rows):
+        for row in rows:
+            assert row["suspend"] < 0.01
+            assert row["skinit"] < 0.05
+            assert row["resume"] < 0.05
+
+
+class TestT3EndToEnd:
+    def test_practicality_claim(self):
+        rows = table3_end_to_end(vendors=("broadcom",), repetitions=3)
+        for row in rows:
+            assert row["executed"] == row["of"]
+            # Machine-added latency within a couple of seconds even on
+            # the slowest TPM: the paper's "practical" claim.
+            assert row["machine_added_s"] < 2.5
+
+
+class TestF1PalSize:
+    def test_skinit_grows_linearly(self):
+        sizes = (16 * 1024, 256 * 1024)
+        rows = fig1_latency_vs_pal_size(sizes=sizes, vendors=("infineon",))
+        small, large = rows[0], rows[1]
+        assert large["skinit_s"] > small["skinit_s"]
+        # Slope check: the delta matches the hash rate within 20%.
+        from repro.tpm.timing import vendor_profile
+
+        rate = vendor_profile("infineon").slb_hash_bytes_per_second
+        expected_delta = (sizes[1] - sizes[0]) / rate
+        measured_delta = large["skinit_s"] - small["skinit_s"]
+        assert measured_delta == pytest.approx(expected_delta, rel=0.2)
+
+
+class TestF2Throughput:
+    def test_saturation_knee(self):
+        rows = fig2_server_throughput(
+            offered_loads=(100, 800), workers_options=(1,), duration=3.0
+        )
+        light, heavy = rows[0], rows[1]
+        assert light["rejected"] == 0 and heavy["rejected"] == 0
+        # Under light load the server keeps up...
+        assert light["completed_rps"] == pytest.approx(100, rel=0.25)
+        # ...past saturation it plateaus near 1/service_time (~416rps)
+        assert heavy["completed_rps"] < 500
+        # ...and queueing delay explodes.
+        assert heavy["p95_latency_ms"] > 20 * light["p95_latency_ms"]
+
+    def test_more_workers_raise_the_ceiling(self):
+        rows = fig2_server_throughput(
+            offered_loads=(800,), workers_options=(1, 4), duration=3.0
+        )
+        one, four = rows[0], rows[1]
+        assert four["completed_rps"] > 1.5 * one["completed_rps"]
+
+
+class TestF3Captcha:
+    def test_captcha_bypass_tracks_solve_rate(self):
+        rows = captcha_attack_rows(bot_rates=(0.1, 0.6), attempts=300)
+        low, high = rows[0], rows[1]
+        assert low["bypass_fraction"] == pytest.approx(0.1, abs=0.06)
+        assert high["bypass_fraction"] == pytest.approx(0.6, abs=0.08)
+
+    def test_trusted_path_forgeries_all_rejected(self):
+        rows = trusted_path_forgery_rows(attempts=150)
+        assert rows[0]["bypassed"] == 0
+
+    def test_human_overhead_comparable(self):
+        rows = human_overhead_rows(repetitions=3)
+        by_scheme = {row["scheme"]: row["human_seconds_per_action"] for row in rows}
+        # Confirmation reading is not slower than captcha solving.
+        assert by_scheme["trusted-path"] < by_scheme["captcha"] * 1.5
+
+
+class TestF4Amortization:
+    def test_signed_wins_after_small_k(self):
+        for vendor in ("infineon", "broadcom"):
+            k = crossover_k(vendor)
+            assert k <= 5, f"{vendor} crossover at {k}"
+
+    def test_cumulative_rows_consistent(self):
+        rows = fig4_amortization(vendors=("infineon",), k_values=(1, 10))
+        k1 = next(r for r in rows if r["k"] == 1)
+        k10 = next(r for r in rows if r["k"] == 10)
+        assert k10["quote_cum_s"] == pytest.approx(10 * k1["quote_cum_s"], rel=0.01)
+        assert k10["signed_wins"] == 1
+
+
+class TestF5NonceDb:
+    def test_flat_per_op_cost(self):
+        rows = fig5_noncedb_scalability(populations=(1_000, 20_000))
+        small, large = rows[0], rows[1]
+        # O(1): per-op cost does not scale with population (3x headroom
+        # for wall-clock noise).
+        assert large["issue_us_per_op"] < 3 * small["issue_us_per_op"]
+        assert large["live_after_evict"] == 0
+
+
+class TestA1Ablation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return a1_defense_ablation()
+
+    def test_every_defense_is_load_bearing(self, rows):
+        assert len(rows) == 4
+        for row in rows:
+            assert row["with_defense"] == "prevented", row
+            assert row["without_defense"] == "succeeded", row

@@ -1,0 +1,52 @@
+"""The fleet scenario: many clients, one provider, some infected."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fleet import MULE, FleetWorld
+
+
+@pytest.fixture(scope="module")
+def fleet() -> FleetWorld:
+    return FleetWorld(clients=4, infected=2, seed=1400)
+
+
+@pytest.fixture(scope="module")
+def report(fleet):
+    return fleet.run_day(transactions_per_client=2, fraud_per_infected=3)
+
+
+class TestFleetDay:
+    def test_all_honest_transactions_execute(self, report):
+        assert report.honest_transactions == 8
+        assert report.honest_executed == 8
+
+    def test_no_fraud_executes(self, report):
+        assert report.fraud_attempts == 6
+        assert report.fraud_executed == 0
+        assert report.stolen_cents == 0
+
+    def test_fraud_is_denied_not_ignored(self, report):
+        assert sum(report.denials.values()) >= 6
+
+    def test_every_client_has_own_key(self, fleet):
+        keys = {
+            member.client.credentials.providers["bank.example"].signing_public.n
+            for member in fleet.clients
+        }
+        assert len(keys) == len(fleet.clients)
+
+    def test_one_measurement_covers_the_fleet(self, fleet):
+        measurements = {
+            member.client.published_pal_measurement()
+            for member in fleet.clients
+        }
+        assert len(measurements) == 1
+
+    def test_mule_balance_zero(self, fleet):
+        assert fleet.bank.balance_of(MULE) == 0
+
+    def test_infected_param_validated(self):
+        with pytest.raises(ValueError):
+            FleetWorld(clients=2, infected=3)

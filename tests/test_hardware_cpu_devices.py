@@ -1,0 +1,163 @@
+"""CPU modes and locality tokens; keyboard and display devices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cpu import Cpu, CpuMode, HardwareError
+from repro.hardware.display import COLUMNS, ROWS, VgaTextDisplay
+from repro.hardware.keyboard import KeyboardError, Ps2KeyboardController, ScanCode
+
+
+class TestCpu:
+    def test_power_on_sequence(self):
+        cpu = Cpu()
+        assert cpu.mode is CpuMode.OFF
+        cpu.power_on()
+        assert cpu.mode is CpuMode.RUNNING_OS
+        assert cpu.interrupts_enabled
+        with pytest.raises(HardwareError):
+            cpu.power_on()
+
+    def test_late_launch_lifecycle(self):
+        cpu = Cpu()
+        cpu.power_on()
+        token = cpu.enter_late_launch()
+        assert token.locality == 4 and token.valid
+        assert cpu.mode is CpuMode.LATE_LAUNCH
+        assert not cpu.interrupts_enabled
+        cpu.exit_late_launch()
+        assert cpu.mode is CpuMode.RUNNING_OS
+        assert not token.valid  # the one-shot token was revoked
+
+    def test_no_nested_late_launch(self):
+        cpu = Cpu()
+        cpu.power_on()
+        cpu.enter_late_launch()
+        with pytest.raises(HardwareError):
+            cpu.enter_late_launch()
+
+    def test_skinit_requires_running_os(self):
+        cpu = Cpu()
+        with pytest.raises(HardwareError):
+            cpu.enter_late_launch()
+
+    def test_interrupts_stay_off_during_launch(self):
+        cpu = Cpu()
+        cpu.power_on()
+        cpu.enter_late_launch()
+        with pytest.raises(HardwareError):
+            cpu.enable_interrupts()
+
+    def test_locality_tokens_match_mode(self):
+        cpu = Cpu()
+        cpu.power_on()
+        assert cpu.os_locality().locality == 0
+        with pytest.raises(HardwareError):
+            cpu.pal_locality()  # no PAL running
+        cpu.enter_late_launch()
+        assert cpu.pal_locality().locality == 2
+        with pytest.raises(HardwareError):
+            cpu.os_locality()  # the OS is suspended
+
+    def test_exit_without_launch_rejected(self):
+        cpu = Cpu()
+        cpu.power_on()
+        with pytest.raises(HardwareError):
+            cpu.exit_late_launch()
+
+
+class TestKeyboard:
+    def test_fifo_order(self):
+        keyboard = Ps2KeyboardController()
+        keyboard.press_physical_key(ScanCode.KEY_Y)
+        keyboard.press_physical_key(ScanCode.KEY_N)
+        assert keyboard.read_scancode("os") == ScanCode.KEY_Y
+        assert keyboard.read_scancode("os") == ScanCode.KEY_N
+        assert keyboard.read_scancode("os") is None
+
+    def test_overrun_drops_silently(self):
+        keyboard = Ps2KeyboardController()
+        for _ in range(keyboard.FIFO_CAPACITY + 5):
+            keyboard.press_physical_key(ScanCode.KEY_1)
+        assert keyboard.pending == keyboard.FIFO_CAPACITY
+        assert keyboard.overruns == 5
+
+    def test_ownership_enforced(self):
+        keyboard = Ps2KeyboardController()
+        keyboard.claim("pal")
+        keyboard.press_physical_key(ScanCode.KEY_Y)
+        with pytest.raises(KeyboardError):
+            keyboard.read_scancode("os")
+        assert keyboard.read_scancode("pal") == ScanCode.KEY_Y
+        keyboard.release_to_os()
+        keyboard.press_physical_key(ScanCode.KEY_N)
+        assert keyboard.read_scancode("os") == ScanCode.KEY_N
+
+    def test_drain_requires_ownership(self):
+        keyboard = Ps2KeyboardController()
+        keyboard.press_physical_key(ScanCode.KEY_1)
+        keyboard.claim("pal")
+        with pytest.raises(KeyboardError):
+            keyboard.drain("os")
+        keyboard.drain("pal")
+        assert keyboard.pending == 0
+
+
+class TestDisplay:
+    def test_write_and_snapshot(self):
+        display = VgaTextDisplay()
+        display.write_text("os", 0, 0, "hello")
+        assert display.snapshot().splitlines()[0] == "hello"
+
+    def test_clipping_at_line_end(self):
+        display = VgaTextDisplay()
+        display.write_text("os", 0, COLUMNS - 3, "abcdef")
+        assert display.snapshot().splitlines()[0].endswith("abc")
+
+    def test_out_of_range_rejected(self):
+        display = VgaTextDisplay()
+        with pytest.raises(ValueError):
+            display.write_text("os", ROWS, 0, "x")
+        with pytest.raises(ValueError):
+            display.write_text("os", 0, COLUMNS, "x")
+
+    def test_ownership(self):
+        display = VgaTextDisplay()
+        display.acquire("malware")  # any software may paint while OS runs
+        display.write_text("malware", 0, 0, "fake screen")
+        with pytest.raises(PermissionError):
+            display.write_text("os", 1, 0, "blocked")
+        display.release("malware")
+        display.write_text("os", 1, 0, "ok")
+
+    def test_pinning_blocks_takeover(self):
+        display = VgaTextDisplay()
+        display.acquire("pal", pin=True)
+        with pytest.raises(PermissionError):
+            display.acquire("malware")
+        display.release("pal")
+        display.acquire("malware")  # allowed again after release
+
+    def test_release_requires_owner(self):
+        display = VgaTextDisplay()
+        display.acquire("pal", pin=True)
+        with pytest.raises(PermissionError):
+            display.release("os")
+
+    def test_frames_history(self):
+        display = VgaTextDisplay()
+        display.write_text("os", 0, 0, "frame-1")
+        display.commit_frame("os")
+        display.clear("os")
+        display.write_text("os", 0, 0, "frame-2")
+        display.commit_frame("os")
+        owners = [owner for owner, _ in display.frames]
+        assert owners == ["os", "os"]
+        assert "frame-2" in display.last_frame()[1]
+
+    def test_visible_text_skips_blank_lines(self):
+        display = VgaTextDisplay()
+        display.write_text("os", 0, 0, "top")
+        display.write_text("os", 5, 0, "bottom")
+        assert display.visible_text() == "top\nbottom"

@@ -1,0 +1,119 @@
+"""Machine composition, SRTM boot, and chipset locality gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.sha1 import sha1
+from repro.hardware.cpu import HardwareError
+from repro.hardware.machine import Machine, MachineConfig, build_machine
+from repro.sim import Simulator
+from repro.tpm.device import TpmDevice
+from repro.tpm.timing import instant_profile
+
+
+def _machine(simulator, config=None):
+    tpm = TpmDevice(simulator.clock, instant_profile(), seed=7)
+    machine = Machine(tpm, config=config)
+    machine.power_on()
+    return machine
+
+
+class TestBoot:
+    def test_srtm_measures_firmware_into_static_pcrs(self, simulator):
+        machine = _machine(simulator)
+        # PCR 0 must hold extend(0, SHA1(bios image)).
+        bios_measurement = sha1(machine.config.firmware["bios"])
+        assert machine.tpm.pcrs.read(0) == sha1(b"\x00" * 20 + bios_measurement)
+        assert machine.tpm.pcrs.read(2) != b"\x00" * 20
+        assert machine.tpm.pcrs.read(4) != b"\x00" * 20
+
+    def test_different_firmware_different_pcr0(self, simulator):
+        default = _machine(simulator)
+        sim_b = Simulator(seed=2)
+        modified = _machine(
+            sim_b,
+            config=MachineConfig(
+                firmware={
+                    "bios": b"evil-bios",
+                    "option_roms": b"repro-oprom-bundle",
+                    "bootloader": b"repro-grub-0.97",
+                }
+            ),
+        )
+        assert default.tpm.pcrs.read(0) != modified.tpm.pcrs.read(0)
+
+    def test_double_power_on_rejected(self, simulator):
+        machine = _machine(simulator)
+        with pytest.raises(RuntimeError):
+            machine.power_on()
+
+    def test_unknown_firmware_component_rejected(self, simulator):
+        tpm = TpmDevice(simulator.clock, instant_profile(), seed=8)
+        machine = Machine(
+            tpm, config=MachineConfig(firmware={"gpu_vbios": b"img"})
+        )
+        with pytest.raises(ValueError):
+            machine.power_on()
+
+    def test_build_machine_helper(self):
+        simulator = Simulator(seed=5)
+        machine = build_machine(simulator, vendor="atmel")
+        assert machine.powered_on
+        assert machine.tpm.profile.vendor == "atmel"
+
+
+class TestChipsetLocalityGate:
+    def test_commands_need_valid_token(self, simulator):
+        machine = _machine(simulator)
+        with pytest.raises(HardwareError):
+            machine.chipset.tpm_command(None, "pcr_read", pcr_index=0)
+
+    def test_integer_is_not_a_token(self, simulator):
+        """Software cannot spoof a locality by passing a number."""
+        machine = _machine(simulator)
+        with pytest.raises(HardwareError):
+            machine.chipset.tpm_command(4, "pcr_reset", pcr_index=17)
+
+    def test_revoked_token_rejected(self, simulator):
+        machine = _machine(simulator)
+        token = machine.cpu.enter_late_launch()
+        machine.cpu.exit_late_launch()  # revokes it
+        with pytest.raises(HardwareError):
+            machine.chipset.tpm_command(token, "pcr_reset", pcr_index=17)
+
+    def test_os_convenience_runs_at_locality_0(self, simulator):
+        machine = _machine(simulator)
+        from repro.tpm import TpmError
+
+        with pytest.raises(TpmError):
+            machine.chipset.tpm_command_as_os(
+                "extend", pcr_index=17, measurement=sha1(b"x")
+            )
+
+
+class TestTimingProfiles:
+    def test_all_vendors_defined(self):
+        from repro.tpm.timing import VENDOR_PROFILES, vendor_profile
+
+        assert set(VENDOR_PROFILES) == {"infineon", "broadcom", "atmel", "stmicro"}
+        assert vendor_profile("INFINEON").vendor == "infineon"
+        with pytest.raises(KeyError):
+            vendor_profile("acme")
+
+    def test_profile_ordering_quote(self):
+        from repro.tpm.timing import VENDOR_PROFILES
+
+        means = {
+            vendor: profile.mean_latency("quote")
+            for vendor, profile in VENDOR_PROFILES.items()
+        }
+        assert means["infineon"] < means["stmicro"] < means["atmel"] < means["broadcom"]
+
+    def test_unknown_command_uses_default(self):
+        from repro.tpm.timing import vendor_profile
+        import random
+
+        profile = vendor_profile("infineon")
+        latency = profile.latency_for("exotic_command", random.Random(0))
+        assert 0 < latency < 0.01

@@ -1,0 +1,158 @@
+"""Physical memory, regions, DMA engine and the DEV."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.dma import DeviceExclusionVector, DmaBlockedError, DmaEngine
+from repro.hardware.memory import MemoryAccessError, MemoryRegion, PhysicalMemory
+
+
+class TestMemoryRegion:
+    def test_read_write_roundtrip(self):
+        region = MemoryRegion("r", base=0, size=64, owner="os")
+        region.write("os", b"hello", offset=10)
+        assert region.read("os", offset=10, length=5) == b"hello"
+
+    def test_bounds_checked(self):
+        region = MemoryRegion("r", base=0, size=16, owner="os")
+        with pytest.raises(MemoryAccessError):
+            region.write("os", b"x" * 17)
+        with pytest.raises(MemoryAccessError):
+            region.read("os", offset=10, length=10)
+        with pytest.raises(MemoryAccessError):
+            region.read("os", offset=-1, length=1)
+
+    def test_unlocked_region_is_open_to_all(self):
+        # Commodity RAM: malware reads anything the OS maps.
+        region = MemoryRegion("r", base=0, size=16, owner="os")
+        region.write("malware", b"injected")
+        assert region.read("malware", length=8) == b"injected"
+
+    def test_locked_region_enforces_owner(self):
+        region = MemoryRegion("r", base=0, size=16, owner="os")
+        region.lock("pal")
+        with pytest.raises(MemoryAccessError):
+            region.read("os")
+        with pytest.raises(MemoryAccessError):
+            region.write("malware", b"x")
+        region.write("pal", b"ok")
+        assert region.read("pal", length=2) == b"ok"
+
+    def test_unlock_restores_access(self):
+        region = MemoryRegion("r", base=0, size=16, owner="os")
+        region.lock("pal")
+        region.unlock()
+        region.write("os", b"fine")
+
+    def test_zero_erases(self):
+        region = MemoryRegion("r", base=0, size=8, owner="os")
+        region.write("os", b"secret!!")
+        region.zero("os")
+        assert region.read("os") == b"\x00" * 8
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", base=0, size=0, owner="os")
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", base=-4, size=4, owner="os")
+
+
+class TestPhysicalMemory:
+    def test_allocation_non_overlapping(self):
+        memory = PhysicalMemory(total_size=1024)
+        a = memory.allocate("a", 100, "os")
+        b = memory.allocate("b", 100, "os")
+        assert not a.overlaps(b)
+
+    def test_allocation_reuses_freed_space(self):
+        memory = PhysicalMemory(total_size=256)
+        memory.allocate("a", 200, "os")
+        memory.free("a")
+        memory.allocate("b", 200, "os")  # must fit again
+
+    def test_exhaustion(self):
+        memory = PhysicalMemory(total_size=128)
+        memory.allocate("a", 100, "os")
+        with pytest.raises(MemoryError):
+            memory.allocate("b", 100, "os")
+
+    def test_duplicate_name_rejected(self):
+        memory = PhysicalMemory()
+        memory.allocate("a", 10, "os")
+        with pytest.raises(ValueError):
+            memory.allocate("a", 10, "os")
+
+    def test_region_at(self):
+        memory = PhysicalMemory()
+        region = memory.allocate("a", 100, "os")
+        assert memory.region_at(region.base + 50) is region
+        assert memory.region_at(region.end) is None
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(KeyError):
+            PhysicalMemory().free("ghost")
+
+
+class TestDeviceExclusionVector:
+    def test_blocks_overlapping_ranges(self):
+        dev = DeviceExclusionVector()
+        dev.protect(100, 50)
+        assert dev.blocks(100, 1)
+        assert dev.blocks(149, 1)
+        assert dev.blocks(90, 20)  # straddles the start
+        assert not dev.blocks(150, 10)
+        assert not dev.blocks(0, 100)
+
+    def test_unprotect_all(self):
+        dev = DeviceExclusionVector()
+        dev.protect(0, 10)
+        dev.unprotect_all()
+        assert not dev.blocks(5, 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceExclusionVector().protect(0, 0)
+
+
+class TestDmaEngine:
+    def _setup(self):
+        memory = PhysicalMemory(total_size=1024)
+        region = memory.allocate("buf", 256, "os")
+        dev = DeviceExclusionVector()
+        return memory, region, dev, DmaEngine(memory, dev)
+
+    def test_device_write_bypasses_cpu_locks(self):
+        # DMA doesn't go through the CPU: a locked region without DEV
+        # protection is still writable by a device — that is exactly why
+        # the DEV exists.
+        memory, region, dev, dma = self._setup()
+        region.lock("pal")
+        dma.device_write("nic", region.base, b"dma!")
+        assert region.read("pal", length=4) == b"dma!"
+
+    def test_dev_blocks_protected_write(self):
+        memory, region, dev, dma = self._setup()
+        dev.protect(region.base, region.size)
+        with pytest.raises(DmaBlockedError):
+            dma.device_write("nic", region.base + 8, b"attack")
+        assert dma.transfers_blocked == 1
+        assert region.read("os", offset=8, length=6) == b"\x00" * 6
+
+    def test_dev_blocks_protected_read(self):
+        memory, region, dev, dma = self._setup()
+        region.write("os", b"secret")
+        dev.protect(region.base, region.size)
+        with pytest.raises(DmaBlockedError):
+            dma.device_read("nic", region.base, 6)
+
+    def test_unmapped_address_rejected(self):
+        memory, region, dev, dma = self._setup()
+        with pytest.raises(ValueError):
+            dma.device_write("nic", 0x8000, b"x")
+
+    def test_transfer_counters(self):
+        memory, region, dev, dma = self._setup()
+        dma.device_write("nic", region.base, b"a")
+        assert dma.device_read("nic", region.base, 1) == b"a"
+        assert dma.transfers_completed == 1  # reads aren't counted as completed writes

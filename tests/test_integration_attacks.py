@@ -1,0 +1,147 @@
+"""Whole-system attack suite: every threat-model attack against the
+trusted path, with outcomes read from ledger ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.adversary import AttackOutcome
+from repro.bench.experiments.security_matrix import (
+    MULE,
+    _tp_alteration,
+    _tp_generation,
+    _tp_replay,
+    _tp_spoof,
+    _tp_substitution,
+    _tp_suppression,
+    _tp_theft,
+)
+from repro.bench.world import TrustedPathWorld, WorldConfig
+from repro.core.errors import ConfirmationRejected
+from repro.os.malware import ManInTheBrowser
+from repro.server.provider import TxStatus
+from repro.user import UserProfile
+
+
+class TestAttackOutcomes:
+    """Each attack's outcome, as asserted shapes (shared with T4)."""
+
+    def test_transaction_generation_prevented(self):
+        assert _tp_generation(seed=900) is AttackOutcome.PREVENTED
+
+    def test_alteration_user_dependent(self):
+        assert _tp_alteration(seed=901) is AttackOutcome.USER_DEPENDENT
+
+    def test_credential_theft_prevented(self):
+        assert _tp_theft(seed=902) is AttackOutcome.PREVENTED
+
+    def test_replay_prevented(self):
+        assert _tp_replay(seed=903) is AttackOutcome.PREVENTED
+
+    def test_ui_spoofing_prevented_server_side(self):
+        assert _tp_spoof(seed=904) is AttackOutcome.PREVENTED
+
+    def test_suppression_is_only_dos(self):
+        assert _tp_suppression(seed=905) is AttackOutcome.DEGRADED
+
+    def test_pal_substitution_prevented(self):
+        assert _tp_substitution(seed=906) is AttackOutcome.PREVENTED
+
+
+class TestAlterationDetail:
+    def test_attentive_user_rejects_and_server_records_it(self):
+        world = TrustedPathWorld(WorldConfig(seed=910)).ready()
+        mitb = ManInTheBrowser(rewrite={"f.to": MULE, "f.amount": 450_000})
+        world.os.install_malware(mitb)
+        outcome = world.confirm(world.sample_transfer(amount_cents=2_000, to="bob"))
+        assert outcome.decision == b"reject"
+        assert mitb.alterations >= 1
+        # The pending transaction the server holds is the ALTERED one,
+        # and it ended rejected — the alteration was surfaced.
+        pending = list(world.bank.transactions.values())[-1]
+        assert pending.transaction.fields["to"] == MULE
+        assert pending.status is TxStatus.REJECTED_BY_USER
+        assert world.bank.total_stolen_by(MULE) == 0
+
+    def test_careless_user_loses_money_the_residual_risk(self):
+        """The paper is explicit that an inattentive user can still be
+        robbed by alteration: the trusted path makes the altered text
+        *visible*, it cannot force the user to read it."""
+        world = TrustedPathWorld(
+            WorldConfig(seed=911, user_profile=UserProfile.careless())
+        ).ready()
+        world.os.install_malware(
+            ManInTheBrowser(rewrite={"f.to": MULE, "f.amount": 450_000})
+        )
+        outcome = world.confirm(world.sample_transfer(amount_cents=2_000, to="bob"))
+        assert outcome.decision == b"accept"
+        assert world.bank.total_stolen_by(MULE) == 450_000
+
+
+class TestInboundChallengeTampering:
+    def test_hiding_the_alteration_from_the_pal_only_breaks_evidence(self):
+        """Clever MitB: alter the outgoing transaction AND rewrite the
+        inbound challenge text so the PAL shows the user the original.
+        The user confirms — but the evidence then binds the displayed
+        (original) text, not the server's canonical (altered) text, so
+        verification fails.  No money moves; the attack degrades to DoS."""
+        world = TrustedPathWorld(WorldConfig(seed=912)).ready()
+        intended = world.sample_transfer(amount_cents=2_000, to="bob")
+        original_text = "\n".join(intended.display_lines())
+
+        mitb = ManInTheBrowser(rewrite={"f.to": MULE, "f.amount": 450_000})
+        world.os.install_malware(mitb)
+
+        def rewrite_challenge(source, message):
+            if "text" in message:
+                message = dict(message, text=original_text.encode("utf-8"))
+            return message
+
+        world.os.inbound_hooks.append(rewrite_challenge)
+        with pytest.raises(ConfirmationRejected):
+            world.confirm(intended)
+        assert world.bank.total_stolen_by(MULE) == 0
+        pending = list(world.bank.transactions.values())[-1]
+        assert pending.status is TxStatus.DENIED
+
+
+class TestStolenCookieFullProtocol:
+    def test_attacker_with_cookie_and_credential_file_still_fails(self):
+        """Grant the adversary everything software can exfiltrate: the
+        session cookie AND the sealed credential file AND knowledge of
+        the protocol.  Without the PAL's PCR state it cannot finish."""
+        from repro.core.confirmation_pal import confirmation_digest
+        from repro.core.protocol import build_transaction_request
+        from repro.crypto import HmacDrbg, generate_rsa_keypair, pkcs1_sign
+
+        world = TrustedPathWorld(WorldConfig(seed=913)).ready()
+        bank = world.bank
+        forged = world.sample_transfer(amount_cents=123_400, to=MULE)
+        response = world.browser.call(
+            bank.endpoint, "tx.request", build_transaction_request(forged)
+        )
+        # Attempt 1: sign with a self-made key.
+        attacker_key = generate_rsa_keypair(512, HmacDrbg(b"mallory"))
+        digest = confirmation_digest(
+            response["text"], response["nonce"], b"accept"
+        )
+        submission = {
+            "tx_id": response["tx_id"],
+            "decision": b"accept",
+            "evidence": "signed",
+            "signature": pkcs1_sign(attacker_key, digest, prehashed=True),
+        }
+        from repro.net.rpc import RpcError
+
+        with pytest.raises(RpcError):
+            world.browser.call(bank.endpoint, "tx.confirm", submission)
+        # Attempt 2: unseal the stolen credential file at OS level.
+        from repro.tpm.constants import TpmError
+        from repro.tpm.structures import SealedBlob
+
+        stolen = world.client.credentials.sealed_credential
+        with pytest.raises(TpmError):
+            world.machine.chipset.tpm_command_as_os(
+                "unseal", blob=SealedBlob.from_bytes(stolen)
+            )
+        assert bank.total_stolen_by(MULE) == 0

@@ -1,0 +1,127 @@
+"""Whole-system happy paths: the protocol end to end, both variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.world import TrustedPathWorld, WorldConfig
+from repro.core import Transaction
+from repro.core.errors import SetupError
+from repro.core.protocol import EVIDENCE_QUOTE, EVIDENCE_SIGNED
+
+
+class TestSignedVariant:
+    def test_transfer_executes_and_moves_money(self, shared_ready_world):
+        world = shared_ready_world
+        source_before = world.bank.balance_of(world.config.account)
+        destination_before = world.bank.balance_of("happy-bob")
+        tx = world.sample_transfer(amount_cents=1234, to="happy-bob")
+        outcome = world.confirm(tx)
+        assert outcome.executed
+        assert outcome.decision == b"accept"
+        assert world.bank.balance_of(world.config.account) == source_before - 1234
+        assert world.bank.balance_of("happy-bob") == destination_before + 1234
+
+    def test_session_breakdown_present(self, shared_ready_world):
+        outcome = shared_ready_world.confirm(
+            shared_ready_world.sample_transfer(amount_cents=55, to="bd")
+        )
+        assert outcome.session.breakdown["pal_tpm"] > 0
+        assert outcome.session.breakdown["skinit"] > 0
+
+    def test_signed_without_setup_fails_cleanly(self, fresh_world):
+        world = fresh_world(seed=31)
+        world.enroll_everywhere()  # no setup phase
+        with pytest.raises(SetupError):
+            world.confirm(world.sample_transfer())
+
+    def test_sequential_transactions_all_execute(self, shared_ready_world):
+        world = shared_ready_world
+        for index in range(3):
+            outcome = world.confirm(
+                world.sample_transfer(amount_cents=10 + index, to=f"seq-{index}")
+            )
+            assert outcome.executed
+
+
+class TestQuoteVariant:
+    def test_transfer_executes_without_setup(self, fresh_world):
+        world = fresh_world(seed=37)
+        world.enroll_everywhere()  # quote variant needs no setup phase
+        tx = world.sample_transfer(amount_cents=777, to="qbob")
+        outcome = world.confirm(tx, mode=EVIDENCE_QUOTE)
+        assert outcome.executed
+        assert world.bank.balance_of("qbob") == 777
+
+    def test_quote_variant_on_shared_world(self, shared_ready_world):
+        outcome = shared_ready_world.confirm(
+            shared_ready_world.sample_transfer(amount_cents=88, to="qv"),
+            mode=EVIDENCE_QUOTE,
+        )
+        assert outcome.executed
+
+
+class TestUserRejection:
+    def test_reject_leaves_money_untouched(self, shared_ready_world):
+        world = shared_ready_world
+        balance_before = world.bank.balance_of(world.config.account)
+        # The user intends one thing; the request is for another.
+        world.human.intend(world.sample_transfer(amount_cents=1, to="intended"))
+        outcome = world.client.confirm_transaction(
+            world.bank.endpoint,
+            world.sample_transfer(amount_cents=99_999, to="not-intended"),
+        )
+        assert outcome.decision == b"reject"
+        assert outcome.server_response["status"] == "rejected_by_user"
+        assert world.bank.balance_of(world.config.account) == balance_before
+
+
+class TestDeterminism:
+    def test_same_seed_same_world_history(self):
+        def run(seed: int):
+            world = TrustedPathWorld(WorldConfig(seed=seed)).ready()
+            outcome = world.confirm(world.sample_transfer(amount_cents=500))
+            return (
+                world.simulator.now,
+                outcome.session.total_seconds,
+                world.bank.balance_of(world.config.account),
+                world.client.published_pal_measurement(),
+            )
+
+        assert run(777) == run(777)
+
+    def test_different_seed_different_timings(self):
+        world_a = TrustedPathWorld(WorldConfig(seed=1)).ready()
+        world_b = TrustedPathWorld(WorldConfig(seed=2)).ready()
+        outcome_a = world_a.confirm(world_a.sample_transfer(amount_cents=500))
+        outcome_b = world_b.confirm(world_b.sample_transfer(amount_cents=500))
+        assert (
+            outcome_a.session.total_seconds != outcome_b.session.total_seconds
+        )
+
+
+class TestMultiProvider:
+    def test_per_provider_credentials_are_isolated(self):
+        world = TrustedPathWorld(
+            WorldConfig(seed=606, with_bank=True, with_shop=True)
+        ).ready()
+        world.shop.add_product("widget", stock=10, unit_price_cents=100)
+        world.run_setup(provider=world.shop)
+        bank_key = world.client.credentials.providers["bank.example"].signing_public
+        shop_key = world.client.credentials.providers["shop.example"].signing_public
+        assert bank_key != shop_key
+        # Both providers accept their own credential.
+        assert world.confirm(world.sample_transfer(amount_cents=10)).executed
+        order = Transaction(
+            "order", world.config.account, {"item": "widget", "quantity": 1}
+        )
+        assert world.confirm(order, provider=world.shop).executed
+
+
+class TestVendorsAllWork:
+    @pytest.mark.parametrize("vendor", ["infineon", "broadcom", "atmel", "stmicro"])
+    def test_full_flow_per_vendor(self, fresh_world, vendor):
+        world = fresh_world(seed=50, vendor=vendor)
+        world.ready()
+        outcome = world.confirm(world.sample_transfer(amount_cents=123))
+        assert outcome.executed

@@ -1,0 +1,93 @@
+"""The TLS-lite secure channel: record protection properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import HmacDrbg, generate_rsa_keypair
+from repro.net.channel import ChannelError, SecureChannel, establish_channel
+
+
+@pytest.fixture(scope="module")
+def channels():
+    server_key = generate_rsa_keypair(512, HmacDrbg(b"server-key"))
+    client, server, handshake = establish_channel(
+        server_key.public, server_key, HmacDrbg(b"client-randomness")
+    )
+    return client, server, handshake
+
+
+def _fresh_channels():
+    server_key = generate_rsa_keypair(512, HmacDrbg(b"server-key-2"))
+    return establish_channel(
+        server_key.public, server_key, HmacDrbg(b"client-entropy")
+    )[:2]
+
+
+class TestHandshake:
+    def test_shared_secret_established(self, channels):
+        client, server, _ = channels
+        assert client.session_secret == server.session_secret
+
+    def test_handshake_bytes_do_not_leak_secret(self, channels):
+        client, _, handshake = channels
+        assert client.session_secret not in handshake
+
+
+class TestRecords:
+    def test_roundtrip_both_directions(self):
+        client, server = _fresh_channels()
+        assert server.unwrap(client.wrap(b"from client")) == b"from client"
+        assert client.unwrap(server.wrap(b"from server")) == b"from server"
+
+    def test_ciphertext_hides_plaintext(self):
+        client, server = _fresh_channels()
+        record = client.wrap(b"SECRET-PAYLOAD")
+        assert b"SECRET-PAYLOAD" not in record
+
+    def test_tampering_detected(self):
+        client, server = _fresh_channels()
+        record = bytearray(client.wrap(b"payload-data"))
+        record[12] ^= 0x01
+        with pytest.raises(ChannelError):
+            server.unwrap(bytes(record))
+
+    def test_replay_detected(self):
+        client, server = _fresh_channels()
+        record = client.wrap(b"once")
+        server.unwrap(record)
+        with pytest.raises(ChannelError):
+            server.unwrap(record)  # sequence number already consumed
+
+    def test_reordering_detected(self):
+        client, server = _fresh_channels()
+        first = client.wrap(b"first")
+        second = client.wrap(b"second")
+        with pytest.raises(ChannelError):
+            server.unwrap(second)  # out of order
+        server.unwrap(first)
+        # After the failure the channel still accepts the right record? No —
+        # strict ordering means 'second' is now next and valid:
+        assert server.unwrap(second) == b"second"
+
+    def test_reflection_detected(self):
+        client, server = _fresh_channels()
+        record = client.wrap(b"ping")
+        with pytest.raises(ChannelError):
+            client.unwrap(record)  # own record bounced back
+
+    def test_short_record_rejected(self):
+        _, server = _fresh_channels()
+        with pytest.raises(ChannelError):
+            server.unwrap(b"tiny")
+
+    def test_empty_payload_ok(self):
+        client, server = _fresh_channels()
+        assert server.unwrap(client.wrap(b"")) == b""
+
+    def test_sequences_advance_independently(self):
+        client, server = _fresh_channels()
+        for i in range(5):
+            assert server.unwrap(client.wrap(b"c%d" % i)) == b"c%d" % i
+        assert client.unwrap(server.wrap(b"s0")) == b"s0"
+        assert client.send_sequence == 5 and server.send_sequence == 1

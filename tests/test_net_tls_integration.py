@@ -1,0 +1,103 @@
+"""TLS-lite transport under the RPC path, and lossy-link retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.world import TrustedPathWorld, WorldConfig
+from repro.crypto import HmacDrbg, generate_rsa_keypair
+from repro.net.network import LinkSpec, Network
+from repro.net.rpc import RpcEndpoint, RpcError
+from repro.sim import ConstantLatency, Simulator
+
+
+class TestTlsRpc:
+    def _endpoint(self, simulator, tls=True):
+        network = Network(simulator)
+        network.attach("c", LinkSpec(latency=ConstantLatency(0.001)))
+        network.attach("s", LinkSpec(latency=ConstantLatency(0.001)))
+        endpoint = RpcEndpoint(simulator, network, "s")
+        endpoint.register("echo", lambda req: dict(req, ok=1))
+        if tls:
+            endpoint.enable_tls(generate_rsa_keypair(512, HmacDrbg(b"tls")))
+        return endpoint, network
+
+    def test_call_roundtrip_over_tls(self, simulator):
+        endpoint, _ = self._endpoint(simulator)
+        response = endpoint.call_sync("c", "echo", {"v": 7})
+        assert response["ok"] == 1 and response["v"] == 7
+        assert endpoint.tls_handshakes == 1
+
+    def test_handshake_once_per_caller(self, simulator):
+        endpoint, _ = self._endpoint(simulator)
+        for _ in range(3):
+            endpoint.call_sync("c", "echo", {})
+        assert endpoint.tls_handshakes == 1
+        # A second caller gets its own channel.
+        endpoint.network.attach("c2", LinkSpec(latency=ConstantLatency(0.001)))
+        endpoint.call_sync("c2", "echo", {})
+        assert endpoint.tls_handshakes == 2
+
+    def test_plaintext_never_crosses_the_wire(self, simulator):
+        """Interpose on the network and grep the records for plaintext."""
+        endpoint, network = self._endpoint(simulator)
+        seen = []
+        original = network.transfer
+
+        def spy(source, destination, payload):
+            seen.append(payload)
+            return original(source, destination, payload)
+
+        network.transfer = spy  # type: ignore[method-assign]
+        endpoint.call_sync("c", "echo", {"secret_marker": b"VERY-SECRET-VALUE"})
+        assert seen, "no traffic captured"
+        assert all(b"VERY-SECRET-VALUE" not in blob for blob in seen)
+
+    def test_errors_still_surface(self, simulator):
+        endpoint, _ = self._endpoint(simulator)
+        with pytest.raises(RpcError):
+            endpoint.call_sync("c", "nope", {})
+
+
+class TestLossyTransport:
+    def test_retries_mask_moderate_loss(self, simulator):
+        network = Network(simulator)
+        network.attach(
+            "c",
+            LinkSpec(latency=ConstantLatency(0.001), loss_probability=0.3),
+        )
+        network.attach("s", LinkSpec(latency=ConstantLatency(0.001)))
+        endpoint = RpcEndpoint(simulator, network, "s")
+        endpoint.register("echo", lambda req: dict(req, ok=1))
+        # With 30% loss and 4 attempts per transfer, 20 calls should all
+        # succeed (P[fail] per transfer = 0.3^4 ≈ 0.8%).
+        completed = 0
+        for index in range(20):
+            try:
+                endpoint.call_sync("c", "echo", {"i": index})
+                completed += 1
+            except RpcError:
+                pass
+        assert completed >= 18
+        assert network.packets_dropped > 0  # the loss was real
+
+    def test_total_loss_gives_up_loudly(self, simulator):
+        network = Network(simulator)
+        network.attach(
+            "c", LinkSpec(latency=ConstantLatency(0.001), loss_probability=1.0)
+        )
+        network.attach("s", LinkSpec(latency=ConstantLatency(0.001)))
+        endpoint = RpcEndpoint(simulator, network, "s")
+        endpoint.register("echo", lambda req: req)
+        with pytest.raises(RpcError) as err:
+            endpoint.call_sync("c", "echo", {})
+        assert "gave up" in str(err.value)
+
+
+class TestTlsWorld:
+    def test_full_protocol_over_tls(self):
+        """The complete trusted-path flow with the channel enabled."""
+        world = TrustedPathWorld(WorldConfig(seed=3131, tls=True)).ready()
+        outcome = world.confirm(world.sample_transfer(amount_cents=999))
+        assert outcome.executed
+        assert world.bank.endpoint.tls_handshakes >= 1

@@ -1,0 +1,109 @@
+"""Untrusted disk and client-state persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TrustedPathError
+from repro.os.disk import UntrustedDisk
+
+
+class TestUntrustedDisk:
+    def test_write_read_roundtrip(self):
+        disk = UntrustedDisk()
+        disk.write_file("a/b", b"data")
+        assert disk.read_file("a/b") == b"data"
+        assert disk.exists("a/b")
+
+    def test_missing_file_is_none(self):
+        assert UntrustedDisk().read_file("ghost") is None
+
+    def test_malware_reads_everything(self):
+        disk = UntrustedDisk()
+        disk.write_file("secret", b"not actually secret")
+        assert disk.malware_read("secret") == b"not actually secret"
+
+    def test_malware_corrupt_flips_a_byte(self):
+        disk = UntrustedDisk()
+        disk.write_file("f", b"\x00\x00")
+        assert disk.malware_corrupt("f", flip_byte=1)
+        assert disk.read_file("f") == b"\x00\xff"
+
+    def test_malware_delete(self):
+        disk = UntrustedDisk()
+        disk.write_file("f", b"x")
+        assert disk.malware_delete("f")
+        assert not disk.exists("f")
+        assert not disk.malware_delete("f")
+
+    def test_listing(self):
+        disk = UntrustedDisk()
+        disk.write_file("b", b"")
+        disk.write_file("a", b"")
+        assert disk.list_files() == ["a", "b"]
+        assert list(disk) == ["a", "b"]
+
+
+class TestClientStatePersistence:
+    def test_save_load_roundtrip(self, shared_ready_world):
+        world = shared_ready_world
+        disk = UntrustedDisk()
+        world.client.save_state(disk)
+        saved = world.client.credentials
+        world.client.credentials = None
+        restored = world.client.load_state(disk)
+        assert restored.aik_public == saved.aik_public
+        assert restored.aik_certificate == saved.aik_certificate
+        assert set(restored.providers) == set(saved.providers)
+        for host in saved.providers:
+            assert (
+                restored.providers[host].sealed_credential
+                == saved.providers[host].sealed_credential
+            )
+
+    def test_restored_state_still_confirms(self, fresh_world):
+        world = fresh_world(seed=616)
+        world.ready()
+        disk = UntrustedDisk()
+        world.client.save_state(disk)
+        world.client.credentials = None
+        world.client.load_state(disk)
+        outcome = world.confirm(world.sample_transfer(amount_cents=42))
+        assert outcome.executed
+
+    def test_corrupt_state_rejected_loudly(self, shared_ready_world):
+        world = shared_ready_world
+        disk = UntrustedDisk()
+        world.client.save_state(disk)
+        # Flip a byte inside the AIK public key material (its first
+        # occurrence is the copy embedded in the certificate): the
+        # cross-check against the standalone copy must catch it.
+        raw = bytearray(disk.read_file(world.client.STATE_PATH))
+        needle = world.client.credentials.aik_public.to_bytes()
+        offset = raw.index(needle) + len(needle) // 2
+        raw[offset] ^= 0xFF
+        disk.write_file(world.client.STATE_PATH, bytes(raw))
+        with pytest.raises(TrustedPathError):
+            world.client.load_state(disk)
+
+    def test_missing_state_rejected(self, shared_ready_world):
+        with pytest.raises(TrustedPathError):
+            shared_ready_world.client.load_state(UntrustedDisk())
+
+    def test_corrupted_sealed_blob_fails_at_unseal_not_before(self, fresh_world):
+        """Malware flips a byte inside the sealed credential itself: the
+        state file parses, but the TPM rejects the blob inside the next
+        PAL session — a clean, detectable failure, not a forgery."""
+        world = fresh_world(seed=617)
+        world.ready()
+        host = world.bank.endpoint.host
+        credential = world.client.credentials.providers[host]
+        blob = bytearray(credential.sealed_credential)
+        blob[len(blob) // 2] ^= 0xFF
+        credential.sealed_credential = bytes(blob)
+        from repro.core.errors import TrustedPathError as TPError
+
+        with pytest.raises(TPError):
+            world.confirm(world.sample_transfer(amount_cents=10))
+        # Nothing executed.
+        assert not world.bank.executed_transfers

@@ -1,0 +1,158 @@
+"""The untrusted OS: hooks, suspension, the Flicker driver, the browser."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.drtm.pal import Pal, PalServices
+from repro.drtm.session import FlickerSession
+from repro.hardware.keyboard import ScanCode
+from repro.net.network import LinkSpec, Network
+from repro.net.rpc import RpcEndpoint
+from repro.os import Browser, UntrustedOS
+from repro.os.kernel import OsSuspendedError
+
+
+class _EchoPal(Pal):
+    name = "echo"
+
+    def run(self, services: PalServices, inputs: Dict[str, bytes]):
+        return dict(inputs)
+
+
+@pytest.fixture
+def os_stack(simulator, machine):
+    osys = UntrustedOS(simulator, machine, hostname="host-a")
+    flicker = FlickerSession(simulator, machine)
+    osys.register_flicker(flicker)
+    return osys
+
+
+class TestKeyboardDriver:
+    def test_reads_through_hooks(self, os_stack, machine):
+        seen = []
+        os_stack.input_hooks.append(lambda code: (seen.append(code), code)[1])
+        machine.keyboard.press_physical_key(ScanCode.KEY_Y)
+        assert os_stack.read_keyboard() == ScanCode.KEY_Y
+        assert seen == [ScanCode.KEY_Y]
+
+    def test_hook_can_swallow(self, os_stack, machine):
+        os_stack.input_hooks.append(lambda code: None)
+        machine.keyboard.press_physical_key(ScanCode.KEY_Y)
+        assert os_stack.read_keyboard() is None
+
+    def test_hook_can_replace(self, os_stack, machine):
+        os_stack.input_hooks.append(lambda code: ScanCode.KEY_N)
+        machine.keyboard.press_physical_key(ScanCode.KEY_Y)
+        assert os_stack.read_keyboard() == ScanCode.KEY_N
+
+    def test_empty_fifo(self, os_stack):
+        assert os_stack.read_keyboard() is None
+
+    def test_does_not_touch_pal_owned_keyboard(self, os_stack, machine):
+        machine.keyboard.claim("pal")
+        machine.keyboard.press_physical_key(ScanCode.KEY_Y)
+        assert os_stack.read_keyboard() is None  # driver backs off
+        assert machine.keyboard.pending == 1  # key still there for the PAL
+
+
+class TestSuspension:
+    def test_services_raise_while_suspended(self, os_stack):
+        os_stack.suspend()
+        with pytest.raises(OsSuspendedError):
+            os_stack.read_keyboard()
+        with pytest.raises(OsSuspendedError):
+            os_stack.apply_outbound_hooks("dest", {})
+        with pytest.raises(OsSuspendedError):
+            os_stack.invoke_flicker(_EchoPal(), {})
+        os_stack.resume()
+        assert os_stack.read_keyboard() is None
+
+    def test_flicker_suspends_os_around_session(self, os_stack):
+        observed = []
+
+        class SpyPal(Pal):
+            name = "spy"
+
+            def run(self, services, inputs):
+                observed.append(os_stack.suspended)
+                return {}
+
+        os_stack.invoke_flicker(SpyPal(), {})
+        assert observed == [True]
+        assert not os_stack.suspended
+
+
+class TestFlickerGate:
+    def test_gate_can_suppress(self, os_stack):
+        os_stack.flicker_gate.append(lambda pal, inputs: None)
+        assert os_stack.invoke_flicker(_EchoPal(), {"x": b"1"}) is None
+
+    def test_gate_can_substitute(self, os_stack):
+        class Impostor(Pal):
+            name = "impostor"
+
+            def run(self, services, inputs):
+                return {"impostor": b"1"}
+
+        os_stack.flicker_gate.append(lambda pal, inputs: Impostor())
+        record = os_stack.invoke_flicker(_EchoPal(), {})
+        assert record.outputs == {"impostor": b"1"}
+
+    def test_no_driver_registered(self, simulator, machine):
+        osys = UntrustedOS(simulator, machine)
+        with pytest.raises(RuntimeError):
+            osys.invoke_flicker(_EchoPal(), {})
+
+
+class TestBrowser:
+    def _endpoint(self, simulator, name="svc.example"):
+        network = Network(simulator)
+        network.attach("host-a", LinkSpec.lan())
+        network.attach(name, LinkSpec.lan())
+        endpoint = RpcEndpoint(simulator, network, name)
+        endpoint.register("ping", lambda request: {"pong": 1, **request})
+        endpoint.register(
+            "login", lambda request: {"ok": 1, "set_session": b"cookie-123"}
+        )
+        return endpoint
+
+    def test_call_roundtrip(self, simulator, os_stack):
+        endpoint = self._endpoint(simulator)
+        browser = Browser(os_stack)
+        response = browser.call(endpoint, "ping", {"value": 7})
+        assert response["pong"] == 1 and response["value"] == 7
+
+    def test_outbound_hooks_applied(self, simulator, os_stack):
+        endpoint = self._endpoint(simulator)
+        browser = Browser(os_stack)
+        os_stack.outbound_hooks.append(
+            lambda dest, message: dict(message, value=999)
+        )
+        response = browser.call(endpoint, "ping", {"value": 7})
+        assert response["value"] == 999
+
+    def test_inbound_hooks_applied(self, simulator, os_stack):
+        endpoint = self._endpoint(simulator)
+        browser = Browser(os_stack)
+        os_stack.inbound_hooks.append(
+            lambda source, message: dict(message, injected=1)
+        )
+        assert browser.call(endpoint, "ping", {})["injected"] == 1
+
+    def test_session_cookie_stored_and_attached(self, simulator, os_stack):
+        endpoint = self._endpoint(simulator)
+        browser = Browser(os_stack)
+        browser.call(endpoint, "login", {})
+        assert browser.cookie_for(endpoint.host) == b"cookie-123"
+        response = browser.call(endpoint, "ping", {})
+        assert response["session"] == b"cookie-123"
+
+    def test_call_charges_time(self, simulator, os_stack):
+        endpoint = self._endpoint(simulator)
+        browser = Browser(os_stack)
+        before = simulator.now
+        browser.call(endpoint, "ping", {})
+        assert simulator.now > before

@@ -1,0 +1,117 @@
+"""Platform reboots: TPM volatility semantics and protocol recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.world import TrustedPathWorld, WorldConfig
+from repro.core.errors import TrustedPathError
+from repro.os.disk import UntrustedDisk
+from repro.tpm import TpmError
+from repro.tpm.constants import DYNAMIC_PCR_DEFAULT, PCR_DRTM_CODE
+
+
+@pytest.fixture(scope="module")
+def rebooted_world():
+    """A world that confirmed once, rebooted, and re-attached."""
+    world = TrustedPathWorld(WorldConfig(seed=7272)).ready()
+    outcome = world.confirm(world.sample_transfer(amount_cents=100, to="pre"))
+    assert outcome.executed
+    world.machine.reboot()
+    world.client.reattach_after_reboot()
+    return world
+
+
+class TestTpmVolatility:
+    def test_dynamic_pcrs_return_to_never_launched(self, fresh_world):
+        world = fresh_world(seed=7300)
+        world.ready()
+        world.confirm(world.sample_transfer(amount_cents=1))
+        world.machine.reboot()
+        assert world.machine.tpm.pcrs.read(PCR_DRTM_CODE) == DYNAMIC_PCR_DEFAULT
+
+    def test_plain_commands_work_after_reboot(self, fresh_world):
+        world = fresh_world(seed=7301)
+        world.ready()
+        world.machine.reboot()
+        # TPM_Startup ran inside reboot; ordinary commands work again.
+        value = world.machine.chipset.tpm_command_as_os("pcr_read", pcr_index=0)
+        assert len(value) == 20
+
+    def test_stale_aik_handle_dead_after_reboot(self, fresh_world):
+        from repro.crypto.sha1 import sha1
+        from repro.drtm.sealing import pal_pcr_selection
+
+        world = fresh_world(seed=7302)
+        world.ready()
+        aik_handle = world.client.credentials.aik_handle
+        world.machine.reboot()
+        with pytest.raises(TpmError):
+            world.machine.chipset.tpm_command_as_os(
+                "quote", key_handle=aik_handle,
+                selection=pal_pcr_selection(), external_data=sha1(b"n"),
+            )
+
+    def test_counters_persist(self, fresh_world):
+        world = fresh_world(seed=7303)
+        world.ready()
+        world.machine.chipset.tpm_command_as_os("create_counter", counter_id=9)
+        world.machine.chipset.tpm_command_as_os("increment_counter", counter_id=9)
+        world.machine.reboot()
+        assert (
+            world.machine.chipset.tpm_command_as_os("read_counter", counter_id=9)
+            == 1
+        )
+
+    def test_reboot_requires_power(self, machine):
+        machine.powered_on = False
+        with pytest.raises(RuntimeError):
+            machine.reboot()
+
+
+class TestProtocolSurvivesReboot:
+    def test_confirmation_works_after_reattach(self, rebooted_world):
+        world = rebooted_world
+        outcome = world.confirm(
+            world.sample_transfer(amount_cents=200, to="post-reboot")
+        )
+        assert outcome.executed
+        assert world.bank.balance_of("post-reboot") == 200
+
+    def test_quote_variant_works_after_reattach(self, rebooted_world):
+        outcome = rebooted_world.confirm(
+            rebooted_world.sample_transfer(amount_cents=50, to="pq"),
+            mode="quote",
+        )
+        assert outcome.executed
+
+    def test_sealed_credential_survives_reboot_by_construction(
+        self, rebooted_world
+    ):
+        """No re-setup happened: the pre-reboot sealed credential opened
+        inside the post-reboot PAL session (seal binds PCR 17, which the
+        genuine launch reproduces on any boot)."""
+        host = rebooted_world.bank.endpoint.host
+        assert rebooted_world.client.credentials.providers[host] is not None
+
+    def test_reattach_without_blob_fails(self, fresh_world):
+        world = fresh_world(seed=7304)
+        world.ready()
+        world.client.credentials.aik_wrapped = b""
+        world.machine.reboot()
+        with pytest.raises(TrustedPathError):
+            world.client.reattach_after_reboot()
+
+    def test_full_cold_start_from_disk(self, fresh_world):
+        """The complete story: save state, reboot, load state from the
+        untrusted disk, reattach, confirm."""
+        world = fresh_world(seed=7305)
+        world.ready()
+        disk = UntrustedDisk()
+        world.client.save_state(disk)
+        world.machine.reboot()
+        world.client.credentials = None  # the process restarted too
+        world.client.load_state(disk)
+        world.client.reattach_after_reboot()
+        outcome = world.confirm(world.sample_transfer(amount_cents=75, to="cold"))
+        assert outcome.executed

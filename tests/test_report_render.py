@@ -1,0 +1,38 @@
+"""The EXPERIMENTS.md report renderer (formatting only; the full
+generation runs via `python -m repro.bench.report`)."""
+
+from __future__ import annotations
+
+from repro.bench.report import _markdown_table, _section
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 0.0001}]
+        rendered = _markdown_table(rows)
+        lines = rendered.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 2.5 |" in rendered
+        assert "0.0001" in rendered
+
+    def test_column_selection(self):
+        rows = [{"x": 1, "y": 2}]
+        rendered = _markdown_table(rows, columns=["y"])
+        assert "x" not in rendered.splitlines()[0]
+
+    def test_empty(self):
+        assert "(no rows)" in _markdown_table([])
+
+    def test_missing_cell_blank(self):
+        rendered = _markdown_table([{"a": 1}], columns=["a", "b"])
+        assert "|  |" in rendered or "|  |" in rendered.replace("| 1 ", "")
+
+
+class TestSection:
+    def test_structure(self):
+        section = _section("T9", "title", "expected...", "verdict...", "BODY\n")
+        assert "## T9 — title" in section
+        assert "**Expected shape.** expected..." in section
+        assert "**Verdict.** verdict..." in section
+        assert "BODY" in section

@@ -1,0 +1,109 @@
+"""The nonce database: single-use, freshness, eviction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import HmacDrbg
+from repro.server.noncedb import NonceDatabase, NonceState
+
+
+@pytest.fixture
+def db() -> NonceDatabase:
+    return NonceDatabase(
+        HmacDrbg(b"noncedb-test"), lifetime_seconds=100.0, eviction_interval=1e9
+    )
+
+
+class TestIssueConsume:
+    def test_happy_path(self, db):
+        nonce = db.issue(b"tx-1", now=0.0)
+        accepted, state = db.consume(nonce, b"tx-1", now=10.0)
+        assert accepted and state is NonceState.LIVE
+
+    def test_nonces_unique(self, db):
+        nonces = {db.issue(b"tx", now=0.0) for _ in range(100)}
+        assert len(nonces) == 100
+
+    def test_replay_rejected(self, db):
+        nonce = db.issue(b"tx-1", now=0.0)
+        db.consume(nonce, b"tx-1", now=1.0)
+        accepted, state = db.consume(nonce, b"tx-1", now=2.0)
+        assert not accepted and state is NonceState.CONSUMED
+        assert db.rejected_replays == 1
+
+    def test_expiry_rejected(self, db):
+        nonce = db.issue(b"tx-1", now=0.0)
+        accepted, state = db.consume(nonce, b"tx-1", now=101.0)
+        assert not accepted and state is NonceState.EXPIRED
+
+    def test_unknown_rejected(self, db):
+        accepted, state = db.consume(b"\x00" * 20, b"tx-1", now=0.0)
+        assert not accepted and state is NonceState.UNKNOWN
+
+    def test_wrong_tx_binding_rejected(self, db):
+        nonce = db.issue(b"tx-1", now=0.0)
+        accepted, state = db.consume(nonce, b"tx-OTHER", now=1.0)
+        assert not accepted
+        # ...and the nonce is still live for the right transaction.
+        accepted, _ = db.consume(nonce, b"tx-1", now=2.0)
+        assert accepted
+
+    def test_boundary_exactly_at_lifetime(self, db):
+        nonce = db.issue(b"tx-1", now=0.0)
+        accepted, _ = db.consume(nonce, b"tx-1", now=100.0)  # <= is fresh
+        assert accepted
+
+    def test_state_of(self, db):
+        nonce = db.issue(b"tx-1", now=0.0)
+        assert db.state_of(nonce, now=1.0) is NonceState.LIVE
+        assert db.state_of(nonce, now=500.0) is NonceState.EXPIRED
+        db.consume(nonce, b"tx-1", now=1.0)
+        assert db.state_of(nonce, now=2.0) is NonceState.CONSUMED
+        assert db.state_of(b"\xff" * 20, now=0.0) is NonceState.UNKNOWN
+
+
+class TestEviction:
+    def test_evict_removes_consumed_and_expired(self, db):
+        keep = db.issue(b"tx-live", now=90.0)
+        gone_consumed = db.issue(b"tx-used", now=90.0)
+        db.consume(gone_consumed, b"tx-used", now=91.0)
+        db.issue(b"tx-old", now=0.0)  # will be expired at t=150
+        removed = db.evict(now=150.0)
+        assert removed == 2
+        assert db.live_count == 1
+        assert db.state_of(keep, now=150.0) is NonceState.LIVE
+
+    def test_automatic_eviction_on_issue(self):
+        db = NonceDatabase(
+            HmacDrbg(b"auto"), lifetime_seconds=10.0, eviction_interval=50.0
+        )
+        for i in range(20):
+            db.issue(b"tx-%d" % i, now=float(i))
+        # At t=60 the interval has passed: issuing triggers a sweep of
+        # everything expired (age > 10).
+        db.issue(b"tx-late", now=60.0)
+        assert db.live_count <= 2
+
+    def test_counters(self, db):
+        nonce = db.issue(b"t", now=0.0)
+        db.consume(nonce, b"t", now=1.0)
+        db.consume(nonce, b"t", now=2.0)
+        db.consume(b"\x00" * 20, b"t", now=3.0)
+        assert db.issued == 1 and db.consumed == 1
+        assert db.rejected_replays == 1 and db.rejected_unknown == 1
+
+
+class TestProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=30,
+                    unique=True))
+    def test_property_single_use(self, tx_ids):
+        db = NonceDatabase(HmacDrbg(b"prop"), lifetime_seconds=1e6)
+        pairs = [(tx_id, db.issue(tx_id, now=0.0)) for tx_id in tx_ids]
+        for tx_id, nonce in pairs:
+            accepted, _ = db.consume(nonce, tx_id, now=1.0)
+            assert accepted
+        for tx_id, nonce in pairs:
+            accepted, _ = db.consume(nonce, tx_id, now=2.0)
+            assert not accepted

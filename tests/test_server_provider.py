@@ -1,0 +1,241 @@
+"""Providers: accounts, sessions, the transaction state machine, and the
+bank/shop business rules — driven over the real RPC path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.world import TrustedPathWorld, WorldConfig
+from repro.core import Transaction
+from repro.net.rpc import RpcError
+from repro.server.provider import TxStatus
+
+
+@pytest.fixture(scope="module")
+def world() -> TrustedPathWorld:
+    built = TrustedPathWorld(
+        WorldConfig(seed=808, with_bank=True, with_shop=True)
+    ).ready()
+    built.run_setup(provider=built.shop)  # setup is per-provider
+    built.shop.add_product("gpu", stock=20, unit_price_cents=64900)
+    built.shop.add_product("ticket", stock=5, unit_price_cents=8500)
+    return built
+
+
+class TestAccounts:
+    def test_duplicate_register_rejected(self, world):
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "register",
+                {"account": world.config.account, "password": "x"},
+            )
+
+    def test_bad_login_rejected(self, world):
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "login",
+                {"account": world.config.account, "password": "wrong"},
+            )
+
+    def test_unauthenticated_request_rejected(self, world):
+        # A raw endpoint call without the session cookie.
+        with pytest.raises(RpcError):
+            world.bank.endpoint.call_sync(
+                "client-host", "tx.request",
+                {"kind": "transfer", "account": world.config.account},
+            )
+
+    def test_opening_balance(self, world):
+        assert world.bank.balance_of(world.config.account) > 0
+
+
+class TestTransactionStateMachine:
+    def test_happy_path_reaches_executed(self, world):
+        tx = world.sample_transfer(amount_cents=111, to="dest-1")
+        outcome = world.confirm(tx)
+        assert outcome.executed
+        status = world.browser.call(
+            world.bank.endpoint, "tx.status",
+            {"tx_id": outcome.server_response and _last_tx_id(world)},
+        )
+        assert status["status"] == "executed"
+
+    def test_user_rejection_recorded(self, world):
+        tx = world.sample_transfer(amount_cents=222, to="dest-2")
+        # The user intends a DIFFERENT transaction: the screen won't match.
+        world.human.intend(world.sample_transfer(amount_cents=999, to="elsewhere"))
+        outcome = world.client.confirm_transaction(world.bank.endpoint, tx)
+        assert outcome.decision == b"reject"
+        assert outcome.server_response["status"] == "rejected_by_user"
+
+    def test_double_confirm_rejected(self, world):
+        from repro.core.protocol import (
+            build_confirmation_submission,
+            build_transaction_request,
+            parse_challenge,
+        )
+
+        tx = world.sample_transfer(amount_cents=333, to="dest-3")
+        world.human.intend(tx)
+        outcome = world.confirm(tx)
+        assert outcome.executed
+        # Resubmit the exact same evidence by hand.
+        with pytest.raises(RpcError) as err:
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm",
+                {
+                    "tx_id": _last_tx_id(world),
+                    "decision": b"accept",
+                    "evidence": "signed",
+                    "signature": outcome.session.outputs["signature"],
+                },
+            )
+        assert "already" in str(err.value)
+
+    def test_unknown_tx_id(self, world):
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm",
+                {"tx_id": b"\x00" * 16, "decision": b"accept",
+                 "evidence": "signed", "signature": b"x"},
+            )
+
+    def test_bad_decision_value(self, world):
+        tx = world.sample_transfer(amount_cents=150, to="dest-4")
+        from repro.core.protocol import build_transaction_request
+
+        response = world.browser.call(
+            world.bank.endpoint, "tx.request", build_transaction_request(tx)
+        )
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm",
+                {"tx_id": response["tx_id"], "decision": b"maybe",
+                 "evidence": "signed", "signature": b"x"},
+            )
+
+    def test_pending_expires(self, world):
+        from repro.core.protocol import build_transaction_request
+
+        tx = world.sample_transfer(amount_cents=170, to="dest-5")
+        response = world.browser.call(
+            world.bank.endpoint, "tx.request", build_transaction_request(tx)
+        )
+        world.simulator.clock.advance(world.policy.nonce_lifetime_seconds + 1)
+        status = world.browser.call(
+            world.bank.endpoint, "tx.status", {"tx_id": response["tx_id"]}
+        )
+        assert status["status"] == "expired"
+
+    def test_denial_reasons_counted(self, world):
+        from repro.core.protocol import build_transaction_request
+
+        tx = world.sample_transfer(amount_cents=180, to="dest-6")
+        response = world.browser.call(
+            world.bank.endpoint, "tx.request", build_transaction_request(tx)
+        )
+        before = dict(world.bank.denials)
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm",
+                {"tx_id": response["tx_id"], "decision": b"accept",
+                 "evidence": "signed", "signature": b"\x01" * 64},
+            )
+        assert sum(world.bank.denials.values()) == sum(before.values()) + 1
+
+
+class TestBankRules:
+    def test_insufficient_funds_rejected_at_request(self, world):
+        huge = Transaction(
+            "transfer", world.config.account,
+            {"to": "x", "amount": 10**12},
+        )
+        from repro.core.protocol import build_transaction_request
+
+        with pytest.raises(RpcError) as err:
+            world.browser.call(
+                world.bank.endpoint, "tx.request", build_transaction_request(huge)
+            )
+        assert "insufficient" in str(err.value)
+
+    def test_negative_amount_rejected(self, world):
+        bad = Transaction(
+            "transfer", world.config.account, {"to": "x", "amount": -5}
+        )
+        from repro.core.protocol import build_transaction_request
+
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.request", build_transaction_request(bad)
+            )
+
+    def test_unsupported_kind_rejected(self, world):
+        bad = Transaction("order", world.config.account, {"item": "gpu"})
+        from repro.core.protocol import build_transaction_request
+
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.request", build_transaction_request(bad)
+            )
+
+    def test_money_conserved(self, world):
+        total_before = sum(world.bank.balances.values())
+        tx = world.sample_transfer(amount_cents=440, to="dest-7")
+        outcome = world.confirm(tx)
+        assert outcome.executed
+        assert sum(world.bank.balances.values()) == total_before
+
+    def test_account_mismatch_rejected(self, world):
+        from repro.core.protocol import build_transaction_request
+
+        foreign = Transaction("transfer", "not-me", {"to": "x", "amount": 1})
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.bank.endpoint, "tx.request", build_transaction_request(foreign)
+            )
+
+
+class TestShopRules:
+    def _order(self, world, item="gpu", quantity=1):
+        return Transaction(
+            "order", world.config.account, {"item": item, "quantity": quantity}
+        )
+
+    def test_order_executes_and_decrements_stock(self, world):
+        stock_before = world.shop.stock["gpu"]
+        outcome = world.confirm(self._order(world), provider=world.shop)
+        assert outcome.executed
+        assert world.shop.stock["gpu"] == stock_before - 1
+
+    def test_unknown_item_rejected(self, world):
+        from repro.core.protocol import build_transaction_request
+
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.shop.endpoint, "tx.request",
+                build_transaction_request(self._order(world, item="unobtainium")),
+            )
+
+    def test_per_account_limit(self, world):
+        from repro.core.protocol import build_transaction_request
+
+        with pytest.raises(RpcError) as err:
+            world.browser.call(
+                world.shop.endpoint, "tx.request",
+                build_transaction_request(self._order(world, quantity=99)),
+            )
+        assert "limit" in str(err.value)
+
+    def test_stock_exhaustion(self, world):
+        from repro.core.protocol import build_transaction_request
+
+        with pytest.raises(RpcError):
+            world.browser.call(
+                world.shop.endpoint, "tx.request",
+                build_transaction_request(self._order(world, item="ticket",
+                                                      quantity=6)),
+            )
+
+
+def _last_tx_id(world) -> bytes:
+    return list(world.bank.transactions.keys())[-1]

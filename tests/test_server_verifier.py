@@ -1,0 +1,253 @@
+"""The attestation verifier: every rejection reason must be reachable."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import replace
+
+import pytest
+
+from repro.core.confirmation_pal import confirmation_digest
+from repro.crypto import HmacDrbg, generate_rsa_keypair, pkcs1_sign, sha1
+from repro.drtm.sealing import pal_pcr_selection, pcr17_after_launch
+from repro.server.policy import PCR18_POST_RESET, VerifierPolicy
+from repro.server.verifier import AttestationVerifier, VerificationFailure
+from repro.tpm.ca import AikCertificate, PrivacyCa
+from repro.tpm.quote import QuoteBundle
+
+
+PAL_MEASUREMENT = sha1(b"the published PAL")
+
+
+@pytest.fixture(scope="module")
+def aik_key():
+    return generate_rsa_keypair(512, HmacDrbg(b"verifier-aik"))
+
+
+@pytest.fixture(scope="module")
+def signing_key():
+    return generate_rsa_keypair(512, HmacDrbg(b"verifier-signing"))
+
+
+@pytest.fixture
+def policy() -> VerifierPolicy:
+    policy = VerifierPolicy()
+    policy.approve_pal(PAL_MEASUREMENT)
+    return policy
+
+
+@pytest.fixture
+def verifier(policy) -> AttestationVerifier:
+    return AttestationVerifier(policy)
+
+
+def _genuine_quote(aik_key, pcr18: bytes, external: bytes) -> QuoteBundle:
+    """Build what the genuine TPM would emit for the approved PAL."""
+    from repro.tpm.structures import PcrComposite, QuoteInfo
+
+    selection = pal_pcr_selection()
+    values = (pcr17_after_launch(PAL_MEASUREMENT), pcr18)
+    composite = PcrComposite(selection=selection, values=values)
+    info = QuoteInfo(composite_digest=composite.digest(), external_data=external)
+    return QuoteBundle(
+        selection=selection,
+        pcr_values=values,
+        external_data=external,
+        signature=pkcs1_sign(aik_key, info.to_bytes()),
+        signer_fingerprint=aik_key.public.fingerprint(),
+    )
+
+
+class TestPolicy:
+    def test_expected_pcr17(self, policy):
+        assert policy.expected_pcr17_values() == [
+            pcr17_after_launch(PAL_MEASUREMENT)
+        ]
+
+    def test_measurement_must_be_digest(self, policy):
+        with pytest.raises(ValueError):
+            policy.approve_pal(b"not-a-digest")
+
+    def test_toggle_disables_check(self, policy):
+        assert not policy.pcr17_is_approved(sha1(b"rogue"))
+        policy.check_pal_measurement = False
+        assert policy.pcr17_is_approved(sha1(b"rogue"))
+
+
+class TestAikCertificateCheck:
+    def test_trusted_ca_accepted(self, verifier, policy, aik_key):
+        ca = PrivacyCa(seed=1)
+        policy.trust_ca(ca.public_key)
+        certificate = AikCertificate(
+            aik_public=aik_key.public,
+            platform_class="pc",
+            signature=pkcs1_sign(
+                ca._keypair, aik_key.public.to_bytes() + b"pc"
+            ),
+        )
+        assert verifier.verify_aik_certificate(certificate).ok
+
+    def test_untrusted_ca_rejected(self, verifier, aik_key):
+        rogue_ca = PrivacyCa(seed=2)
+        certificate = AikCertificate(
+            aik_public=aik_key.public,
+            platform_class="pc",
+            signature=pkcs1_sign(
+                rogue_ca._keypair, aik_key.public.to_bytes() + b"pc"
+            ),
+        )
+        result = verifier.verify_aik_certificate(certificate)
+        assert not result.ok
+        assert result.failure is VerificationFailure.BAD_CA_SIGNATURE
+
+
+class TestSetupVerification:
+    def _setup_quote(self, aik_key, public_key, nonce):
+        pcr18 = sha1(PCR18_POST_RESET + sha1(public_key.to_bytes()))
+        return _genuine_quote(aik_key, pcr18, sha1(nonce))
+
+    def test_genuine_setup_accepted(self, verifier, aik_key, signing_key):
+        nonce = b"n" * 20
+        quote = self._setup_quote(aik_key, signing_key.public, nonce)
+        result = verifier.verify_setup(
+            aik_key.public, signing_key.public, quote, nonce
+        )
+        assert result.ok
+
+    def test_wrong_nonce_rejected(self, verifier, aik_key, signing_key):
+        quote = self._setup_quote(aik_key, signing_key.public, b"n" * 20)
+        result = verifier.verify_setup(
+            aik_key.public, signing_key.public, quote, b"m" * 20
+        )
+        assert result.failure is VerificationFailure.CERTIFY_WRONG_NONCE
+
+    def test_key_substitution_rejected(self, verifier, aik_key, signing_key):
+        """The attacker presents its own key with a quote certifying the
+        genuine one."""
+        attacker = generate_rsa_keypair(512, HmacDrbg(b"attacker"))
+        nonce = b"n" * 20
+        quote = self._setup_quote(aik_key, signing_key.public, nonce)
+        result = verifier.verify_setup(aik_key.public, attacker.public, quote, nonce)
+        assert result.failure is VerificationFailure.CERTIFY_WRONG_KEY
+
+    def test_wrong_pal_rejected(self, verifier, aik_key, signing_key):
+        nonce = b"n" * 20
+        from repro.tpm.structures import PcrComposite, QuoteInfo
+
+        selection = pal_pcr_selection()
+        values = (
+            pcr17_after_launch(sha1(b"impostor pal")),
+            sha1(PCR18_POST_RESET + sha1(signing_key.public.to_bytes())),
+        )
+        composite = PcrComposite(selection=selection, values=values)
+        info = QuoteInfo(
+            composite_digest=composite.digest(), external_data=sha1(nonce)
+        )
+        quote = QuoteBundle(
+            selection=selection,
+            pcr_values=values,
+            external_data=sha1(nonce),
+            signature=pkcs1_sign(aik_key, info.to_bytes()),
+            signer_fingerprint=aik_key.public.fingerprint(),
+        )
+        result = verifier.verify_setup(
+            aik_key.public, signing_key.public, quote, nonce
+        )
+        assert result.failure is VerificationFailure.CERTIFY_WRONG_PCRS
+
+    def test_bad_signature_rejected(self, verifier, aik_key, signing_key):
+        nonce = b"n" * 20
+        quote = self._setup_quote(aik_key, signing_key.public, nonce)
+        broken = replace(quote, signature=b"\x00" * len(quote.signature))
+        result = verifier.verify_setup(
+            aik_key.public, signing_key.public, broken, nonce
+        )
+        assert result.failure is VerificationFailure.BAD_CERTIFY_SIGNATURE
+
+
+class TestQuoteConfirmation:
+    TEXT = b"transfer 100 to bob"
+    NONCE = b"q" * 20
+
+    def _confirmation_quote(self, aik_key, decision=b"accept", text=None,
+                            nonce=None):
+        text = self.TEXT if text is None else text
+        nonce = self.NONCE if nonce is None else nonce
+        digest = confirmation_digest(text, nonce, decision)
+        pcr18 = sha1(PCR18_POST_RESET + digest)
+        return _genuine_quote(aik_key, pcr18, sha1(nonce))
+
+    def test_genuine_accepted(self, verifier, aik_key):
+        quote = self._confirmation_quote(aik_key)
+        result = verifier.verify_quote_confirmation(
+            aik_key.public, quote, self.TEXT, self.NONCE, b"accept"
+        )
+        assert result.ok
+
+    def test_decision_flip_rejected(self, verifier, aik_key):
+        quote = self._confirmation_quote(aik_key, decision=b"reject")
+        result = verifier.verify_quote_confirmation(
+            aik_key.public, quote, self.TEXT, self.NONCE, b"accept"
+        )
+        assert result.failure is VerificationFailure.QUOTE_WRONG_PCR18
+
+    def test_text_swap_rejected(self, verifier, aik_key):
+        quote = self._confirmation_quote(aik_key, text=b"transfer 100 to mule")
+        result = verifier.verify_quote_confirmation(
+            aik_key.public, quote, self.TEXT, self.NONCE, b"accept"
+        )
+        assert result.failure is VerificationFailure.QUOTE_WRONG_PCR18
+
+    def test_nonce_swap_rejected(self, verifier, aik_key):
+        quote = self._confirmation_quote(aik_key, nonce=b"r" * 20)
+        result = verifier.verify_quote_confirmation(
+            aik_key.public, quote, self.TEXT, self.NONCE, b"accept"
+        )
+        assert result.failure is VerificationFailure.QUOTE_WRONG_NONCE
+
+    def test_unapproved_pal_rejected(self, verifier, policy, aik_key):
+        policy.approved_pal_measurements.clear()
+        policy.approve_pal(sha1(b"some other PAL"))
+        quote = self._confirmation_quote(aik_key)
+        result = verifier.verify_quote_confirmation(
+            aik_key.public, quote, self.TEXT, self.NONCE, b"accept"
+        )
+        assert result.failure is VerificationFailure.QUOTE_WRONG_PCR17
+
+
+class TestSignedConfirmation:
+    TEXT = b"order 1 gpu"
+    NONCE = b"s" * 20
+
+    def _signature(self, signing_key, decision=b"accept"):
+        digest = confirmation_digest(self.TEXT, self.NONCE, decision)
+        return pkcs1_sign(signing_key, digest, prehashed=True)
+
+    def test_genuine_accepted(self, verifier, signing_key):
+        result = verifier.verify_signed_confirmation(
+            signing_key.public, self._signature(signing_key),
+            self.TEXT, self.NONCE, b"accept",
+        )
+        assert result.ok
+
+    def test_no_registered_key(self, verifier, signing_key):
+        result = verifier.verify_signed_confirmation(
+            None, self._signature(signing_key), self.TEXT, self.NONCE, b"accept"
+        )
+        assert result.failure is VerificationFailure.NO_REGISTERED_KEY
+
+    def test_wrong_key_rejected(self, verifier, signing_key):
+        attacker = generate_rsa_keypair(512, HmacDrbg(b"attacker-2"))
+        digest = confirmation_digest(self.TEXT, self.NONCE, b"accept")
+        forged = pkcs1_sign(attacker, digest, prehashed=True)
+        result = verifier.verify_signed_confirmation(
+            signing_key.public, forged, self.TEXT, self.NONCE, b"accept"
+        )
+        assert result.failure is VerificationFailure.BAD_SIGNATURE
+
+    def test_decision_flip_rejected(self, verifier, signing_key):
+        result = verifier.verify_signed_confirmation(
+            signing_key.public, self._signature(signing_key, b"reject"),
+            self.TEXT, self.NONCE, b"accept",
+        )
+        assert result.failure is VerificationFailure.BAD_SIGNATURE

@@ -1,0 +1,110 @@
+"""Generator processes: Sleep, WaitFor, SimProcess."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator, Sleep, WaitFor
+from repro.sim.process import SimProcess
+
+
+class TestSleep:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-1)
+
+    def test_sleep_object_equivalent_to_float(self):
+        sim = Simulator()
+        times = []
+
+        def process():
+            yield Sleep(0.5)
+            times.append(sim.now)
+            yield 0.5
+            times.append(sim.now)
+
+        sim.spawn(process())
+        sim.run()
+        assert times == [0.5, 1.0]
+
+
+class TestWaitFor:
+    def test_waits_until_condition(self):
+        sim = Simulator()
+        flag = {"ready": False}
+        outcomes = []
+
+        def waiter():
+            result = yield WaitFor(lambda: flag["ready"], poll_period=0.1)
+            outcomes.append((result, sim.now))
+
+        sim.spawn(waiter())
+        sim.schedule(0.35, lambda: flag.update(ready=True))
+        sim.run()
+        assert outcomes[0][0] is True
+        assert outcomes[0][1] == pytest.approx(0.4, abs=0.01)
+
+    def test_timeout_returns_false(self):
+        sim = Simulator()
+        outcomes = []
+
+        def waiter():
+            result = yield WaitFor(lambda: False, poll_period=0.1, timeout=0.5)
+            outcomes.append(result)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert outcomes == [False]
+
+    def test_bad_poll_period(self):
+        with pytest.raises(ValueError):
+            WaitFor(lambda: True, poll_period=0)
+
+
+class TestSimProcess:
+    def test_result_captured(self):
+        sim = Simulator()
+
+        class Worker(SimProcess):
+            def body(self):
+                yield 1.0
+                yield 2.0
+                return "done at %.1f" % self.simulator.now
+
+        worker = Worker(sim).start()
+        sim.run()
+        assert worker.done
+        assert worker.result == "done at 3.0"
+
+    def test_concurrent_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        class Ticker(SimProcess):
+            def __init__(self, simulator, name, period):
+                super().__init__(simulator, label=name)
+                self.period = period
+
+            def body(self):
+                for _ in range(3):
+                    yield self.period
+                    log.append((self.label, round(self.simulator.now, 3)))
+
+        Ticker(sim, "fast", 0.1).start()
+        Ticker(sim, "slow", 0.25).start()
+        sim.run()
+        assert ("fast", 0.1) in log and ("slow", 0.25) in log
+        times = [t for _name, t in log]
+        assert times == sorted(times)
+
+    def test_unsupported_yield_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "nonsense"
+
+        sim.spawn(bad())
+        from repro.sim import SimulationError
+
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,185 @@
+"""OIAP authorization sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import sha1
+from repro.tpm import TpmError
+from repro.tpm.authsessions import (
+    AuthBlock,
+    WELL_KNOWN_SECRET,
+    compute_auth_hmac,
+    param_digest,
+)
+from repro.tpm.constants import TpmResult
+from repro.tpm.keys import KeyUsage
+
+USAGE_SECRET = sha1(b"user passphrase")
+
+
+@pytest.fixture
+def protected_key(instant_tpm):
+    """(handle, public) of a loaded signing key with a usage secret."""
+    public, wrapped = instant_tpm.execute(
+        0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+        usage=KeyUsage.SIGNING, usage_auth=USAGE_SECRET,
+    )
+    handle = instant_tpm.execute(
+        0, "load_key2", parent_handle=instant_tpm.SRK_HANDLE, wrapped_blob=wrapped
+    )
+    return handle, public
+
+
+def _auth_block(tpm, digest, secret=USAGE_SECRET, continue_session=0,
+                session=None):
+    if session is None:
+        session = tpm.execute(0, "oiap_open")
+    session_handle, nonce_even = session
+    nonce_odd = b"\x42" * 20
+    return AuthBlock(
+        session_handle=session_handle,
+        nonce_odd=nonce_odd,
+        continue_session=continue_session,
+        auth_hmac=compute_auth_hmac(
+            secret, digest, nonce_even, nonce_odd, continue_session
+        ),
+    )
+
+
+class TestOiapFlow:
+    def test_sign_with_valid_proof(self, instant_tpm, protected_key):
+        handle, public = protected_key
+        digest = sha1(b"document")
+        block = _auth_block(instant_tpm, param_digest("sign", digest))
+        signature = instant_tpm.execute(
+            0, "sign", key_handle=handle, digest=digest, auth=block
+        )
+        from repro.crypto import pkcs1_verify
+
+        assert pkcs1_verify(public, digest, signature, prehashed=True)
+
+    def test_sign_without_proof_rejected(self, instant_tpm, protected_key):
+        handle, _ = protected_key
+        with pytest.raises(TpmError) as err:
+            instant_tpm.execute(0, "sign", key_handle=handle, digest=sha1(b"d"))
+        assert err.value.result is TpmResult.AUTH_FAIL
+
+    def test_wrong_secret_rejected(self, instant_tpm, protected_key):
+        handle, _ = protected_key
+        digest = sha1(b"d")
+        block = _auth_block(
+            instant_tpm, param_digest("sign", digest), secret=sha1(b"guess")
+        )
+        with pytest.raises(TpmError) as err:
+            instant_tpm.execute(
+                0, "sign", key_handle=handle, digest=digest, auth=block
+            )
+        assert err.value.result is TpmResult.AUTH_FAIL
+
+    def test_proof_bound_to_parameters(self, instant_tpm, protected_key):
+        """An HMAC computed for one digest does not authorize another —
+        the param digest is inside the MAC."""
+        handle, _ = protected_key
+        block = _auth_block(instant_tpm, param_digest("sign", sha1(b"intended")))
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0, "sign", key_handle=handle, digest=sha1(b"swapped"), auth=block
+            )
+
+    def test_proof_single_use(self, instant_tpm, protected_key):
+        """Replaying an auth block fails: the even nonce rolled."""
+        handle, _ = protected_key
+        digest = sha1(b"once")
+        block = _auth_block(
+            instant_tpm, param_digest("sign", digest), continue_session=1
+        )
+        instant_tpm.execute(0, "sign", key_handle=handle, digest=digest, auth=block)
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0, "sign", key_handle=handle, digest=digest, auth=block
+            )
+
+    def test_continued_session_stays_usable(self, instant_tpm, protected_key):
+        handle, _ = protected_key
+        session = instant_tpm.execute(0, "oiap_open")
+        digest = sha1(b"first")
+        block = _auth_block(
+            instant_tpm, param_digest("sign", digest),
+            continue_session=1, session=session,
+        )
+        instant_tpm.execute(0, "sign", key_handle=handle, digest=digest, auth=block)
+        # Second use: fetch the rolled nonce through a fresh HMAC.
+        nonce_even = instant_tpm.oiap.nonce_even(session[0])
+        digest2 = sha1(b"second")
+        block2 = AuthBlock(
+            session_handle=session[0],
+            nonce_odd=b"\x43" * 20,
+            continue_session=0,
+            auth_hmac=compute_auth_hmac(
+                USAGE_SECRET, param_digest("sign", digest2),
+                nonce_even, b"\x43" * 20, 0,
+            ),
+        )
+        instant_tpm.execute(
+            0, "sign", key_handle=handle, digest=digest2, auth=block2
+        )
+
+    def test_failed_attempt_kills_session(self, instant_tpm, protected_key):
+        handle, _ = protected_key
+        session = instant_tpm.execute(0, "oiap_open")
+        digest = sha1(b"d")
+        bad = _auth_block(
+            instant_tpm, param_digest("sign", digest),
+            secret=sha1(b"wrong"), session=session,
+        )
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0, "sign", key_handle=handle, digest=digest, auth=bad
+            )
+        with pytest.raises(TpmError):
+            instant_tpm.oiap.nonce_even(session[0])
+
+    def test_usage_auth_survives_wrap_reload(self, instant_tpm):
+        """The auth requirement travels inside the wrapped blob."""
+        _, wrapped = instant_tpm.execute(
+            0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+            usage=KeyUsage.SIGNING, usage_auth=USAGE_SECRET,
+        )
+        handle = instant_tpm.execute(
+            0, "load_key2", parent_handle=instant_tpm.SRK_HANDLE,
+            wrapped_blob=wrapped,
+        )
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "sign", key_handle=handle, digest=sha1(b"x"))
+
+    def test_well_known_secret_means_no_auth(self, instant_tpm):
+        _, wrapped = instant_tpm.execute(
+            0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+            usage=KeyUsage.SIGNING, usage_auth=WELL_KNOWN_SECRET,
+        )
+        handle = instant_tpm.execute(
+            0, "load_key2", parent_handle=instant_tpm.SRK_HANDLE,
+            wrapped_blob=wrapped,
+        )
+        instant_tpm.execute(0, "sign", key_handle=handle, digest=sha1(b"free"))
+
+    def test_session_table_bounded(self, instant_tpm):
+        for _ in range(instant_tpm.oiap.MAX_SESSIONS):
+            instant_tpm.execute(0, "oiap_open")
+        with pytest.raises(TpmError) as err:
+            instant_tpm.execute(0, "oiap_open")
+        assert err.value.result is TpmResult.NO_SPACE
+
+    def test_terminate_frees_slot(self, instant_tpm):
+        handles = [instant_tpm.execute(0, "oiap_open")[0]
+                   for _ in range(instant_tpm.oiap.MAX_SESSIONS)]
+        instant_tpm.execute(0, "terminate_auth", session_handle=handles[0])
+        instant_tpm.execute(0, "oiap_open")  # fits again
+
+    def test_bad_usage_auth_length_rejected(self, instant_tpm):
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+                usage=KeyUsage.SIGNING, usage_auth=b"short",
+            )

@@ -1,0 +1,132 @@
+"""Privacy CA enrollment: the AIK credential flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpm import TpmError
+from repro.tpm.ca import (
+    EnrollmentError,
+    PrivacyCa,
+    decrypt_certificate,
+    deserialize_certificate,
+    serialize_certificate,
+)
+
+
+@pytest.fixture(scope="module")
+def ca() -> PrivacyCa:
+    return PrivacyCa(seed=555)
+
+
+class TestEnrollment:
+    def test_full_flow(self, ca, instant_tpm):
+        ek_public = instant_tpm.execute(0, "read_pubek")
+        ca.register_manufacturer_ek(ek_public)
+        aik_handle, aik_public, _wrapped = instant_tpm.execute(0, "make_identity")
+        response = ca.enroll(aik_public, ek_public)
+        session_key = instant_tpm.execute(
+            0,
+            "activate_identity",
+            aik_handle=aik_handle,
+            encrypted_blob=response.encrypted_activation,
+        )
+        certificate = decrypt_certificate(
+            session_key, response.encrypted_certificate
+        )
+        assert certificate.aik_public == aik_public
+        assert certificate.verify(ca.public_key)
+
+    def test_unknown_ek_rejected(self, instant_tpm):
+        fresh_ca = PrivacyCa(seed=777)
+        _, aik_public, _w = instant_tpm.execute(0, "make_identity")
+        ek_public = instant_tpm.execute(0, "read_pubek")
+        with pytest.raises(EnrollmentError):
+            fresh_ca.enroll(aik_public, ek_public)
+
+    def test_activation_bound_to_aik(self, ca, instant_tpm):
+        """A blob issued for AIK-1 must not activate with AIK-2: the CA
+        names the AIK inside the EK-encrypted blob."""
+        ek_public = instant_tpm.execute(0, "read_pubek")
+        ca.register_manufacturer_ek(ek_public)
+        handle_one, aik_one, _w1 = instant_tpm.execute(0, "make_identity")
+        handle_two, aik_two, _w2 = instant_tpm.execute(0, "make_identity")
+        response = ca.enroll(aik_one, ek_public)
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0,
+                "activate_identity",
+                aik_handle=handle_two,
+                encrypted_blob=response.encrypted_activation,
+            )
+
+    def test_activation_bound_to_ek(self, ca, simulator, instant_tpm):
+        """A blob encrypted to TPM A's EK is garbage to TPM B."""
+        from repro.tpm.device import TpmDevice
+        from repro.tpm.timing import instant_profile
+
+        other = TpmDevice(simulator.clock, instant_profile(), seed=31337)
+        other.startup()
+        ek_public = instant_tpm.execute(0, "read_pubek")
+        ca.register_manufacturer_ek(ek_public)
+        _, aik_public, _w = instant_tpm.execute(0, "make_identity")
+        response = ca.enroll(aik_public, ek_public)
+        other_handle, _, _w = other.execute(0, "make_identity")
+        with pytest.raises(TpmError):
+            other.execute(
+                0,
+                "activate_identity",
+                aik_handle=other_handle,
+                encrypted_blob=response.encrypted_activation,
+            )
+
+    def test_certificate_signature_covers_platform_class(self, ca, instant_tpm):
+        ek_public = instant_tpm.execute(0, "read_pubek")
+        ca.register_manufacturer_ek(ek_public)
+        _, aik_public, _w = instant_tpm.execute(0, "make_identity")
+        response = ca.enroll(aik_public, ek_public, platform_class="laptop-v1")
+        session_key = None
+        handle, _ = None, None
+        # decrypt via a fresh activation using the right AIK
+        aik_handle, aik_pub2, _w2 = instant_tpm.execute(0, "make_identity")
+        response2 = ca.enroll(aik_pub2, ek_public, platform_class="laptop-v1")
+        session_key = instant_tpm.execute(
+            0,
+            "activate_identity",
+            aik_handle=aik_handle,
+            encrypted_blob=response2.encrypted_activation,
+        )
+        certificate = decrypt_certificate(
+            session_key, response2.encrypted_certificate
+        )
+        assert certificate.platform_class == "laptop-v1"
+        # Tampering with the platform class breaks the signature.
+        from dataclasses import replace
+
+        forged = replace(certificate, platform_class="datacenter-hsm")
+        assert not forged.verify(ca.public_key)
+
+    def test_serialize_roundtrip(self, ca, instant_tpm):
+        ek_public = instant_tpm.execute(0, "read_pubek")
+        ca.register_manufacturer_ek(ek_public)
+        aik_handle, aik_public, _wrapped = instant_tpm.execute(0, "make_identity")
+        response = ca.enroll(aik_public, ek_public)
+        session_key = instant_tpm.execute(
+            0,
+            "activate_identity",
+            aik_handle=aik_handle,
+            encrypted_blob=response.encrypted_activation,
+        )
+        certificate = decrypt_certificate(
+            session_key, response.encrypted_certificate
+        )
+        restored = deserialize_certificate(serialize_certificate(certificate))
+        assert restored == certificate
+
+    def test_issuance_counter(self, instant_tpm):
+        fresh_ca = PrivacyCa(seed=888)
+        ek_public = instant_tpm.execute(0, "read_pubek")
+        fresh_ca.register_manufacturer_ek(ek_public)
+        _, aik_public, _w = instant_tpm.execute(0, "make_identity")
+        fresh_ca.enroll(aik_public, ek_public)
+        assert fresh_ca.certificates_issued == 1

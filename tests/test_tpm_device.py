@@ -1,0 +1,323 @@
+"""The TPM device: command behaviours, key lifecycle, timing accrual."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import pkcs1_verify, sha1
+from repro.drtm.sealing import pal_pcr_selection
+from repro.tpm import TpmError, verify_quote
+from repro.tpm.constants import PCR_DRTM_CODE, TpmResult
+from repro.tpm.keys import KeyUsage
+from repro.tpm.structures import PcrSelection
+
+
+class TestStartupGate:
+    def test_commands_before_startup_rejected(self, simulator):
+        from repro.tpm.device import TpmDevice
+        from repro.tpm.timing import instant_profile
+
+        tpm = TpmDevice(simulator.clock, instant_profile(), seed=1)
+        with pytest.raises(TpmError) as err:
+            tpm.execute(0, "pcr_read", pcr_index=0)
+        assert err.value.result is TpmResult.INVALID_POSTINIT
+
+    def test_unknown_command_rejected(self, instant_tpm):
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "self_destruct")
+
+
+class TestRandomness:
+    def test_get_random_lengths(self, instant_tpm):
+        assert len(instant_tpm.execute(0, "get_random", num_bytes=20)) == 20
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "get_random", num_bytes=0)
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "get_random", num_bytes=5000)
+
+    def test_get_random_not_repeating(self, instant_tpm):
+        a = instant_tpm.execute(0, "get_random", num_bytes=16)
+        b = instant_tpm.execute(0, "get_random", num_bytes=16)
+        assert a != b
+
+    def test_different_devices_different_streams(self, simulator):
+        from repro.tpm.device import TpmDevice
+        from repro.tpm.timing import instant_profile
+
+        tpm_a = TpmDevice(simulator.clock, instant_profile(), seed=1)
+        tpm_b = TpmDevice(simulator.clock, instant_profile(), seed=2)
+        tpm_a.startup()
+        tpm_b.startup()
+        assert tpm_a.execute(0, "get_random", num_bytes=16) != tpm_b.execute(
+            0, "get_random", num_bytes=16
+        )
+
+
+class TestQuote:
+    def test_quote_verifies(self, instant_tpm):
+        handle, public, _wrapped = instant_tpm.execute(0, "make_identity")
+        bundle = instant_tpm.execute(
+            0,
+            "quote",
+            key_handle=handle,
+            selection=pal_pcr_selection(),
+            external_data=sha1(b"nonce"),
+        )
+        assert verify_quote(public, bundle)
+
+    def test_quote_reports_live_pcr_values(self, instant_tpm):
+        handle, public, _wrapped = instant_tpm.execute(0, "make_identity")
+        before = instant_tpm.execute(
+            0, "quote", key_handle=handle,
+            selection=PcrSelection(indices=(0,)), external_data=sha1(b"n1"),
+        )
+        instant_tpm.execute(0, "extend", pcr_index=0, measurement=sha1(b"m"))
+        after = instant_tpm.execute(
+            0, "quote", key_handle=handle,
+            selection=PcrSelection(indices=(0,)), external_data=sha1(b"n2"),
+        )
+        assert before.reported_value(0) != after.reported_value(0)
+
+    def test_quote_requires_identity_key(self, instant_tpm):
+        _, wrapped = instant_tpm.execute(
+            0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+            usage=KeyUsage.SIGNING,
+        )
+        handle = instant_tpm.execute(
+            0, "load_key2", parent_handle=instant_tpm.SRK_HANDLE,
+            wrapped_blob=wrapped,
+        )
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0, "quote", key_handle=handle,
+                selection=pal_pcr_selection(), external_data=sha1(b"n"),
+            )
+
+    def test_quote_requires_20_byte_nonce(self, instant_tpm):
+        handle, _, _wrapped = instant_tpm.execute(0, "make_identity")
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0, "quote", key_handle=handle,
+                selection=pal_pcr_selection(), external_data=b"short",
+            )
+
+    def test_forged_pcr_value_breaks_verification(self, instant_tpm):
+        from dataclasses import replace
+
+        handle, public, _wrapped = instant_tpm.execute(0, "make_identity")
+        bundle = instant_tpm.execute(
+            0, "quote", key_handle=handle,
+            selection=pal_pcr_selection(), external_data=sha1(b"n"),
+        )
+        forged = replace(bundle, pcr_values=(sha1(b"fake"), bundle.pcr_values[1]))
+        assert not verify_quote(public, forged)
+
+    def test_forged_nonce_breaks_verification(self, instant_tpm):
+        from dataclasses import replace
+
+        handle, public, _wrapped = instant_tpm.execute(0, "make_identity")
+        bundle = instant_tpm.execute(
+            0, "quote", key_handle=handle,
+            selection=pal_pcr_selection(), external_data=sha1(b"n"),
+        )
+        forged = replace(bundle, external_data=sha1(b"other"))
+        assert not verify_quote(public, forged)
+
+
+class TestSealUnseal:
+    def test_roundtrip_when_pcrs_unchanged(self, instant_tpm):
+        blob = instant_tpm.execute(
+            0, "seal", data=b"secret", selection=PcrSelection(indices=(0,))
+        )
+        assert instant_tpm.execute(0, "unseal", blob=blob) == b"secret"
+
+    def test_unseal_fails_after_pcr_change(self, instant_tpm):
+        blob = instant_tpm.execute(
+            0, "seal", data=b"secret", selection=PcrSelection(indices=(0,))
+        )
+        instant_tpm.execute(0, "extend", pcr_index=0, measurement=sha1(b"change"))
+        with pytest.raises(TpmError) as err:
+            instant_tpm.execute(0, "unseal", blob=blob)
+        assert err.value.result is TpmResult.WRONG_PCR_VALUE
+
+    def test_unseal_ignores_unselected_pcrs(self, instant_tpm):
+        blob = instant_tpm.execute(
+            0, "seal", data=b"secret", selection=PcrSelection(indices=(0,))
+        )
+        instant_tpm.execute(0, "extend", pcr_index=1, measurement=sha1(b"other"))
+        assert instant_tpm.execute(0, "unseal", blob=blob) == b"secret"
+
+    def test_blob_bound_to_device(self, simulator, instant_tpm):
+        from repro.tpm.device import TpmDevice
+        from repro.tpm.timing import instant_profile
+
+        other = TpmDevice(simulator.clock, instant_profile(), seed=99)
+        other.startup()
+        blob = instant_tpm.execute(
+            0, "seal", data=b"secret", selection=PcrSelection(indices=(0,))
+        )
+        with pytest.raises(TpmError) as err:
+            other.execute(0, "unseal", blob=blob)
+        assert err.value.result is TpmResult.KEY_NOT_FOUND
+
+    def test_corrupt_blob_rejected(self, instant_tpm):
+        from dataclasses import replace
+
+        blob = instant_tpm.execute(
+            0, "seal", data=b"secret", selection=PcrSelection(indices=(0,))
+        )
+        corrupted = replace(blob, ciphertext=b"\x00" + blob.ciphertext[1:])
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "unseal", blob=corrupted)
+
+
+class TestKeyLifecycle:
+    def test_wrap_load_sign(self, instant_tpm):
+        public, wrapped = instant_tpm.execute(
+            0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+            usage=KeyUsage.SIGNING,
+        )
+        handle = instant_tpm.execute(
+            0, "load_key2", parent_handle=instant_tpm.SRK_HANDLE,
+            wrapped_blob=wrapped,
+        )
+        digest = sha1(b"document")
+        signature = instant_tpm.execute(0, "sign", key_handle=handle, digest=digest)
+        assert pkcs1_verify(public, digest, signature, prehashed=True)
+
+    def test_sign_requires_signing_key(self, instant_tpm):
+        handle, _, _wrapped = instant_tpm.execute(0, "make_identity")
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "sign", key_handle=handle, digest=sha1(b"d"))
+
+    def test_sign_requires_sha1_digest(self, instant_tpm):
+        _, wrapped = instant_tpm.execute(
+            0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+            usage=KeyUsage.SIGNING,
+        )
+        handle = instant_tpm.execute(
+            0, "load_key2", parent_handle=instant_tpm.SRK_HANDLE,
+            wrapped_blob=wrapped,
+        )
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "sign", key_handle=handle, digest=b"not-20")
+
+    def test_flush_unloads(self, instant_tpm):
+        _, wrapped = instant_tpm.execute(
+            0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+            usage=KeyUsage.SIGNING,
+        )
+        handle = instant_tpm.execute(
+            0, "load_key2", parent_handle=instant_tpm.SRK_HANDLE,
+            wrapped_blob=wrapped,
+        )
+        instant_tpm.execute(0, "flush_context", key_handle=handle)
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "sign", key_handle=handle, digest=sha1(b"d"))
+
+    def test_srk_cannot_be_flushed(self, instant_tpm):
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "flush_context", key_handle=instant_tpm.SRK_HANDLE)
+
+    def test_tampered_wrapped_blob_rejected(self, instant_tpm):
+        _, wrapped = instant_tpm.execute(
+            0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+            usage=KeyUsage.SIGNING,
+        )
+        tampered = wrapped[:-1] + bytes([wrapped[-1] ^ 1])
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0, "load_key2", parent_handle=instant_tpm.SRK_HANDLE,
+                wrapped_blob=tampered,
+            )
+
+    def test_cannot_create_endorsement_keys(self, instant_tpm):
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+                usage=KeyUsage.ENDORSEMENT,
+            )
+
+    def test_signing_key_cannot_parent(self, instant_tpm):
+        _, wrapped = instant_tpm.execute(
+            0, "create_wrap_key", parent_handle=instant_tpm.SRK_HANDLE,
+            usage=KeyUsage.SIGNING,
+        )
+        handle = instant_tpm.execute(
+            0, "load_key2", parent_handle=instant_tpm.SRK_HANDLE,
+            wrapped_blob=wrapped,
+        )
+        with pytest.raises(TpmError):
+            instant_tpm.execute(
+                0, "create_wrap_key", parent_handle=handle, usage=KeyUsage.SIGNING
+            )
+
+
+class TestNvAndCounters:
+    def test_nv_roundtrip_with_auth(self, instant_tpm):
+        instant_tpm.execute(0, "nv_define", index=1, size=32, auth_value=b"pw")
+        instant_tpm.execute(0, "nv_write", index=1, data=b"hello", auth=b"pw")
+        assert instant_tpm.execute(0, "nv_read", index=1, auth=b"pw") == b"hello"
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "nv_read", index=1, auth=b"wrong")
+
+    def test_nv_size_enforced(self, instant_tpm):
+        instant_tpm.execute(0, "nv_define", index=2, size=4)
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "nv_write", index=2, data=b"too long")
+
+    def test_nv_space_exhaustion(self, instant_tpm):
+        with pytest.raises(TpmError) as err:
+            instant_tpm.execute(0, "nv_define", index=3, size=10_000)
+        assert err.value.result is TpmResult.NO_SPACE
+
+    def test_monotonic_counter(self, instant_tpm):
+        instant_tpm.execute(0, "create_counter", counter_id=1)
+        assert instant_tpm.execute(0, "increment_counter", counter_id=1) == 1
+        assert instant_tpm.execute(0, "increment_counter", counter_id=1) == 2
+        assert instant_tpm.execute(0, "read_counter", counter_id=1) == 2
+
+    def test_unknown_counter(self, instant_tpm):
+        with pytest.raises(TpmError):
+            instant_tpm.execute(0, "read_counter", counter_id=9)
+
+
+class TestTiming:
+    def test_commands_charge_virtual_time(self, simulator, timed_tpm):
+        before = simulator.now
+        timed_tpm.execute(0, "extend", pcr_index=0, measurement=sha1(b"m"))
+        cheap = simulator.now - before
+        handle, _, _wrapped = timed_tpm.execute(0, "make_identity")
+        before = simulator.now
+        timed_tpm.execute(
+            0, "quote", key_handle=handle,
+            selection=pal_pcr_selection(), external_data=sha1(b"n"),
+        )
+        expensive = simulator.now - before
+        # Quote is orders of magnitude dearer than extend (T1's shape).
+        assert expensive > 100 * cheap
+
+    def test_vendor_ordering_on_quote(self, simulator):
+        from repro.tpm.device import TpmDevice
+        from repro.tpm.timing import vendor_profile
+
+        durations = {}
+        for vendor in ("infineon", "broadcom"):
+            tpm = TpmDevice(
+                simulator.clock, vendor_profile(vendor),
+                seed=simulator.rng.derive_seed(vendor),
+            )
+            tpm.startup()
+            handle, _, _wrapped = tpm.execute(0, "make_identity")
+            before = simulator.now
+            tpm.execute(
+                0, "quote", key_handle=handle,
+                selection=pal_pcr_selection(), external_data=sha1(b"n"),
+            )
+            durations[vendor] = simulator.now - before
+        assert durations["broadcom"] > 2 * durations["infineon"]
+
+    def test_command_counters(self, instant_tpm):
+        instant_tpm.execute(0, "pcr_read", pcr_index=0)
+        instant_tpm.execute(0, "pcr_read", pcr_index=1)
+        assert instant_tpm.commands_executed["pcr_read"] == 2

@@ -1,0 +1,91 @@
+"""Key objects, private-parameter serialization, and wrapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import HmacDrbg
+from repro.crypto.stream import AuthenticationError
+from repro.tpm.keys import (
+    KeyUsage,
+    TpmKey,
+    deserialize_private,
+    serialize_private,
+    unwrap_key,
+    wrap_key,
+)
+
+
+@pytest.fixture(scope="module")
+def drbg():
+    return HmacDrbg(b"keys-tests")
+
+
+@pytest.fixture(scope="module")
+def storage_key(drbg):
+    return TpmKey.generate(KeyUsage.STORAGE, drbg, 512)
+
+
+@pytest.fixture(scope="module")
+def signing_key(drbg):
+    return TpmKey.generate(KeyUsage.SIGNING, drbg, 512)
+
+
+class TestGeneration:
+    def test_storage_keys_get_wrap_secret(self, storage_key, signing_key):
+        assert storage_key.wrap_secret is not None
+        assert signing_key.wrap_secret is None
+
+    def test_fingerprints_distinct(self, storage_key, signing_key):
+        assert storage_key.fingerprint() != signing_key.fingerprint()
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self, signing_key):
+        restored = deserialize_private(serialize_private(signing_key))
+        assert restored.usage is signing_key.usage
+        assert restored.keypair == signing_key.keypair
+        assert restored.wrap_secret == signing_key.wrap_secret
+
+    def test_roundtrip_storage_key(self, storage_key):
+        restored = deserialize_private(serialize_private(storage_key))
+        assert restored.wrap_secret == storage_key.wrap_secret
+
+    def test_restored_key_signs_identically(self, signing_key):
+        from repro.crypto import pkcs1_sign, sha1
+
+        restored = deserialize_private(serialize_private(signing_key))
+        digest = sha1(b"same message")
+        assert pkcs1_sign(restored.keypair, digest, prehashed=True) == pkcs1_sign(
+            signing_key.keypair, digest, prehashed=True
+        )
+
+    def test_malformed_blob_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_private(b"\x00\x00\x00\x04abcd")
+
+
+class TestWrapping:
+    def test_wrap_unwrap_roundtrip(self, drbg, storage_key, signing_key):
+        wrapped = wrap_key(storage_key, signing_key, drbg.generate(16))
+        restored = unwrap_key(storage_key, wrapped)
+        assert restored.keypair == signing_key.keypair
+
+    def test_wrapped_blob_hides_private_half(self, drbg, storage_key, signing_key):
+        wrapped = wrap_key(storage_key, signing_key, drbg.generate(16))
+        d_bytes = signing_key.keypair.d.to_bytes(
+            (signing_key.keypair.d.bit_length() + 7) // 8, "big"
+        )
+        assert d_bytes not in wrapped
+
+    def test_wrong_parent_cannot_unwrap(self, drbg, storage_key, signing_key):
+        other_parent = TpmKey.generate(KeyUsage.STORAGE, drbg, 512)
+        wrapped = wrap_key(storage_key, signing_key, drbg.generate(16))
+        with pytest.raises(AuthenticationError):
+            unwrap_key(other_parent, wrapped)
+
+    def test_non_storage_parent_refused(self, drbg, storage_key, signing_key):
+        with pytest.raises(ValueError):
+            wrap_key(signing_key, storage_key, drbg.generate(16))
+        with pytest.raises(ValueError):
+            unwrap_key(signing_key, b"blob")

@@ -1,0 +1,154 @@
+"""The PCR bank: extend semantics and the DRTM locality policy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.sha1 import sha1
+from repro.tpm.constants import (
+    DYNAMIC_PCR_DEFAULT,
+    NUM_PCRS,
+    PCR_APPLICATION,
+    PCR_DRTM_CODE,
+    STATIC_PCR_DEFAULT,
+    TpmError,
+    is_dynamic_pcr,
+)
+from repro.tpm.pcr import PcrBank
+
+
+@pytest.fixture
+def bank() -> PcrBank:
+    return PcrBank()
+
+
+class TestStartupState:
+    def test_static_pcrs_zero(self, bank):
+        for index in range(17):
+            assert bank.read(index) == STATIC_PCR_DEFAULT
+
+    def test_dynamic_pcrs_all_ones(self, bank):
+        for index in range(17, 23):
+            assert bank.read(index) == DYNAMIC_PCR_DEFAULT
+
+    def test_never_launched_distinguishable_from_launched(self, bank):
+        # 0xFF... (never launched) vs SHA1(0^20 || m) (launched) can
+        # never collide because the latter is a SHA-1 output and the
+        # former is not reachable by extending from zero.
+        bank.reset_dynamic(PCR_DRTM_CODE, locality=4)
+        bank.extend(PCR_DRTM_CODE, sha1(b"pal"), locality=4)
+        assert bank.read(PCR_DRTM_CODE) != DYNAMIC_PCR_DEFAULT
+
+
+class TestExtendSemantics:
+    def test_extend_is_hash_chain(self, bank):
+        measurement = sha1(b"m")
+        bank.extend(0, measurement, locality=0)
+        assert bank.read(0) == sha1(STATIC_PCR_DEFAULT + measurement)
+
+    def test_extend_is_order_sensitive(self, bank):
+        other = PcrBank()
+        a, b = sha1(b"a"), sha1(b"b")
+        bank.extend(0, a, locality=0)
+        bank.extend(0, b, locality=0)
+        other.extend(0, b, locality=0)
+        other.extend(0, a, locality=0)
+        assert bank.read(0) != other.read(0)
+
+    def test_extend_requires_20_bytes(self, bank):
+        with pytest.raises(TpmError):
+            bank.extend(0, b"short", locality=0)
+
+    def test_extend_log(self, bank):
+        bank.extend(0, sha1(b"x"), locality=0)
+        bank.extend(1, sha1(b"y"), locality=0)
+        assert [index for index, _ in bank.extend_log] == [0, 1]
+
+    def test_bad_index(self, bank):
+        with pytest.raises(TpmError):
+            bank.read(NUM_PCRS)
+        with pytest.raises(TpmError):
+            bank.extend(-1, sha1(b"x"), locality=0)
+
+    @given(st.lists(st.binary(min_size=1, max_size=40), min_size=1, max_size=10))
+    def test_property_replay_reaches_same_value(self, raw_measurements):
+        measurements = [sha1(raw) for raw in raw_measurements]
+        first, second = PcrBank(), PcrBank()
+        for m in measurements:
+            first.extend(0, m, locality=0)
+            second.extend(0, m, locality=0)
+        assert first.read(0) == second.read(0)
+
+    @given(st.binary(min_size=1, max_size=40))
+    def test_property_extend_changes_value(self, raw):
+        bank = PcrBank()
+        before = bank.read(0)
+        bank.extend(0, sha1(raw), locality=0)
+        assert bank.read(0) != before
+
+
+class TestLocalityPolicy:
+    """The rules PCR 17's unreachability rests on."""
+
+    @pytest.mark.parametrize("locality", [0, 1])
+    def test_low_localities_cannot_extend_dynamic(self, bank, locality):
+        with pytest.raises(TpmError):
+            bank.extend(PCR_DRTM_CODE, sha1(b"evil"), locality=locality)
+
+    @pytest.mark.parametrize("locality", [2, 3, 4])
+    def test_high_localities_can_extend_dynamic(self, bank, locality):
+        bank.extend(PCR_DRTM_CODE, sha1(b"ok"), locality=locality)
+
+    @pytest.mark.parametrize("locality", [0, 1, 2, 3])
+    def test_only_locality4_resets_dynamic(self, bank, locality):
+        with pytest.raises(TpmError):
+            bank.reset_dynamic(PCR_DRTM_CODE, locality=locality)
+
+    def test_locality4_reset_zeroes(self, bank):
+        bank.reset_dynamic(PCR_DRTM_CODE, locality=4)
+        assert bank.read(PCR_DRTM_CODE) == STATIC_PCR_DEFAULT
+
+    def test_static_pcrs_never_resettable(self, bank):
+        for locality in range(5):
+            with pytest.raises(TpmError):
+                bank.reset_dynamic(0, locality=locality)
+
+    def test_application_pcr_resets_at_any_locality(self, bank):
+        bank.extend(PCR_APPLICATION, sha1(b"x"), locality=0)
+        bank.reset_dynamic(PCR_APPLICATION, locality=0)
+        assert bank.read(PCR_APPLICATION) == STATIC_PCR_DEFAULT
+
+    def test_any_locality_can_extend_static(self, bank):
+        for locality in range(5):
+            bank.extend(0, sha1(b"boot"), locality=locality)
+
+    def test_software_cannot_reach_post_launch_value(self, bank):
+        """The core one-way property: without a locality-4 reset, no
+        extend sequence from 0xFF..FF reaches SHA1(0^20 || m)."""
+        target_bank = PcrBank()
+        target_bank.reset_dynamic(PCR_DRTM_CODE, locality=4)
+        measurement = sha1(b"genuine-pal")
+        target = target_bank.extend(PCR_DRTM_CODE, measurement, locality=4)
+        # The attacker extends the same measurement (and variations)
+        # from the un-reset state at the best locality software gets (2
+        # via a hostile PAL — which would change the measurement — or
+        # none at all; we grant locality 2 generously).
+        for attempt in (measurement, sha1(b"\xff" * 20), sha1(measurement)):
+            bank_try = PcrBank()
+            bank_try.extend(PCR_DRTM_CODE, attempt, locality=2)
+            assert bank_try.read(PCR_DRTM_CODE) != target
+
+
+class TestStartupClear:
+    def test_startup_resets_everything(self, bank):
+        bank.extend(0, sha1(b"x"), locality=0)
+        bank.reset_dynamic(PCR_DRTM_CODE, locality=4)
+        bank.startup_clear()
+        assert bank.read(0) == STATIC_PCR_DEFAULT
+        assert bank.read(PCR_DRTM_CODE) == DYNAMIC_PCR_DEFAULT
+        assert bank.extend_log == []
+
+    def test_is_dynamic_pcr(self):
+        assert is_dynamic_pcr(17) and is_dynamic_pcr(22)
+        assert not is_dynamic_pcr(16) and not is_dynamic_pcr(23)

@@ -1,0 +1,70 @@
+"""QuoteBundle wire format and verifier edge cases."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto import HmacDrbg, generate_rsa_keypair, pkcs1_sign, sha1
+from repro.drtm.sealing import pal_pcr_selection
+from repro.tpm.quote import QuoteBundle, expected_pcr_values, verify_quote
+from repro.tpm.structures import PcrComposite, QuoteInfo
+
+
+@pytest.fixture(scope="module")
+def aik():
+    return generate_rsa_keypair(512, HmacDrbg(b"qb-aik"))
+
+
+def _bundle(aik, external=None):
+    selection = pal_pcr_selection()
+    values = (sha1(b"pcr17"), sha1(b"pcr18"))
+    composite = PcrComposite(selection=selection, values=values)
+    external = external or sha1(b"nonce")
+    info = QuoteInfo(composite_digest=composite.digest(), external_data=external)
+    return QuoteBundle(
+        selection=selection,
+        pcr_values=values,
+        external_data=external,
+        signature=pkcs1_sign(aik, info.to_bytes()),
+        signer_fingerprint=aik.public.fingerprint(),
+    )
+
+
+class TestWireFormat:
+    def test_roundtrip(self, aik):
+        bundle = _bundle(aik)
+        restored = QuoteBundle.from_bytes(bundle.to_bytes())
+        assert restored == bundle
+        assert verify_quote(aik.public, restored)
+
+    def test_roundtrip_preserves_verifiability(self, aik):
+        bundle = QuoteBundle.from_bytes(_bundle(aik).to_bytes())
+        assert verify_quote(aik.public, bundle)
+
+
+class TestVerifierEdgeCases:
+    def test_wrong_fingerprint_rejected(self, aik):
+        other = generate_rsa_keypair(512, HmacDrbg(b"qb-other"))
+        bundle = replace(
+            _bundle(aik), signer_fingerprint=other.public.fingerprint()
+        )
+        assert not verify_quote(aik.public, bundle)
+
+    def test_short_external_data_rejected(self, aik):
+        bundle = replace(_bundle(aik), external_data=b"short")
+        assert not verify_quote(aik.public, bundle)
+
+    def test_value_swap_rejected(self, aik):
+        bundle = _bundle(aik)
+        swapped = replace(
+            bundle, pcr_values=(bundle.pcr_values[1], bundle.pcr_values[0])
+        )
+        assert not verify_quote(aik.public, swapped)
+
+    def test_expected_pcr_values_helper(self):
+        reported = {17: sha1(b"a"), 18: sha1(b"b")}
+        assert expected_pcr_values(reported, {17: sha1(b"a")})
+        assert not expected_pcr_values(reported, {17: sha1(b"x")})
+        assert not expected_pcr_values(reported, {19: sha1(b"a")})

@@ -1,0 +1,166 @@
+"""TPM wire structures: canonical encodings and roundtrips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.sha1 import sha1
+from repro.tpm.constants import NUM_PCRS, TpmError
+from repro.tpm.structures import (
+    CertifyInfo,
+    PcrComposite,
+    PcrSelection,
+    QuoteInfo,
+    SealedBlob,
+)
+
+pcr_index_sets = st.sets(
+    st.integers(min_value=0, max_value=NUM_PCRS - 1), min_size=1, max_size=8
+)
+
+
+class TestPcrSelection:
+    def test_sorted_and_deduped(self):
+        selection = PcrSelection(indices=(18, 17))
+        assert selection.indices == (17, 18)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(TpmError):
+            PcrSelection(indices=(17, 17))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TpmError):
+            PcrSelection(indices=())
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TpmError):
+            PcrSelection(indices=(NUM_PCRS,))
+
+    @given(pcr_index_sets)
+    def test_roundtrip(self, indices):
+        selection = PcrSelection(indices=tuple(indices))
+        assert PcrSelection.from_bytes(selection.to_bytes()) == selection
+
+    def test_bitmap_format(self):
+        selection = PcrSelection(indices=(0, 8, 17))
+        encoded = selection.to_bytes()
+        assert encoded[0:2] == b"\x00\x03"  # 3-byte map for 24 PCRs
+        assert encoded[2] == 0b1  # PCR 0
+        assert encoded[3] == 0b1  # PCR 8
+        assert encoded[4] == 0b10  # PCR 17
+
+
+class TestPcrComposite:
+    def _composite(self, indices=(17, 18)):
+        values = tuple(sha1(bytes([i])) for i in indices)
+        return PcrComposite(selection=PcrSelection(indices=indices), values=values)
+
+    def test_roundtrip(self):
+        composite = self._composite()
+        assert PcrComposite.from_bytes(composite.to_bytes()) == composite
+
+    def test_digest_changes_with_values(self):
+        a = self._composite()
+        b = PcrComposite(
+            selection=a.selection, values=(a.values[0], sha1(b"different"))
+        )
+        assert a.digest() != b.digest()
+
+    def test_digest_changes_with_selection(self):
+        a = self._composite((17, 18))
+        b = PcrComposite(selection=PcrSelection(indices=(17, 19)), values=a.values)
+        assert a.digest() != b.digest()
+
+    def test_value_count_must_match(self):
+        with pytest.raises(TpmError):
+            PcrComposite(
+                selection=PcrSelection(indices=(17, 18)), values=(sha1(b"one"),)
+            )
+
+    def test_value_of(self):
+        composite = self._composite()
+        assert composite.value_of(17) == sha1(bytes([17]))
+        with pytest.raises(KeyError):
+            composite.value_of(0)
+
+    def test_from_bank(self):
+        values = {i: sha1(bytes([i])) for i in range(NUM_PCRS)}
+        composite = PcrComposite.from_bank(PcrSelection(indices=(3, 7)), values)
+        assert composite.values == (values[3], values[7])
+
+    @given(pcr_index_sets)
+    def test_property_roundtrip(self, indices):
+        indices = tuple(sorted(indices))
+        composite = PcrComposite(
+            selection=PcrSelection(indices=indices),
+            values=tuple(sha1(bytes([i])) for i in indices),
+        )
+        restored = PcrComposite.from_bytes(composite.to_bytes())
+        assert restored == composite and restored.digest() == composite.digest()
+
+
+class TestQuoteInfo:
+    def test_roundtrip(self):
+        info = QuoteInfo(composite_digest=sha1(b"c"), external_data=sha1(b"n"))
+        assert QuoteInfo.from_bytes(info.to_bytes()) == info
+
+    def test_header_checked(self):
+        info = QuoteInfo(composite_digest=sha1(b"c"), external_data=sha1(b"n"))
+        corrupted = b"XXXX" + info.to_bytes()[4:]
+        with pytest.raises(TpmError):
+            QuoteInfo.from_bytes(corrupted)
+
+    def test_lengths_checked(self):
+        with pytest.raises(TpmError):
+            QuoteInfo(composite_digest=b"short", external_data=sha1(b"n"))
+        with pytest.raises(TpmError):
+            QuoteInfo(composite_digest=sha1(b"c"), external_data=b"short")
+
+    def test_fixed_marker_present(self):
+        info = QuoteInfo(composite_digest=sha1(b"c"), external_data=sha1(b"n"))
+        assert b"QUOT" in info.to_bytes()
+
+
+class TestSealedBlob:
+    def test_roundtrip(self):
+        blob = SealedBlob(
+            selection=PcrSelection(indices=(17,)),
+            pcr_info_digest=sha1(b"policy"),
+            ciphertext=b"\x01\x02\x03" * 40,
+            parent_key_fingerprint=sha1(b"srk"),
+        )
+        assert SealedBlob.from_bytes(blob.to_bytes()) == blob
+
+    @given(st.binary(min_size=0, max_size=512))
+    def test_property_roundtrip_any_ciphertext(self, ciphertext):
+        blob = SealedBlob(
+            selection=PcrSelection(indices=(17, 18)),
+            pcr_info_digest=sha1(b"p"),
+            ciphertext=ciphertext,
+            parent_key_fingerprint=sha1(b"srk"),
+        )
+        assert SealedBlob.from_bytes(blob.to_bytes()) == blob
+
+
+class TestCertifyInfo:
+    def test_roundtrip(self):
+        info = CertifyInfo(
+            public_key_digest=sha1(b"pub"),
+            composite_digest=sha1(b"comp"),
+            external_data=sha1(b"nonce"),
+        )
+        assert CertifyInfo.from_bytes(info.to_bytes()) == info
+
+    def test_marker_distinct_from_quote(self):
+        certify = CertifyInfo(
+            public_key_digest=sha1(b"p"),
+            composite_digest=sha1(b"c"),
+            external_data=sha1(b"n"),
+        ).to_bytes()
+        quote = QuoteInfo(
+            composite_digest=sha1(b"c"), external_data=sha1(b"n")
+        ).to_bytes()
+        # Domain separation: a certify blob can never parse as a quote.
+        with pytest.raises(TpmError):
+            QuoteInfo.from_bytes(certify[: len(quote)])

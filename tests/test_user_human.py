@@ -1,0 +1,112 @@
+"""The human user model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Transaction
+from repro.hardware.keyboard import Ps2KeyboardController, ScanCode
+from repro.sim import Simulator
+from repro.user import HumanUser, UserProfile
+
+
+@pytest.fixture
+def keyboard():
+    return Ps2KeyboardController()
+
+
+def _user(keyboard, profile=None, seed=3):
+    sim = Simulator(seed=seed)
+    return HumanUser(keyboard, sim.rng.stream("human"), profile=profile)
+
+
+def _screen_for(tx: Transaction) -> str:
+    return "\n".join(tx.display_lines() + ["", "Press  Y = confirm    N = reject"])
+
+
+class TestConfirmationBehaviour:
+    def test_accepts_intended_transaction(self, keyboard):
+        user = _user(keyboard)
+        tx = Transaction("transfer", "alice", {"to": "bob", "amount": 100})
+        user.intend(tx)
+        think = user(_screen_for(tx), 30.0)
+        assert think > 0
+        assert keyboard.read_scancode("os") == ScanCode.KEY_Y
+        assert user.decisions == ["accept"]
+
+    def test_rejects_altered_transaction(self, keyboard):
+        user = _user(keyboard)
+        user.intend(Transaction("transfer", "alice", {"to": "bob", "amount": 100}))
+        altered = Transaction("transfer", "alice", {"to": "mule", "amount": 100})
+        user(_screen_for(altered), 30.0)
+        assert keyboard.read_scancode("os") == ScanCode.KEY_N
+        assert user.decisions == ["reject"]
+
+    def test_rejects_unsolicited_prompt(self, keyboard):
+        user = _user(keyboard)  # no intention at all
+        tx = Transaction("transfer", "alice", {"to": "mule", "amount": 1})
+        user(_screen_for(tx), 30.0)
+        assert keyboard.read_scancode("os") == ScanCode.KEY_N
+
+    def test_ignores_non_confirmation_screens(self, keyboard):
+        user = _user(keyboard)
+        think = user("=== TRUSTED PATH SETUP ===\nNo action required.", 12.0)
+        assert think == 12.0
+        assert keyboard.pending == 0
+
+    def test_careless_user_accepts_anything(self, keyboard):
+        user = _user(keyboard, profile=UserProfile.careless())
+        user.intend(Transaction("transfer", "alice", {"to": "bob", "amount": 1}))
+        altered = Transaction("transfer", "alice", {"to": "mule", "amount": 10**6})
+        user(_screen_for(altered), 30.0)
+        assert keyboard.read_scancode("os") == ScanCode.KEY_Y
+
+    def test_reading_time_scales_with_text(self, keyboard):
+        user = _user(keyboard)
+        tx_small = Transaction("transfer", "alice", {"to": "b", "amount": 1})
+        tx_big = Transaction(
+            "transfer", "alice",
+            {f"field{i}": f"value-{i}" for i in range(10)} | {"amount": 1},
+        )
+        user.intend(tx_small)
+        short = user(_screen_for(tx_small), 60.0)
+        user.intend(tx_big)
+        long = user(_screen_for(tx_big), 60.0)
+        assert long > short
+
+    def test_screens_logged(self, keyboard):
+        user = _user(keyboard)
+        user("whatever", 1.0)
+        assert user.screens_seen == ["whatever"]
+
+
+class TestCannotDistinguishSpoof:
+    def test_same_pixels_same_decision(self, keyboard):
+        """The uni-directional concession, as a property of the model:
+        the decision depends only on rendered text, never on who
+        rendered it."""
+        tx = Transaction("transfer", "alice", {"to": "bob", "amount": 100})
+        genuine_user = _user(keyboard, seed=9)
+        genuine_user.intend(tx)
+        genuine_user(_screen_for(tx), 30.0)
+        genuine_decision = genuine_user.decisions[-1]
+
+        spoof_keyboard = Ps2KeyboardController()
+        spoofed_user = _user(spoof_keyboard, seed=9)
+        spoofed_user.intend(tx)
+        spoofed_user(_screen_for(tx), 30.0)  # painted by malware this time
+        assert spoofed_user.decisions[-1] == genuine_decision
+
+
+class TestCaptchaSolving:
+    def test_solve_time_distribution(self, keyboard):
+        user = _user(keyboard)
+        times = []
+        correct = 0
+        for _ in range(100):
+            seconds, ok = user.solve_captcha()
+            times.append(seconds)
+            correct += int(ok)
+        assert min(times) >= 1.0
+        assert 5.0 < sum(times) / len(times) < 15.0
+        assert 75 <= correct <= 100  # ~92% accuracy
