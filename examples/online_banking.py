@@ -40,7 +40,7 @@ def main() -> None:
         kind="transfer", account="alice", fields={"to": "rent-llc", "amount": 95_000}
     )
     outcome = world.confirm(intended)
-    print(f"  alice intended : rent-llc 950.00")
+    print("  alice intended : rent-llc 950.00")
     print(f"  malware sent   : {MULE} 4500.00")
     pal_screen = next(
         frame for owner, frame in world.machine.display.frames[::-1]

@@ -125,7 +125,6 @@ class _DmaProbePal:
 def run_dma_attack(protect_dma: bool, seed: int = 313) -> bool:
     """Returns True iff a device DMA write landed in live PAL memory."""
     from repro.drtm.pal import Pal, PalServices
-    from repro.drtm.session import FlickerSession
 
     world = TrustedPathWorld(WorldConfig(seed=seed))
     world.flicker.protect_dma = protect_dma

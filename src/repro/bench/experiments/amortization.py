@@ -58,12 +58,21 @@ def fig4_amortization(
     vendors: Sequence[str] = ("infineon", "broadcom"),
     k_values: Sequence[int] = (1, 2, 3, 5, 10, 20, 50),
     seed: int = 53,
+    costs_by_vendor: Dict[str, Dict[str, float]] = None,
 ) -> List[Dict]:
     """Rows: vendor, k, cumulative signed cost, cumulative quote cost,
-    crossover flag."""
+    crossover flag.
+
+    ``costs_by_vendor`` lets callers that already ran
+    :func:`measure_per_vendor_costs` (e.g. for :func:`crossover_k`)
+    reuse those measurements instead of re-running the sessions.
+    """
     rows: List[Dict] = []
     for vendor in vendors:
-        costs = measure_per_vendor_costs(vendor, seed=seed)
+        if costs_by_vendor is not None and vendor in costs_by_vendor:
+            costs = costs_by_vendor[vendor]
+        else:
+            costs = measure_per_vendor_costs(vendor, seed=seed)
         for k in k_values:
             signed_total = costs["setup_cost"] + k * costs["signed_per_tx"]
             quote_total = k * costs["quote_per_tx"]
@@ -79,10 +88,16 @@ def fig4_amortization(
     return rows
 
 
-def crossover_k(vendor: str, seed: int = 53, k_max: int = 200) -> int:
+def crossover_k(
+    vendor: str,
+    seed: int = 53,
+    k_max: int = 200,
+    costs: Dict[str, float] = None,
+) -> int:
     """Smallest k at which the signed variant's cumulative machine cost
     drops below the quote variant's (k_max+1 if never)."""
-    costs = measure_per_vendor_costs(vendor, seed=seed)
+    if costs is None:
+        costs = measure_per_vendor_costs(vendor, seed=seed)
     per_tx_saving = costs["quote_per_tx"] - costs["signed_per_tx"]
     if per_tx_saving <= 0:
         return k_max + 1

@@ -139,10 +139,19 @@ def human_overhead_rows(repetitions: int = 5, seed: int = 79) -> List[Dict]:
     ]
 
 
-def fig3_captcha_comparison(seed: int = 71) -> Dict[str, List[Dict]]:
-    """All three panels, keyed by panel name."""
+def fig3_captcha_comparison(
+    seed: int = 71, attempts: int = 400, repetitions: int = 5
+) -> Dict[str, List[Dict]]:
+    """All three panels, keyed by panel name.
+
+    ``attempts`` sizes the two attack panels and ``repetitions`` the
+    human-overhead panel, so smoke runs can shrink the figure without
+    touching its shape.
+    """
     return {
-        "captcha_attack": captcha_attack_rows(seed=seed),
-        "trusted_path_forgery": trusted_path_forgery_rows(seed=seed + 2),
-        "human_overhead": human_overhead_rows(seed=seed + 8),
+        "captcha_attack": captcha_attack_rows(attempts=attempts, seed=seed),
+        "trusted_path_forgery": trusted_path_forgery_rows(
+            attempts=attempts, seed=seed + 2
+        ),
+        "human_overhead": human_overhead_rows(repetitions=repetitions, seed=seed + 8),
     }

@@ -84,8 +84,17 @@ def _absorb_result(command: str, result, context: Dict) -> None:
         context.setdefault("loaded_handles", []).append(result)
 
 
-def table1_tpm_microbench(seed: int = 101, vendors: Sequence[str] = ()) -> List[Dict]:
-    """Rows: vendor, command, samples, mean_ms, p95_ms."""
+def table1_tpm_microbench(
+    seed: int = 101,
+    vendors: Sequence[str] = (),
+    max_samples: int = 0,
+) -> List[Dict]:
+    """Rows: vendor, command, samples, mean_ms, p95_ms.
+
+    ``max_samples`` (when positive) caps each command's sample count
+    below the COMMAND_PLAN default — smoke runs trade tighter
+    percentiles for speed.
+    """
     rows: List[Dict] = []
     for vendor in vendors or sorted(VENDOR_PROFILES):
         sim = Simulator(seed=seed)
@@ -112,6 +121,8 @@ def table1_tpm_microbench(seed: int = 101, vendors: Sequence[str] = ()) -> List[
             0, "seal", data=b"x" * 64, selection=pal_pcr_selection()
         )
         for command, samples in COMMAND_PLAN:
+            if max_samples > 0:
+                samples = min(samples, max_samples)
             durations = _measure(device, sim, command, samples, context)
             ordered = sorted(durations)
             rows.append(

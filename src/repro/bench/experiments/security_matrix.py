@@ -87,7 +87,9 @@ def password_scheme(seed: int) -> SchemeUnderTest:
     )
 
 
-def captcha_scheme(seed: int, bot_rate: float = 0.30, tries: int = 50) -> SchemeUnderTest:
+def captcha_scheme(
+    seed: int, bot_rate: float = 0.30, tries: int = 50
+) -> SchemeUnderTest:
     """A captcha gate attacked by an OCR bot with ``bot_rate`` accuracy."""
     sim = Simulator(seed=seed)
     service = CaptchaService(HmacDrbg(b"matrix-captcha"), difficulty=0.0)

@@ -26,6 +26,7 @@ from repro.server.policy import VerifierPolicy
 from repro.server.provider import SERVICE_TIMES
 from repro.server.verifier import AttestationVerifier
 from repro.sim import Simulator
+from repro.sim.metrics import Histogram
 
 
 def fig2_server_throughput(
@@ -74,7 +75,7 @@ def _run_one(offered: float, workers: int, duration: float, seed: int) -> Dict:
 
     endpoint.register("verify", handle_verify, SERVICE_TIMES["tx.confirm"])
 
-    latencies: List[float] = []
+    latency_hist = Histogram("verify.latency")
     completion_times: List[float] = []
     arrival_rng = sim.rng.stream("arrivals")
 
@@ -86,7 +87,7 @@ def _run_one(offered: float, workers: int, duration: float, seed: int) -> Dict:
         sent_at = sim.now
 
         def on_response(response):
-            latencies.append(sim.now - sent_at)
+            latency_hist.observe(sim.now - sent_at)
             completion_times.append(sim.now)
 
         endpoint.submit(
@@ -107,12 +108,10 @@ def _run_one(offered: float, workers: int, duration: float, seed: int) -> Dict:
         index += 1
 
     sim.run(until=duration + 30.0)  # generous drain window
-    completed = len(latencies)
     # Throughput = completions that landed inside the measurement
     # window; the post-window drain must not flatter a saturated server.
     in_window = sum(1 for t in completion_times if t <= duration)
-    latencies.sort()
-    p95 = latencies[int(0.95 * (completed - 1))] if completed else float("nan")
+    p95 = latency_hist.quantile(0.95) if latency_hist.count else float("nan")
     return {
         "workers": workers,
         "offered_rps": offered,

@@ -7,7 +7,7 @@ notes line stating the expected shape being checked.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 Cell = Union[str, int, float]
 Row = Dict[str, Cell]

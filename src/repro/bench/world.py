@@ -11,7 +11,7 @@ an experiment reads as its protocol, not as plumbing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core import Transaction, TrustedPathClient
 from repro.core.protocol import EVIDENCE_SIGNED
@@ -47,6 +47,9 @@ class WorldConfig:
     #: serve the protocol over the TLS-lite channel (slower to simulate;
     #: the trust analysis is unchanged — the endpoint is the adversary).
     tls: bool = False
+    #: record structured spans for every layer (see `repro.sim.tracing`);
+    #: off by default so untraced experiments pay nothing.
+    tracing: bool = False
 
 
 class TrustedPathWorld:
@@ -56,7 +59,7 @@ class TrustedPathWorld:
         self.config = config or WorldConfig()
         cfg = self.config
 
-        self.simulator = Simulator(seed=cfg.seed)
+        self.simulator = Simulator(seed=cfg.seed, tracing=cfg.tracing)
         self.machine: Machine = build_machine(self.simulator, vendor=cfg.vendor)
         self.os = UntrustedOS(self.simulator, self.machine, hostname=CLIENT_HOST)
         self.browser = Browser(self.os)
@@ -145,6 +148,11 @@ class TrustedPathWorld:
             self.run_setup()
         return self
 
+    @property
+    def tracer(self):
+        """The simulator's tracer (the no-op tracer unless cfg.tracing)."""
+        return self.simulator.tracer
+
     # ------------------------------------------------------------------
     def providers(self):
         return [p for p in (self.bank, self.shop) if p is not None]
@@ -155,7 +163,9 @@ class TrustedPathWorld:
             raise RuntimeError("world was built without any provider")
         return provider
 
-    def sample_transfer(self, amount_cents: int = 12_500, to: str = "bob") -> Transaction:
+    def sample_transfer(
+        self, amount_cents: int = 12_500, to: str = "bob"
+    ) -> Transaction:
         return Transaction(
             kind="transfer",
             account=self.config.account,

@@ -207,7 +207,8 @@ class TrustedPathClient:
         self.browser.call(
             endpoint,
             "tp.enroll_aik",
-            {"aik_certificate": serialize_certificate(self.credentials.aik_certificate)},
+            {"aik_certificate":
+                 serialize_certificate(self.credentials.aik_certificate)},
         )
 
     # ------------------------------------------------------------------

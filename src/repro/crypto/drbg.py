@@ -68,6 +68,14 @@ class HmacDrbg:
             if candidate < bound:
                 return candidate
 
+    def snapshot(self) -> tuple:
+        """The complete generator state; output is a pure function of it."""
+        return (self._key, self._value, self.bytes_generated)
+
+    def restore(self, state: tuple) -> None:
+        """Reset to a state captured by :meth:`snapshot`."""
+        self._key, self._value, self.bytes_generated = state
+
     def fork(self, label: bytes) -> "HmacDrbg":
         """Derive an independent child DRBG; used to give each simulated
         device its own stream without sharing state."""

@@ -122,6 +122,15 @@ class RsaKeyPair:
     raw_sign = raw_decrypt  # signing is the same private-key operation
 
 
+#: Keygen replay cache.  HMAC-DRBG output is a pure function of its
+#: (key, value) state, so identical entry state + parameters yield the
+#: identical keypair and leave the generator in the identical exit
+#: state.  Every re-seeded world (each experiment repetition, each
+#: test) replays its prime search from here instead of re-running ~20 s
+#: of pure-Python arithmetic; results are bit-identical either way.
+_KEYGEN_CACHE: dict = {}
+
+
 def generate_rsa_keypair(
     bits: int,
     drbg: HmacDrbg,
@@ -130,6 +139,22 @@ def generate_rsa_keypair(
     """Generate an RSA key pair of (approximately) ``bits`` modulus bits."""
     if bits < 512:
         raise ValueError(f"refusing RSA keys under 512 bits (got {bits})")
+    entry_key, entry_value, entry_count = drbg.snapshot()
+    cache_key = (bits, e, entry_key, entry_value)
+    cached = _KEYGEN_CACHE.get(cache_key)
+    if cached is not None:
+        keypair, exit_key, exit_value, consumed = cached
+        drbg.restore((exit_key, exit_value, entry_count + consumed))
+        return keypair
+    keypair = _generate_rsa_keypair(bits, drbg, e)
+    exit_key, exit_value, exit_count = drbg.snapshot()
+    _KEYGEN_CACHE[cache_key] = (
+        keypair, exit_key, exit_value, exit_count - entry_count,
+    )
+    return keypair
+
+
+def _generate_rsa_keypair(bits: int, drbg: HmacDrbg, e: int) -> RsaKeyPair:
     half = bits // 2
     while True:
         p = generate_safe_exponent_prime(half, drbg, e)

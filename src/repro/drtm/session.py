@@ -25,7 +25,6 @@ from repro.drtm.sealing import CAP_MEASUREMENT
 from repro.drtm.skinit import (
     OS_RESUME_SECONDS,
     OS_SUSPEND_SECONDS,
-    LateLaunchError,
     perform_skinit,
     teardown_launch,
 )
@@ -38,6 +37,48 @@ from repro.tpm.constants import PCR_DRTM_CODE
 # and returning how long it thought before its keypresses landed (it
 # injects them into the keyboard itself).  None means "no human present".
 HumanActor = Callable[[str, float], float]
+
+#: span name → SessionRecord.breakdown phase for the launch plumbing.
+_PHASE_FOR_SPAN = {
+    "drtm.suspend": "suspend",
+    "drtm.skinit": "skinit",
+    "drtm.cap": "cap",
+    "drtm.resume": "resume",
+}
+
+
+def breakdown_from_span(session_span) -> Dict[str, float]:
+    """Recover the per-phase breakdown from a ``drtm.session`` span tree.
+
+    The launch phases map one child span each; inside ``drtm.pal`` the
+    TPM commands (``tpm.*``) and human waits (``pal.human_wait``) are
+    summed and the remainder is PAL logic — the same arithmetic
+    :meth:`FlickerSession.run` performs with inline clock marks, so the
+    result matches :attr:`SessionRecord.breakdown` to float precision.
+    """
+    breakdown = {
+        "suspend": 0.0, "skinit": 0.0, "pal_tpm": 0.0, "pal_human": 0.0,
+        "pal_logic": 0.0, "cap": 0.0, "resume": 0.0,
+    }
+    for child in session_span.children:
+        phase = _PHASE_FOR_SPAN.get(child.name)
+        if phase is not None:
+            breakdown[phase] += child.duration
+        elif child.name == "drtm.pal":
+            tpm = sum(
+                span.duration
+                for span in child.walk()
+                if span is not child and span.name.startswith("tpm.")
+            )
+            human = sum(
+                grandchild.duration
+                for grandchild in child.children
+                if grandchild.name == "pal.human_wait"
+            )
+            breakdown["pal_tpm"] += tpm
+            breakdown["pal_human"] += human
+            breakdown["pal_logic"] += child.duration - (tpm + human)
+    return breakdown
 
 
 @dataclass
@@ -120,73 +161,91 @@ class FlickerSession:
         inputs: Dict[str, bytes],
         padded_size: int = 64 * 1024,
     ) -> SessionRecord:
-        """Execute one complete late-launch session for ``pal``."""
+        """Execute one complete late-launch session for ``pal``.
+
+        Under tracing every phase of the launch becomes a child span of
+        one ``drtm.session`` span, with the PAL's TPM commands and human
+        waits nested below ``drtm.pal`` — the span tree reproduces the
+        :class:`SessionRecord` breakdown exactly (see
+        :func:`breakdown_from_span`).
+        """
         clock = self.simulator.clock
+        tracer = self.simulator.tracer
         breakdown: Dict[str, float] = {}
 
-        # -- suspend the OS -------------------------------------------------
-        mark = clock.now
-        if self.os_hooks is not None:
-            self.os_hooks.suspend()
-        clock.advance(OS_SUSPEND_SECONDS)
-        self.machine.keyboard.claim("pal")
-        self.machine.keyboard.drain("pal")
-        self.machine.display.acquire("pal", pin=True)
-        breakdown["suspend"] = clock.now - mark
+        with tracer.span(
+            "drtm.session", pal=pal.name, vendor=self.machine.tpm.profile.vendor
+        ) as session_span:
+            # -- suspend the OS ---------------------------------------------
+            mark = clock.now
+            with tracer.span("drtm.suspend"):
+                if self.os_hooks is not None:
+                    self.os_hooks.suspend()
+                clock.advance(OS_SUSPEND_SECONDS)
+                self.machine.keyboard.claim("pal")
+                self.machine.keyboard.drain("pal")
+                self.machine.display.acquire("pal", pin=True)
+            breakdown["suspend"] = clock.now - mark
 
-        # -- SKINIT ----------------------------------------------------------
-        mark = clock.now
-        slb = SecureLoaderBlock.package(pal, padded_size=padded_size)
-        context = perform_skinit(
-            self.simulator, self.machine, slb, protect_dma=self.protect_dma
-        )
-        breakdown["skinit"] = clock.now - mark
-        pcr17 = self.machine.tpm.pcrs.read(PCR_DRTM_CODE)
+            # -- SKINIT ------------------------------------------------------
+            mark = clock.now
+            with tracer.span("drtm.skinit", padded_size=padded_size):
+                slb = SecureLoaderBlock.package(pal, padded_size=padded_size)
+                context = perform_skinit(
+                    self.simulator, self.machine, slb,
+                    protect_dma=self.protect_dma,
+                )
+            breakdown["skinit"] = clock.now - mark
+            pcr17 = self.machine.tpm.pcrs.read(PCR_DRTM_CODE)
 
-        # -- run the PAL -----------------------------------------------------
-        services = PalServices(self)
-        self._active_services = services
-        self._last_show_at = None
-        self._human_think_accum = 0.0
-        self._frames_at_start = len(self.machine.display.frames)
-        outputs: Dict[str, bytes] = {}
-        aborted = False
-        abort_reason = ""
-        mark = clock.now
-        try:
-            outputs = pal.run(services, inputs)
-        except Exception as exc:  # PAL aborts must not wedge the machine
-            aborted = True
-            abort_reason = f"{type(exc).__name__}: {exc}"
-        finally:
-            self._active_services = None
-        pal_total = clock.now - mark
-        breakdown["pal_tpm"] = services.timings["tpm"]
-        breakdown["pal_human"] = services.timings["human"]
-        breakdown["pal_logic"] = pal_total - (
-            services.timings["tpm"] + services.timings["human"]
-        )
-
-        # -- cap PCR 17 so the resumed OS cannot reuse the PAL's identity ----
-        mark = clock.now
-        if self.apply_cap:
-            self.machine.chipset.tpm_command(
-                self.machine.cpu.pal_locality(),
-                "extend",
-                pcr_index=PCR_DRTM_CODE,
-                measurement=CAP_MEASUREMENT,
+            # -- run the PAL -------------------------------------------------
+            services = PalServices(self)
+            self._active_services = services
+            self._last_show_at = None
+            self._human_think_accum = 0.0
+            self._frames_at_start = len(self.machine.display.frames)
+            outputs: Dict[str, bytes] = {}
+            aborted = False
+            abort_reason = ""
+            mark = clock.now
+            with tracer.span("drtm.pal", pal=pal.name):
+                try:
+                    outputs = pal.run(services, inputs)
+                except Exception as exc:  # PAL aborts must not wedge the machine
+                    aborted = True
+                    abort_reason = f"{type(exc).__name__}: {exc}"
+                finally:
+                    self._active_services = None
+            pal_total = clock.now - mark
+            breakdown["pal_tpm"] = services.timings["tpm"]
+            breakdown["pal_human"] = services.timings["human"]
+            breakdown["pal_logic"] = pal_total - (
+                services.timings["tpm"] + services.timings["human"]
             )
-        breakdown["cap"] = clock.now - mark
 
-        # -- teardown + resume ------------------------------------------------
-        mark = clock.now
-        teardown_launch(context)
-        self.machine.display.release("pal")
-        self.machine.keyboard.release_to_os()
-        clock.advance(OS_RESUME_SECONDS)
-        if self.os_hooks is not None:
-            self.os_hooks.resume()
-        breakdown["resume"] = clock.now - mark
+            # -- cap PCR 17 so the resumed OS cannot reuse the PAL's identity
+            mark = clock.now
+            with tracer.span("drtm.cap", applied=self.apply_cap):
+                if self.apply_cap:
+                    self.machine.chipset.tpm_command(
+                        self.machine.cpu.pal_locality(),
+                        "extend",
+                        pcr_index=PCR_DRTM_CODE,
+                        measurement=CAP_MEASUREMENT,
+                    )
+            breakdown["cap"] = clock.now - mark
+
+            # -- teardown + resume -------------------------------------------
+            mark = clock.now
+            with tracer.span("drtm.resume"):
+                teardown_launch(context)
+                self.machine.display.release("pal")
+                self.machine.keyboard.release_to_os()
+                clock.advance(OS_RESUME_SECONDS)
+                if self.os_hooks is not None:
+                    self.os_hooks.resume()
+            breakdown["resume"] = clock.now - mark
+            session_span.set("aborted", aborted)
 
         self.sessions_run += 1
         return SessionRecord(

@@ -58,6 +58,10 @@ class Network:
         self.packets_dropped = 0
         self.bytes_sent = 0
 
+    @property
+    def tracer(self):
+        return self.simulator.tracer
+
     def attach(
         self,
         host: str,
@@ -102,14 +106,22 @@ class Network:
         """Deliver ``payload`` synchronously; the caller's time advances
         by the sampled one-way latency.  Raises on a dropped packet so
         callers implement their own retry policy."""
-        self.packets_sent += 1
-        self.bytes_sent += len(payload)
-        if self._maybe_drop(source, destination):
-            # The sender still waited for its timeout-ish detection delay.
-            self.simulator.clock.advance(self.one_way_latency(source, destination))
-            raise NetworkError(f"packet {source}->{destination} dropped")
-        self.simulator.clock.advance(self.one_way_latency(source, destination))
-        return payload
+        with self.tracer.span(
+            "net.transfer", source=source, destination=destination,
+            nbytes=len(payload),
+        ) as span:
+            self.packets_sent += 1
+            self.bytes_sent += len(payload)
+            dropped = self._maybe_drop(source, destination)
+            # The sender waits one sampled latency either way: a dropped
+            # packet still costs its timeout-ish detection delay.
+            latency = self.one_way_latency(source, destination)
+            self.simulator.clock.advance(latency)
+            span.set("latency_s", latency)
+            if dropped:
+                span.set("dropped", True)
+                raise NetworkError(f"packet {source}->{destination} dropped")
+            return payload
 
     # -- asynchronous ------------------------------------------------------
     def send(self, source: str, destination: str, payload: bytes) -> None:
@@ -122,8 +134,25 @@ class Network:
             return
         delay = self.one_way_latency(source, destination)
         inbox = self._inboxes[destination]
+        tracer = self.tracer
+        if tracer.enabled:
+            # The packet is "on the wire" between two simulator events;
+            # bracket the flight with an unscoped span.
+            span = tracer.begin(
+                "net.link", source=source, destination=destination,
+                nbytes=len(payload), latency_s=delay,
+            )
+
+            def deliver() -> None:
+                tracer.finish(span)
+                inbox(source, payload)
+
+        else:
+            def deliver() -> None:
+                inbox(source, payload)
+
         self.simulator.schedule(
             delay,
-            lambda: inbox(source, payload),
+            deliver,
             label=f"net:{source}->{destination}",
         )

@@ -15,12 +15,13 @@ paths mirror the two network styles:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.net.channel import SecureChannel, establish_channel
 from repro.net.messages import Message, decode_message, encode_message
 from repro.net.network import Network, NetworkError
 from repro.sim.kernel import Simulator
+from repro.sim.tracing import Span
 
 Handler = Callable[[Message], Message]
 
@@ -56,7 +57,9 @@ class RpcEndpoint:
         self.workers = workers
         self._handlers: Dict[str, Handler] = {}
         self._service_time: Dict[str, float] = {}
-        self._queue: Deque[Tuple[str, Message, Callable[[Message], None]]] = deque()
+        self._queue: Deque[
+            Tuple[str, Message, Callable[[Message], None], Span, Span]
+        ] = deque()
         self._busy_workers = 0
         self.requests_served = 0
         self.requests_failed = 0
@@ -65,6 +68,10 @@ class RpcEndpoint:
         self._server_channels: Dict[str, SecureChannel] = {}
         self._client_channels: Dict[str, SecureChannel] = {}
         self.tls_handshakes = 0
+
+    @property
+    def tracer(self):
+        return self.simulator.tracer
 
     # -- TLS-lite ----------------------------------------------------------
     def enable_tls(self, server_keypair) -> None:
@@ -85,11 +92,12 @@ class RpcEndpoint:
                     f"tls:{caller}->{self.host}"
                 ).to_bytes(8, "big")
             )
-            client, server, handshake = establish_channel(
-                self._tls_keypair.public, self._tls_keypair, client_drbg
-            )
-            # The handshake crosses the wire once per (caller, endpoint).
-            self._transfer_with_retry(caller, self.host, handshake)
+            with self.tracer.span("rpc.tls_handshake", caller=caller):
+                client, server, handshake = establish_channel(
+                    self._tls_keypair.public, self._tls_keypair, client_drbg
+                )
+                # The handshake crosses the wire once per (caller, endpoint).
+                self._transfer_with_retry(caller, self.host, handshake)
             self._client_channels[caller] = client
             self._server_channels[caller] = server
             self.tls_handshakes += 1
@@ -120,31 +128,48 @@ class RpcEndpoint:
 
         Retries transport-level losses (TCP abstraction); with TLS
         enabled, the payload travels as authenticated channel records.
+        Under tracing, one ``rpc.call`` span brackets the exchange with
+        ``rpc.request`` / ``rpc.service`` / ``rpc.response`` children
+        (network transfers nest below as ``net.transfer``).
         """
-        payload = encode_message({"method": method, "body": encode_message(request)})
-        if self.tls_enabled:
-            client_channel, server_channel = self._channel_for(caller)
-            record = client_channel.wrap(payload)
-            self._transfer_with_retry(caller, self.host, record)
-            # The server dispatches from what it *unwraps* — a record
-            # modified in flight raises ChannelError right here.
-            opened = decode_message(server_channel.unwrap(record))
-            served_method = str(opened["method"])
-            served_request = decode_message(opened["body"])
-        else:
-            self._transfer_with_retry(caller, self.host, payload)
-            served_method, served_request = method, request
-        response = self._dispatch(served_method, served_request, charge_time=True)
-        raw = encode_message(response)
-        if self.tls_enabled:
-            response_record = server_channel.wrap(raw)
-            self._transfer_with_retry(self.host, caller, response_record)
-            response = decode_message(client_channel.unwrap(response_record))
-        else:
-            self._transfer_with_retry(self.host, caller, raw)
-        if response.get("error"):
-            raise RpcError(str(response["error"]))
-        return decode_message(encode_message(response))  # defensive copy
+        tracer = self.tracer
+        with tracer.span(
+            "rpc.call", method=method, host=self.host, caller=caller,
+            transport="sync",
+        ):
+            payload = encode_message(
+                {"method": method, "body": encode_message(request)}
+            )
+            with tracer.span("rpc.request"):
+                if self.tls_enabled:
+                    client_channel, server_channel = self._channel_for(caller)
+                    record = client_channel.wrap(payload)
+                    self._transfer_with_retry(caller, self.host, record)
+                    # The server dispatches from what it *unwraps* — a record
+                    # modified in flight raises ChannelError right here.
+                    opened = decode_message(server_channel.unwrap(record))
+                    served_method = str(opened["method"])
+                    served_request = decode_message(opened["body"])
+                else:
+                    self._transfer_with_retry(caller, self.host, payload)
+                    served_method, served_request = method, request
+            with tracer.span("rpc.service", method=method):
+                response = self._dispatch(
+                    served_method, served_request, charge_time=True
+                )
+            with tracer.span("rpc.response"):
+                raw = encode_message(response)
+                if self.tls_enabled:
+                    response_record = server_channel.wrap(raw)
+                    self._transfer_with_retry(self.host, caller, response_record)
+                    response = decode_message(
+                        client_channel.unwrap(response_record)
+                    )
+                else:
+                    self._transfer_with_retry(self.host, caller, raw)
+            if response.get("error"):
+                raise RpcError(str(response["error"]))
+            return decode_message(encode_message(response))  # defensive copy
 
     # -- queued path ----------------------------------------------------------
     def submit(
@@ -154,23 +179,48 @@ class RpcEndpoint:
         request: Message,
         on_response: Callable[[Message], None],
     ) -> None:
-        """Send a request over the network into the endpoint's queue."""
+        """Send a request over the network into the endpoint's queue.
+
+        Under tracing, the whole round trip is one unscoped ``rpc.call``
+        span with children bracketing each stage the request crosses
+        events in: ``net.request`` (uplink flight), ``rpc.queue_wait``
+        (FIFO time until a worker frees up), ``rpc.service`` and
+        ``net.response`` — the decomposition the throughput experiment's
+        latency percentiles break into.
+        """
+        tracer = self.tracer
         payload = encode_message({"method": method, "body": encode_message(request)})
         delay = self.network.one_way_latency(caller, self.host)
         self.network.packets_sent += 1
         self.network.bytes_sent += len(payload)
+        call_span = tracer.begin(
+            "rpc.call", method=method, host=self.host, caller=caller,
+            transport="queued",
+        )
+        uplink_span = tracer.begin(
+            "net.request", parent=call_span, latency_s=delay
+        )
 
         def arrive() -> None:
-            self._queue.append((method, request, _responder()))
+            tracer.finish(uplink_span)
+            wait_span = tracer.begin("rpc.queue_wait", parent=call_span)
+            self._queue.append((method, request, _responder(), wait_span, call_span))
             self.queue_peak = max(self.queue_peak, len(self._queue))
             self._pump()
 
         def _responder() -> Callable[[Message], None]:
             def respond(response: Message) -> None:
                 back = self.network.one_way_latency(self.host, caller)
-                self.simulator.schedule(
-                    back, lambda: on_response(response), label=f"rpc:resp:{method}"
+                downlink_span = tracer.begin(
+                    "net.response", parent=call_span, latency_s=back
                 )
+
+                def deliver() -> None:
+                    tracer.finish(downlink_span)
+                    tracer.finish(call_span)
+                    on_response(response)
+
+                self.simulator.schedule(back, deliver, label=f"rpc:resp:{method}")
 
             return respond
 
@@ -178,17 +228,24 @@ class RpcEndpoint:
 
     def _pump(self) -> None:
         """Start serving queued requests while workers are free."""
+        tracer = self.tracer
         while self._busy_workers < self.workers and self._queue:
-            method, request, respond = self._queue.popleft()
+            method, request, respond, wait_span, call_span = self._queue.popleft()
+            tracer.finish(wait_span)
             self._busy_workers += 1
             service = self._service_time.get(method, 0.0)
+            service_span = tracer.begin(
+                "rpc.service", parent=call_span, method=method
+            )
 
             def finish(
                 method: str = method,
                 request: Message = request,
                 respond: Callable[[Message], None] = respond,
+                service_span=service_span,
             ) -> None:
                 response = self._dispatch(method, request, charge_time=False)
+                tracer.finish(service_span)
                 self._busy_workers -= 1
                 respond(response)
                 self._pump()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.crypto.drbg import HmacDrbg
 
@@ -63,7 +63,9 @@ class NonceDatabase:
         self._maybe_evict(now)
         return nonce
 
-    def consume(self, nonce: bytes, tx_id: bytes, now: float) -> Tuple[bool, NonceState]:
+    def consume(
+        self, nonce: bytes, tx_id: bytes, now: float
+    ) -> Tuple[bool, NonceState]:
         """Atomically consume a nonce for ``tx_id``.
 
         Returns (accepted, state-observed).  Only LIVE nonces bound to

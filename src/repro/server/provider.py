@@ -20,11 +20,15 @@ man-in-the-browser.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.errors import ProtocolError
-from repro.core.protocol import EVIDENCE_QUOTE, EVIDENCE_SIGNED, transaction_from_request
+from repro.core.protocol import (
+    EVIDENCE_QUOTE,
+    EVIDENCE_SIGNED,
+    transaction_from_request,
+)
 from repro.core.transaction import Transaction
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import RsaPublicKey
@@ -120,7 +124,7 @@ class ServiceProvider:
         self.simulator = simulator
         self.host = host
         self.policy = policy
-        self.verifier = AttestationVerifier(policy)
+        self.verifier = AttestationVerifier(policy, tracer=simulator.tracer)
         self._drbg = HmacDrbg(
             simulator.rng.derive_seed(f"provider:{host}").to_bytes(8, "big")
         )

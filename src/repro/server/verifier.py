@@ -29,6 +29,7 @@ from repro.crypto.rsa import RsaPublicKey
 from repro.crypto.sha1 import sha1
 from repro.core.confirmation_pal import confirmation_digest
 from repro.server.policy import VerifierPolicy
+from repro.sim.tracing import traced
 from repro.tpm.ca import AikCertificate
 from repro.tpm.constants import PCR_DRTM_CODE, PCR_DRTM_DATA
 from repro.tpm.quote import QuoteBundle, verify_quote
@@ -68,19 +69,29 @@ class VerificationResult:
 
 
 class AttestationVerifier:
-    """Stateless evidence checks against one policy."""
+    """Stateless evidence checks against one policy.
 
-    def __init__(self, policy: VerifierPolicy) -> None:
+    ``tracer`` (optional) records one span per verification — providers
+    pass their simulator's tracer so server-side evidence checking shows
+    up in session traces next to network and TPM time.
+    """
+
+    def __init__(self, policy: VerifierPolicy, tracer=None) -> None:
         self.policy = policy
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
-    def verify_aik_certificate(self, certificate: AikCertificate) -> VerificationResult:
+    @traced("verify.aik_certificate")
+    def verify_aik_certificate(
+        self, certificate: AikCertificate
+    ) -> VerificationResult:
         for ca_key in self.policy.ca_public_keys:
             if certificate.verify(ca_key):
                 return VerificationResult.success()
         return VerificationResult.reject(VerificationFailure.BAD_CA_SIGNATURE)
 
     # ------------------------------------------------------------------
+    @traced("verify.setup")
     def verify_setup(
         self,
         aik_public: RsaPublicKey,
@@ -117,6 +128,7 @@ class AttestationVerifier:
         return VerificationResult.success()
 
     # ------------------------------------------------------------------
+    @traced("verify.quote_confirmation")
     def verify_quote_confirmation(
         self,
         aik_public: RsaPublicKey,
@@ -146,6 +158,7 @@ class AttestationVerifier:
         return VerificationResult.success()
 
     # ------------------------------------------------------------------
+    @traced("verify.signed_confirmation")
     def verify_signed_confirmation(
         self,
         registered_key: Optional[RsaPublicKey],

@@ -16,6 +16,8 @@ Public API
 :class:`LatencyModel`    — distributions used to sample operation latencies.
 :class:`MetricRegistry`  — counters / timers / histograms for experiments.
 :class:`SeededRng`       — named, reproducible random streams.
+:class:`Tracer`          — hierarchical span recording over virtual time.
+:class:`TraceAnalyzer`   — critical paths and per-phase span aggregation.
 """
 
 from repro.sim.clock import VirtualClock
@@ -31,6 +33,16 @@ from repro.sim.latency import (
 from repro.sim.metrics import Counter, Histogram, MetricRegistry, Timer
 from repro.sim.process import SimProcess, Sleep, WaitFor
 from repro.sim.randoms import SeededRng
+from repro.sim.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceAnalyzer,
+    Tracer,
+    TracingError,
+    spans_from_dicts,
+    traced,
+)
 
 __all__ = [
     "VirtualClock",
@@ -51,4 +63,12 @@ __all__ = [
     "Sleep",
     "WaitFor",
     "SeededRng",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "TraceAnalyzer",
+    "TracingError",
+    "spans_from_dicts",
+    "traced",
 ]

@@ -22,6 +22,7 @@ from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import MetricRegistry
 from repro.sim.randoms import SeededRng
+from repro.sim.tracing import NULL_TRACER, Tracer
 
 
 class SimulationError(RuntimeError):
@@ -40,20 +41,38 @@ class Simulator:
     trace:
         Optional callable invoked as ``trace(time, label)`` for every
         dispatched event; useful for debugging whole-system runs.
+    tracing:
+        When True, the simulator records structured spans on
+        ``self.tracer`` (see `repro.sim.tracing`).  The default is the
+        shared no-op tracer, which costs nothing on the hot paths and
+        keeps traced/untraced runs bit-identical.
     """
 
     def __init__(
         self,
         seed: int = 0,
         trace: Optional[Callable[[float, str], None]] = None,
+        tracing: bool = False,
     ) -> None:
         self.clock = VirtualClock()
         self.queue = EventQueue()
         self.metrics = MetricRegistry(clock=self.clock)
         self.rng = SeededRng(seed)
+        self.tracer = Tracer(self.clock) if tracing else NULL_TRACER
         self._trace = trace
         self._dispatched = 0
         self._running = False
+
+    def enable_tracing(self) -> Tracer:
+        """Switch on span recording (idempotent); returns the tracer.
+
+        Prefer ``Simulator(tracing=True)``: components constructed
+        before this call may have captured the no-op tracer (e.g. a
+        TpmDevice built from this simulator keeps its own reference).
+        """
+        if not self.tracer.enabled:
+            self.tracer = Tracer(self.clock)
+        return self.tracer
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -130,7 +149,11 @@ class Simulator:
                     self.clock.advance_to(event.time)
                 if self._trace is not None:
                     self._trace(self.clock.now, event.label)
-                event.action()
+                if self.tracer.enabled:
+                    with self.tracer.span("sim.dispatch", label=event.label):
+                        event.action()
+                else:
+                    event.action()
                 self._dispatched += 1
                 if self._dispatched - dispatched_before >= max_events:
                     raise SimulationError(

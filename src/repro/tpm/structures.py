@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.crypto.sha1 import sha1
 from repro.tpm.constants import NUM_PCRS, SHA1_SIZE, TpmError, TpmResult

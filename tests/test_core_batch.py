@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.world import TrustedPathWorld, WorldConfig
-from repro.core.errors import ConfirmationRejected
 from repro.net.rpc import RpcError
 from repro.server.provider import TxStatus
 

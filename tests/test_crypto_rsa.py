@@ -66,6 +66,22 @@ class TestRsaKeys:
         b = generate_rsa_keypair(512, HmacDrbg(b"det"))
         assert a.public == b.public and a.d == b.d
 
+    def test_keygen_cache_replays_exact_state(self):
+        """A cache hit returns the identical keypair AND leaves the DRBG
+        in the identical state, so downstream draws are unaffected."""
+        from repro.crypto.rsa import _KEYGEN_CACHE
+
+        _KEYGEN_CACHE.clear()
+        cold_drbg = HmacDrbg(b"cache-replay")
+        cold = generate_rsa_keypair(512, cold_drbg)
+        cold_after = cold_drbg.generate(32)
+
+        warm_drbg = HmacDrbg(b"cache-replay")
+        warm = generate_rsa_keypair(512, warm_drbg)
+        assert warm is cold  # served from the cache, not regenerated
+        assert warm_drbg.generate(32) == cold_after
+        assert warm_drbg.bytes_generated == cold_drbg.bytes_generated
+
     def test_roundtrip_raw(self, keypair):
         message = 123456789
         assert keypair.raw_decrypt(keypair.public.raw_encrypt(message)) == message

@@ -15,7 +15,7 @@ from repro.drtm.slb import SecureLoaderBlock
 from repro.hardware.cpu import CpuMode
 from repro.hardware.keyboard import ScanCode
 from repro.tpm import TpmError
-from repro.tpm.constants import DYNAMIC_PCR_DEFAULT, PCR_DRTM_CODE, PCR_DRTM_DATA
+from repro.tpm.constants import PCR_DRTM_CODE
 
 
 class _NoopPal(Pal):

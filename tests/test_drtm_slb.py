@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-import pytest
 
 from repro.core import ConfirmationPal, SetupPal
 from repro.drtm.pal import Pal, PalServices

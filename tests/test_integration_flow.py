@@ -7,7 +7,7 @@ import pytest
 from repro.bench.world import TrustedPathWorld, WorldConfig
 from repro.core import Transaction
 from repro.core.errors import SetupError
-from repro.core.protocol import EVIDENCE_QUOTE, EVIDENCE_SIGNED
+from repro.core.protocol import EVIDENCE_QUOTE
 
 
 class TestSignedVariant:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.crypto import HmacDrbg, generate_rsa_keypair
-from repro.net.channel import ChannelError, SecureChannel, establish_channel
+from repro.net.channel import ChannelError, establish_channel
 
 
 @pytest.fixture(scope="module")

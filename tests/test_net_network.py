@@ -6,7 +6,7 @@ import pytest
 
 from repro.net.network import LinkSpec, Network, NetworkError
 from repro.net.rpc import RpcEndpoint, RpcError
-from repro.sim import ConstantLatency, Simulator
+from repro.sim import ConstantLatency
 
 
 def _net(simulator, loss=0.0):
@@ -102,7 +102,9 @@ class TestRpcQueued:
         endpoint.register("work", lambda req: {"ok": 1}, service_time=0.1)
         completions = []
         for _ in range(3):
-            endpoint.submit("a", "work", {}, lambda r: completions.append(simulator.now))
+            endpoint.submit(
+            "a", "work", {}, lambda r: completions.append(simulator.now)
+        )
         simulator.run()
         assert len(completions) == 3
         # Completions are spaced by the service time (single worker).
@@ -115,7 +117,9 @@ class TestRpcQueued:
         endpoint.register("work", lambda req: {"ok": 1}, service_time=0.1)
         completions = []
         for _ in range(3):
-            endpoint.submit("a", "work", {}, lambda r: completions.append(simulator.now))
+            endpoint.submit(
+            "a", "work", {}, lambda r: completions.append(simulator.now)
+        )
         simulator.run()
         spread = max(completions) - min(completions)
         assert spread < 0.01  # all three served concurrently

@@ -8,7 +8,7 @@ from repro.bench.world import TrustedPathWorld, WorldConfig
 from repro.crypto import HmacDrbg, generate_rsa_keypair
 from repro.net.network import LinkSpec, Network
 from repro.net.rpc import RpcEndpoint, RpcError
-from repro.sim import ConstantLatency, Simulator
+from repro.sim import ConstantLatency
 
 
 class TestTlsRpc:

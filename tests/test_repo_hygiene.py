@@ -7,7 +7,6 @@ import importlib
 import pathlib
 import pkgutil
 
-import pytest
 
 import repro
 

@@ -8,7 +8,6 @@ import pytest
 from repro.bench.world import TrustedPathWorld, WorldConfig
 from repro.core import Transaction
 from repro.net.rpc import RpcError
-from repro.server.provider import TxStatus
 
 
 @pytest.fixture(scope="module")
@@ -69,12 +68,6 @@ class TestTransactionStateMachine:
         assert outcome.server_response["status"] == "rejected_by_user"
 
     def test_double_confirm_rejected(self, world):
-        from repro.core.protocol import (
-            build_confirmation_submission,
-            build_transaction_request,
-            parse_challenge,
-        )
-
         tx = world.sample_transfer(amount_cents=333, to="dest-3")
         world.human.intend(tx)
         outcome = world.confirm(tx)

@@ -1,0 +1,101 @@
+"""MetricRegistry, Counter, Timer and Histogram behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.metrics import Histogram, MetricRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricRegistry(clock=VirtualClock())
+
+
+class TestRegistry:
+    def test_duplicate_names_reuse_instrument(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.timer("t") is registry.timer("t")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_same_name_different_kinds_are_distinct(self, registry):
+        # Namespaces are per-kind: a counter "x" and histogram "x" coexist.
+        registry.counter("x").increment()
+        registry.histogram("x").observe(1.0)
+        assert registry.counter("x").value == 1
+        assert registry.histogram("x").count == 1
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").increment(-1)
+
+    def test_snapshot_skips_empty_histograms(self, registry):
+        registry.histogram("empty")
+        registry.histogram("full").observe(2.0)
+        snap = registry.snapshot()
+        assert "full" in snap
+        assert "empty" not in snap
+
+    def test_snapshot_includes_counters_and_timers(self, registry):
+        registry.counter("events").increment(3)
+        timer = registry.timer("work")
+        timer.record(0.5)
+        snap = registry.snapshot()
+        assert snap["counter:events"]["count"] == 3.0
+        assert snap["timer:work"]["count"] == 1.0
+
+
+class TestTimer:
+    def test_double_start_raises(self, registry):
+        timer = registry.timer("t")
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self, registry):
+        with pytest.raises(RuntimeError):
+            registry.timer("t").stop()
+
+    def test_measures_clock_interval(self):
+        clock = VirtualClock()
+        registry = MetricRegistry(clock=clock)
+        timer = registry.timer("t")
+        timer.start()
+        clock.advance(1.25)
+        assert timer.stop() == pytest.approx(1.25)
+        # The timer is reusable after stop().
+        timer.start()
+        clock.advance(0.5)
+        assert timer.stop() == pytest.approx(0.5)
+        assert timer.histogram.count == 2
+
+
+class TestHistogram:
+    def test_empty_histogram_queries_raise(self):
+        hist = Histogram("empty")
+        for query in (hist.mean, hist.minimum, hist.maximum):
+            with pytest.raises(ValueError):
+                query()
+        with pytest.raises(ValueError):
+            hist.quantile(0.5)
+
+    def test_quantile_bounds(self):
+        hist = Histogram("h")
+        hist.observe_many([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 3.0
+
+    def test_quantile_interpolates(self):
+        hist = Histogram("h")
+        hist.observe_many([0.0, 10.0])
+        assert hist.quantile(0.95) == pytest.approx(9.5)
+
+    def test_summary_keys(self):
+        hist = Histogram("h")
+        hist.observe_many(range(100))
+        summary = hist.summary()
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+        assert summary["count"] == 100.0

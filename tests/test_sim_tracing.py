@@ -1,0 +1,304 @@
+"""Span tracing: collection, no-op mode, exporters and analysis."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import MetricRegistry
+from repro.sim.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TraceAnalyzer,
+    Tracer,
+    TracingError,
+    spans_from_dicts,
+    traced,
+)
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock)
+
+
+class TestScopedSpans:
+    def test_nesting_builds_a_tree(self, clock, tracer):
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(0.25)
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.parent is outer
+        assert outer.duration == pytest.approx(1.25)
+        assert inner.duration == pytest.approx(0.25)
+        assert outer.self_seconds == pytest.approx(1.0)
+
+    def test_current_tracks_the_stack(self, tracer):
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_attributes_and_set(self, tracer):
+        with tracer.span("op", kind="test") as span:
+            span.set("result", 7)
+        assert span.attributes == {"kind": "test", "result": 7}
+
+    def test_exception_is_recorded_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("fails") as span:
+                raise ValueError("boom")
+        assert span.finished
+        assert "ValueError: boom" in span.attributes["error"]
+        assert tracer.current is None
+
+    def test_reentering_finished_span_raises(self, tracer):
+        with tracer.span("once") as span:
+            pass
+        with pytest.raises(TracingError):
+            span.__enter__()
+
+
+class TestUnscopedSpans:
+    def test_begin_finish_crosses_events(self, clock, tracer):
+        span = tracer.begin("net.link", parent=None, nbytes=42)
+        clock.advance(0.5)
+        tracer.finish(span)
+        assert span.asynchronous
+        assert span.duration == pytest.approx(0.5)
+        assert tracer.roots == [span]
+
+    def test_begin_defaults_parent_to_current_scope(self, tracer):
+        with tracer.span("request") as scope:
+            flight = tracer.begin("net.link")
+        assert flight.parent is scope
+        tracer.finish(flight)
+
+    def test_explicit_parent_links_across_scopes(self, tracer):
+        call = tracer.begin("rpc.call", parent=None)
+        child = tracer.begin("rpc.queue_wait", parent=call)
+        tracer.finish(child)
+        tracer.finish(call)
+        assert call.children == [child]
+
+    def test_double_finish_raises(self, tracer):
+        span = tracer.begin("once", parent=None)
+        tracer.finish(span)
+        with pytest.raises(TracingError):
+            tracer.finish(span)
+
+    def test_with_block_on_begun_span_raises(self, tracer):
+        span = tracer.begin("async", parent=None)
+        with pytest.raises(TracingError):
+            span.__enter__()
+        tracer.finish(span)
+
+
+class TestNullTracer:
+    def test_all_paths_are_noops(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything", attr=1) as span:
+            assert span is NULL_SPAN
+            span.set("k", "v")
+        flight = NULL_TRACER.begin("flight")
+        NULL_TRACER.finish(flight)
+        assert NULL_TRACER.current is None
+        assert list(NULL_TRACER.roots) == []
+        NULL_TRACER.clear()
+
+    def test_finish_of_null_span_on_real_tracer_is_noop(self, tracer):
+        # Mixed code paths hand NULL_SPAN to an enabled tracer.
+        tracer.finish(NULL_SPAN)
+
+    def test_traced_runs_are_bit_identical(self):
+        """Tracing must not perturb the simulation: same seed, same result."""
+
+        def run(tracing):
+            sim = Simulator(seed=99, tracing=tracing)
+            samples = []
+            for i in range(5):
+                sim.schedule(
+                    sim.rng.stream("jitter").uniform(0.0, 1.0),
+                    lambda: samples.append(sim.now),
+                    label=f"tick-{i}",
+                )
+            sim.run()
+            return samples
+
+        assert run(False) == run(True)
+
+    def test_simulator_records_dispatch_spans_when_enabled(self):
+        sim = Simulator(seed=1, tracing=True)
+        sim.schedule(0.5, lambda: None, label="tick")
+        sim.run()
+        names = [root.name for root in sim.tracer.roots]
+        assert names == ["sim.dispatch"]
+        assert sim.tracer.roots[0].attributes["label"] == "tick"
+
+
+class TestExporters:
+    def _record(self, clock, tracer):
+        with tracer.span("session", vendor="infineon"):
+            clock.advance(0.1)
+            with tracer.span("tpm.quote"):
+                clock.advance(0.8)
+        flight = tracer.begin("net.link", parent=None)
+        clock.advance(0.05)
+        tracer.finish(flight)
+
+    def test_dict_round_trip(self, clock, tracer):
+        self._record(clock, tracer)
+        rebuilt = spans_from_dicts(tracer.to_dicts())
+        assert [s.name for s in rebuilt] == ["session", "net.link"]
+        session = rebuilt[0]
+        assert session.attributes == {"vendor": "infineon"}
+        assert session.children[0].name == "tpm.quote"
+        assert session.children[0].parent is session
+        assert session.duration == pytest.approx(0.9)
+        assert rebuilt[1].asynchronous
+
+    def test_json_export(self, clock, tracer, tmp_path):
+        self._record(clock, tracer)
+        path = tmp_path / "trace.json"
+        tracer.export_json(str(path))
+        rebuilt = spans_from_dicts(json.loads(path.read_text()))
+        assert [s.name for s in rebuilt] == ["session", "net.link"]
+
+    def test_chrome_trace_export(self, clock, tracer, tmp_path):
+        self._record(clock, tracer)
+        path = tmp_path / "trace.chrome.json"
+        count = tracer.export_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert count == len(events) == 3
+        quote = next(e for e in events if e["name"] == "tpm.quote")
+        assert quote["ts"] == pytest.approx(0.1e6)
+        assert quote["dur"] == pytest.approx(0.8e6)
+        # Scoped spans and in-flight spans land on separate tracks.
+        assert quote["tid"] == 1
+        assert next(e for e in events if e["name"] == "net.link")["tid"] == 2
+
+    def test_clear_resets_forest(self, clock, tracer):
+        self._record(clock, tracer)
+        tracer.clear()
+        assert tracer.roots == []
+
+    def test_clear_with_open_scope_raises(self, tracer):
+        with tracer.span("open"):
+            with pytest.raises(TracingError):
+                tracer.clear()
+
+
+class TestTracedDecorator:
+    def test_uses_instance_tracer_when_present(self, clock, tracer):
+        class Worker:
+            def __init__(self, tracer=None):
+                self.tracer = tracer
+
+            @traced("work.step")
+            def step(self):
+                clock.advance(0.2)
+                return "done"
+
+        assert Worker(tracer).step() == "done"
+        assert [s.name for s in tracer.roots] == ["work.step"]
+        # Without a tracer attribute value, the same method is a no-op trace.
+        assert Worker().step() == "done"
+        assert len(tracer.roots) == 1
+
+
+class TestTraceAnalyzer:
+    def _forest(self, clock, tracer):
+        with tracer.span("session"):
+            with tracer.span("tpm.quote"):
+                clock.advance(0.8)
+            with tracer.span("tpm.extend"):
+                clock.advance(0.01)
+            with tracer.span("human.read"):
+                clock.advance(5.0)
+
+    def test_find_and_durations(self, clock, tracer):
+        self._forest(clock, tracer)
+        analyzer = TraceAnalyzer(tracer)
+        assert len(analyzer.find("tpm.quote")) == 1
+        durations = analyzer.durations_by_name()
+        assert durations["human.read"] == [pytest.approx(5.0)]
+
+    def test_subtree_totals(self, clock, tracer):
+        self._forest(clock, tracer)
+        analyzer = TraceAnalyzer(tracer)
+        session = tracer.roots[0]
+        assert analyzer.subtree_total_prefix(session, "tpm.") == pytest.approx(0.81)
+        assert analyzer.subtree_total(session, "tpm.extend") == pytest.approx(0.01)
+
+    def test_critical_path_follows_heaviest_child(self, clock, tracer):
+        self._forest(clock, tracer)
+        path = TraceAnalyzer(tracer).critical_path()
+        assert [s.name for s in path] == ["session", "human.read"]
+
+    def test_phase_aggregate_and_feed_metrics(self, clock, tracer):
+        self._forest(clock, tracer)
+        analyzer = TraceAnalyzer(tracer)
+        aggregate = analyzer.phase_aggregate()
+        assert aggregate["tpm.quote"]["count"] == 1.0
+        registry = MetricRegistry(clock=clock)
+        analyzer.feed_metrics(registry)
+        assert registry.histogram("span:session").count == 1
+        assert registry.histogram("span:tpm.quote").mean() == pytest.approx(0.8)
+
+    def test_analyzer_accepts_rebuilt_spans(self, clock, tracer):
+        self._forest(clock, tracer)
+        rebuilt = spans_from_dicts(tracer.to_dicts())
+        analyzer = TraceAnalyzer(rebuilt)
+        assert len(analyzer.find("tpm.extend")) == 1
+
+
+class TestSessionTraceIntegration:
+    def test_confirmation_session_span_tree(self):
+        """A traced confirmation yields DRTM, TPM and network child spans
+        whose derived breakdown matches the session's own accounting."""
+        from repro.bench.world import TrustedPathWorld, WorldConfig
+        from repro.drtm.session import breakdown_from_span
+
+        world = TrustedPathWorld(WorldConfig(seed=11, tracing=True)).ready()
+        world.tracer.clear()
+        outcome = world.confirm(world.sample_transfer())
+        assert outcome.executed
+
+        analyzer = TraceAnalyzer(world.tracer)
+        sessions = analyzer.find("drtm.session")
+        assert len(sessions) == 1
+        session = sessions[0]
+        names = {span.name for span in session.walk()}
+        assert {"drtm.suspend", "drtm.skinit", "drtm.pal", "drtm.cap",
+                "drtm.resume", "pal.human_wait"} <= names
+        assert any(name.startswith("tpm.") for name in names)
+
+        derived = breakdown_from_span(session)
+        for phase, seconds in outcome.session.breakdown.items():
+            assert derived[phase] == pytest.approx(seconds, abs=1e-9)
+
+        # The wider trace carries the network legs of the confirmation.
+        all_names = {span.name for span in analyzer.iter_spans()}
+        assert "rpc.call" in all_names
+        assert "verify.signed_confirmation" in all_names
+
+    def test_chrome_export_of_real_session(self, tmp_path):
+        from repro.bench.world import TrustedPathWorld, WorldConfig
+
+        world = TrustedPathWorld(WorldConfig(seed=11, tracing=True)).ready()
+        count = world.tracer.export_chrome_trace(str(tmp_path / "session.json"))
+        assert count > 50

@@ -7,7 +7,7 @@ import pytest
 from repro.crypto import pkcs1_verify, sha1
 from repro.drtm.sealing import pal_pcr_selection
 from repro.tpm import TpmError, verify_quote
-from repro.tpm.constants import PCR_DRTM_CODE, TpmResult
+from repro.tpm.constants import TpmResult
 from repro.tpm.keys import KeyUsage
 from repro.tpm.structures import PcrSelection
 
