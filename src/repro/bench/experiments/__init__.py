@@ -16,6 +16,7 @@ from repro.bench.experiments.captcha_comparison import fig3_captcha_comparison
 from repro.bench.experiments.amortization import fig4_amortization
 from repro.bench.experiments.noncedb_scale import fig5_noncedb_scalability
 from repro.bench.experiments.ablation import a1_defense_ablation
+from repro.bench.experiments.robustness import r1_loss_robustness
 
 __all__ = [
     "table1_tpm_microbench",
@@ -28,4 +29,5 @@ __all__ = [
     "fig4_amortization",
     "fig5_noncedb_scalability",
     "a1_defense_ablation",
+    "r1_loss_robustness",
 ]

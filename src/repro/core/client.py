@@ -135,6 +135,9 @@ class TrustedPathClient:
         # Anti-rollback extension (off by default, matching the paper's
         # base protocol): call enable_monotonic_counter() to turn on.
         self.counter_id: Optional[int] = None
+        # -- recovery accounting (see confirm_transaction) -----------------
+        self.rechallenges = 0
+        self.confirm_resubmits = 0
 
     # ------------------------------------------------------------------
     def published_pal_measurement(self) -> bytes:
@@ -332,13 +335,31 @@ class TrustedPathClient:
     # ------------------------------------------------------------------
     # Phase 4: confirmation
     # ------------------------------------------------------------------
+    #: How many fresh challenges confirm_transaction will chase before
+    #: giving up, and how many times it resubmits evidence whose fate
+    #: the transport lost track of.
+    MAX_RECHALLENGES = 2
+    MAX_RESUBMITS = 2
+
     def confirm_transaction(
         self,
         endpoint: RpcEndpoint,
         transaction: Transaction,
         mode: str = EVIDENCE_SIGNED,
     ) -> ConfirmOutcome:
-        """The per-transaction flow: request → PAL session → submit."""
+        """The per-transaction flow: request → PAL session → submit.
+
+        Two failures are recovered rather than surfaced:
+
+        * **Expired challenge** — the provider answers ``tx.confirm``
+          with a re-challenge hint; the client fetches a fresh nonce via
+          ``tx.rechallenge`` and runs a *new* PAL session against it
+          (the old evidence is bound to the dead nonce).
+        * **Transport gave up** — the confirm's fate is unknown (it may
+          have executed).  The client resubmits the *same* evidence;
+          the provider's idempotent confirm replays the settled outcome
+          and can never execute the transaction twice.
+        """
         if self.credentials is None:
             raise TrustedPathError("no AIK credentials")
         if mode not in (EVIDENCE_SIGNED, EVIDENCE_QUOTE):
@@ -355,48 +376,71 @@ class TrustedPathClient:
         )
         challenge = parse_challenge(response)
 
-        # 2. Launch the PAL with the provider's text and nonce.
-        inputs: Dict[str, bytes] = {
-            "phase": b"confirm",
-            "text": challenge["text"],
-            "nonce": challenge["nonce"],
-            "mode": mode.encode("ascii"),
-        }
-        if mode == EVIDENCE_QUOTE:
-            inputs["aik_handle"] = struct.pack(">I", self.credentials.aik_handle)
-        else:
-            assert provider_credential is not None
-            inputs["credential"] = provider_credential.sealed_credential
-        if self.counter_id is not None:
-            inputs["counter_id"] = struct.pack(">I", self.counter_id)
-        record = self.os.invoke_flicker(self.pal, inputs)
-        if record is None:
-            raise SessionSuppressed("confirmation session suppressed")
-        if record.aborted:
-            raise TrustedPathError(f"PAL aborted: {record.abort_reason}")
+        rechallenges = 0
+        while True:
+            # 2. Launch the PAL with the provider's text and nonce.
+            inputs: Dict[str, bytes] = {
+                "phase": b"confirm",
+                "text": challenge["text"],
+                "nonce": challenge["nonce"],
+                "mode": mode.encode("ascii"),
+            }
+            if mode == EVIDENCE_QUOTE:
+                inputs["aik_handle"] = struct.pack(
+                    ">I", self.credentials.aik_handle
+                )
+            else:
+                assert provider_credential is not None
+                inputs["credential"] = provider_credential.sealed_credential
+            if self.counter_id is not None:
+                inputs["counter_id"] = struct.pack(">I", self.counter_id)
+            record = self.os.invoke_flicker(self.pal, inputs)
+            if record is None:
+                raise SessionSuppressed("confirmation session suppressed")
+            if record.aborted:
+                raise TrustedPathError(f"PAL aborted: {record.abort_reason}")
 
-        decision = record.outputs.get("decision", Decision.TIMEOUT)
-        if decision == Decision.TIMEOUT:
-            # No human answered: nothing to submit; the provider's
-            # transaction will expire server-side.
-            return ConfirmOutcome(
-                decision=decision, server_response=None, session=record
+            decision = record.outputs.get("decision", Decision.TIMEOUT)
+            if decision == Decision.TIMEOUT:
+                # No human answered: nothing to submit; the provider's
+                # transaction will expire server-side.
+                return ConfirmOutcome(
+                    decision=decision, server_response=None, session=record
+                )
+
+            # 3. Submit the evidence.
+            submission = build_confirmation_submission(
+                tx_id=challenge["tx_id"],
+                decision=decision,
+                evidence_type=mode,
+                evidence=record.outputs,
             )
-
-        # 3. Submit the evidence.
-        submission = build_confirmation_submission(
-            tx_id=challenge["tx_id"],
-            decision=decision,
-            evidence_type=mode,
-            evidence=record.outputs,
-        )
-        try:
-            final = self.browser.call(endpoint, "tx.confirm", submission)
-        except RpcError as exc:
-            raise ConfirmationRejected(str(exc)) from exc
-        return ConfirmOutcome(
-            decision=decision, server_response=final, session=record
-        )
+            resubmits = 0
+            while True:
+                try:
+                    final = self.browser.call(endpoint, "tx.confirm", submission)
+                    return ConfirmOutcome(
+                        decision=decision, server_response=final, session=record
+                    )
+                except RpcError as exc:
+                    if exc.transport and resubmits < self.MAX_RESUBMITS:
+                        resubmits += 1
+                        self.confirm_resubmits += 1
+                        continue
+                    if (
+                        exc.rechallenge_required
+                        and rechallenges < self.MAX_RECHALLENGES
+                    ):
+                        rechallenges += 1
+                        self.rechallenges += 1
+                        refreshed = self.browser.call(
+                            endpoint,
+                            "tx.rechallenge",
+                            {"tx_id": challenge["tx_id"]},
+                        )
+                        challenge = parse_challenge(refreshed)
+                        break  # fresh PAL session against the new nonce
+                    raise ConfirmationRejected(str(exc)) from exc
 
     # ------------------------------------------------------------------
     # Batch confirmation (extension)

@@ -31,7 +31,7 @@ from repro.drtm.skinit import (
 from repro.drtm.slb import SecureLoaderBlock
 from repro.hardware.machine import Machine
 from repro.sim.kernel import Simulator
-from repro.tpm.constants import PCR_DRTM_CODE
+from repro.tpm.constants import PCR_DRTM_CODE, TpmError
 
 # Human model: a callable taking (visible_screen_text, max_wait_seconds)
 # and returning how long it thought before its keypresses landed (it
@@ -91,6 +91,9 @@ class SessionRecord:
     slb_measurement: bytes
     aborted: bool = False
     abort_reason: str = ""
+    #: True when the abort came from a *transient* TPM fault
+    #: (`TpmResult.RETRY`) — the session is safe to rerun as-is.
+    abort_transient: bool = False
     #: the human's intrinsic think time (reading + decision + keystroke),
     #: independent of machine latency; see `perceived_overhead`.
     human_pure_seconds: float = 0.0
@@ -149,6 +152,7 @@ class FlickerSession:
         self.human = human
         self.os_hooks = os_hooks
         self.sessions_run = 0
+        self.transient_retries = 0
         self._active_services: Optional[PalServices] = None
         self._last_show_at: Optional[float] = None
         self._human_think_accum = 0.0
@@ -188,57 +192,83 @@ class FlickerSession:
             breakdown["suspend"] = clock.now - mark
 
             # -- SKINIT ------------------------------------------------------
-            mark = clock.now
-            with tracer.span("drtm.skinit", padded_size=padded_size):
-                slb = SecureLoaderBlock.package(pal, padded_size=padded_size)
-                context = perform_skinit(
-                    self.simulator, self.machine, slb,
-                    protect_dma=self.protect_dma,
-                )
-            breakdown["skinit"] = clock.now - mark
-            pcr17 = self.machine.tpm.pcrs.read(PCR_DRTM_CODE)
-
-            # -- run the PAL -------------------------------------------------
-            services = PalServices(self)
-            self._active_services = services
-            self._last_show_at = None
-            self._human_think_accum = 0.0
-            self._frames_at_start = len(self.machine.display.frames)
             outputs: Dict[str, bytes] = {}
             aborted = False
             abort_reason = ""
+            abort_transient = False
+            context = None
+            self._human_think_accum = 0.0
             mark = clock.now
-            with tracer.span("drtm.pal", pal=pal.name):
+            with tracer.span("drtm.skinit", padded_size=padded_size):
+                slb = SecureLoaderBlock.package(pal, padded_size=padded_size)
                 try:
-                    outputs = pal.run(services, inputs)
-                except Exception as exc:  # PAL aborts must not wedge the machine
+                    context = perform_skinit(
+                        self.simulator, self.machine, slb,
+                        protect_dma=self.protect_dma,
+                    )
+                except TpmError as exc:
+                    # A *transient* TPM fault during the launch aborts
+                    # the session but must not wedge the machine: the
+                    # claimed keyboard/display are released below and
+                    # the caller may simply rerun.  Anything else is a
+                    # genuine platform error and propagates as before.
+                    if not exc.transient:
+                        raise
                     aborted = True
                     abort_reason = f"{type(exc).__name__}: {exc}"
-                finally:
-                    self._active_services = None
-            pal_total = clock.now - mark
-            breakdown["pal_tpm"] = services.timings["tpm"]
-            breakdown["pal_human"] = services.timings["human"]
-            breakdown["pal_logic"] = pal_total - (
-                services.timings["tpm"] + services.timings["human"]
-            )
+                    abort_transient = True
+            breakdown["skinit"] = clock.now - mark
+            pcr17 = self.machine.tpm.pcrs.read(PCR_DRTM_CODE)
 
-            # -- cap PCR 17 so the resumed OS cannot reuse the PAL's identity
-            mark = clock.now
-            with tracer.span("drtm.cap", applied=self.apply_cap):
-                if self.apply_cap:
-                    self.machine.chipset.tpm_command(
-                        self.machine.cpu.pal_locality(),
-                        "extend",
-                        pcr_index=PCR_DRTM_CODE,
-                        measurement=CAP_MEASUREMENT,
-                    )
-            breakdown["cap"] = clock.now - mark
+            if context is not None:
+                # -- run the PAL ---------------------------------------------
+                services = PalServices(self)
+                self._active_services = services
+                self._last_show_at = None
+                self._human_think_accum = 0.0
+                self._frames_at_start = len(self.machine.display.frames)
+                mark = clock.now
+                with tracer.span("drtm.pal", pal=pal.name):
+                    try:
+                        outputs = pal.run(services, inputs)
+                    except Exception as exc:  # PAL aborts must not wedge the machine
+                        aborted = True
+                        abort_reason = f"{type(exc).__name__}: {exc}"
+                        abort_transient = (
+                            isinstance(exc, TpmError) and exc.transient
+                        )
+                    finally:
+                        self._active_services = None
+                pal_total = clock.now - mark
+                breakdown["pal_tpm"] = services.timings["tpm"]
+                breakdown["pal_human"] = services.timings["human"]
+                breakdown["pal_logic"] = pal_total - (
+                    services.timings["tpm"] + services.timings["human"]
+                )
+
+                # -- cap PCR 17 so the resumed OS cannot reuse the PAL's
+                # identity
+                mark = clock.now
+                with tracer.span("drtm.cap", applied=self.apply_cap):
+                    if self.apply_cap:
+                        self.machine.chipset.tpm_command(
+                            self.machine.cpu.pal_locality(),
+                            "extend",
+                            pcr_index=PCR_DRTM_CODE,
+                            measurement=CAP_MEASUREMENT,
+                        )
+                breakdown["cap"] = clock.now - mark
+            else:
+                breakdown["pal_tpm"] = 0.0
+                breakdown["pal_human"] = 0.0
+                breakdown["pal_logic"] = 0.0
+                breakdown["cap"] = 0.0
 
             # -- teardown + resume -------------------------------------------
             mark = clock.now
             with tracer.span("drtm.resume"):
-                teardown_launch(context)
+                if context is not None:
+                    teardown_launch(context)
                 self.machine.display.release("pal")
                 self.machine.keyboard.release_to_os()
                 clock.advance(OS_RESUME_SECONDS)
@@ -253,10 +283,37 @@ class FlickerSession:
             human_pure_seconds=self._human_think_accum,
             breakdown=breakdown,
             pcr17_during_session=pcr17,
-            slb_measurement=context.measurement,
+            slb_measurement=(
+                context.measurement if context is not None else slb.measurement()
+            ),
             aborted=aborted,
             abort_reason=abort_reason,
+            abort_transient=abort_transient,
         )
+
+    def run_with_retry(
+        self,
+        pal: Pal,
+        inputs: Dict[str, bytes],
+        padded_size: int = 64 * 1024,
+        max_attempts: int = 3,
+    ) -> SessionRecord:
+        """Run a session, rerunning it on *transient* TPM faults.
+
+        A `TpmResult.RETRY` fault (injected or real — a busy TPM) aborts
+        one session attempt; the launch itself is side-effect-free until
+        the PAL commits outputs, so rerunning is always safe.  Permanent
+        aborts and hard TPM errors are returned/raised unchanged.  The
+        last attempt's record is returned even if still transient, so
+        callers observe the fault rather than an infinite loop.
+        """
+        record = self.run(pal, inputs, padded_size=padded_size)
+        for _ in range(max_attempts - 1):
+            if not (record.aborted and record.abort_transient):
+                break
+            self.transient_retries += 1
+            record = self.run(pal, inputs, padded_size=padded_size)
+        return record
 
     # ------------------------------------------------------------------
     def visible_to_human(self) -> str:

@@ -14,10 +14,13 @@ probability between a host and the core.  Two interaction styles:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.sim.kernel import Simulator
 from repro.sim.latency import LatencyModel, NormalLatency
+
+if TYPE_CHECKING:
+    from repro.sim.faults import FaultInjector
 
 
 class NetworkError(RuntimeError):
@@ -57,10 +60,17 @@ class Network:
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
+        self.fault_injector: Optional["FaultInjector"] = None
 
     @property
     def tracer(self):
         return self.simulator.tracer
+
+    def attach_faults(self, injector: "FaultInjector") -> None:
+        """Subject this network to an injector's loss bursts and latency
+        spikes.  Fault activity is looked up against precomputed windows,
+        so attaching an injector never perturbs the latency/loss RNG."""
+        self.fault_injector = injector
 
     def attach(
         self,
@@ -79,6 +89,12 @@ class Network:
         self._require(host)
         self._inboxes[host] = inbox
 
+    def has_inbox(self, host: str) -> bool:
+        return host in self._inboxes
+
+    def is_attached(self, host: str) -> bool:
+        return host in self._links
+
     def _require(self, host: str) -> LinkSpec:
         if host not in self._links:
             raise NetworkError(f"unknown host {host!r}")
@@ -88,18 +104,39 @@ class Network:
         """Sample the one-way latency source → core → destination."""
         src = self._require(source)
         dst = self._require(destination)
-        return src.latency.sample(self._rng) + dst.latency.sample(self._rng)
+        latency = src.latency.sample(self._rng) + dst.latency.sample(self._rng)
+        if self.fault_injector is not None:
+            now = self.simulator.clock.now
+            latency *= max(
+                self.fault_injector.latency_factor(source, now),
+                self.fault_injector.latency_factor(destination, now),
+            )
+        return latency
+
+    def _link_loss(self, host: str, link: LinkSpec) -> float:
+        """Effective loss probability on one link, faults included."""
+        loss = link.loss_probability
+        if self.fault_injector is not None:
+            burst = self.fault_injector.burst_loss(
+                host, self.simulator.clock.now
+            )
+            if burst > 0.0:
+                loss = 1.0 - (1.0 - loss) * (1.0 - burst)
+        return loss
 
     def _maybe_drop(self, source: str, destination: str) -> bool:
         src = self._require(source)
         dst = self._require(destination)
-        drop = (
-            self._rng.random() < src.loss_probability
-            or self._rng.random() < dst.loss_probability
-        )
-        if drop:
+        # Always draw both link probabilities: the number of RNG
+        # consumptions must not depend on the first draw's outcome, or
+        # enabling loss on one link perturbs every later latency sample
+        # and breaks cross-config determinism.
+        src_lost = self._rng.random() < self._link_loss(source, src)
+        dst_lost = self._rng.random() < self._link_loss(destination, dst)
+        if src_lost or dst_lost:
             self.packets_dropped += 1
-        return drop
+            return True
+        return False
 
     # -- synchronous -----------------------------------------------------
     def transfer(self, source: str, destination: str, payload: bytes) -> bytes:
@@ -126,13 +163,19 @@ class Network:
     # -- asynchronous ------------------------------------------------------
     def send(self, source: str, destination: str, payload: bytes) -> None:
         """Schedule delivery to the destination's inbox callback."""
-        self.packets_sent += 1
-        self.bytes_sent += len(payload)
+        # Validate the destination before touching the counters: a send
+        # that never entered the network must not pollute traffic stats.
+        self._require(source)
         if destination not in self._inboxes:
             raise NetworkError(f"host {destination!r} has no inbox")
-        if self._maybe_drop(source, destination):
-            return
+        self.packets_sent += 1
+        self.bytes_sent += len(payload)
+        # The latency is sampled whether or not the packet survives, so
+        # lossy and lossless configs consume identical RNG sequences.
+        dropped = self._maybe_drop(source, destination)
         delay = self.one_way_latency(source, destination)
+        if dropped:
+            return
         inbox = self._inboxes[destination]
         tracer = self.tracer
         if tracer.enabled:

@@ -1,0 +1,111 @@
+"""Retry/timeout/backoff policy for the queued RPC path.
+
+The queued transport (`RpcEndpoint.submit`) is UDP-shaped: a request or
+response packet that the `Network` loss model drops simply never
+arrives.  A :class:`RetryPolicy` turns that into an at-most-once RPC
+with bounded latency:
+
+* every transmission arms a retransmit timer — exponential backoff with
+  **deterministic jitter** drawn from a dedicated named RNG stream, so
+  the same seed produces the same retransmit schedule;
+* a per-call **deadline** guarantees the caller always hears back: a
+  call that exhausts its retry budget resolves with a structured
+  deadline error (and is counted as a dead letter) instead of hanging;
+* server-side request de-duplication (in `repro.net.rpc`) makes
+  retransmission safe: a handler runs at most once per call no matter
+  how many copies of the request arrive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: Response key set on the synthetic deadline-error message, so callers
+#: can tell a transport failure from an application error.
+DEADLINE_ERROR_KEY = "rpc_dead_letter"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout, retransmission and deadline parameters for one call.
+
+    Attributes
+    ----------
+    initial_timeout:
+        Seconds before the first retransmission.
+    backoff:
+        Multiplier applied per attempt (exponential backoff).
+    max_timeout:
+        Per-attempt timeout ceiling.
+    jitter:
+        Fractional deterministic jitter: each timeout is scaled by
+        ``1 + jitter * u`` with ``u`` drawn from the endpoint's
+        ``rpc.retry`` stream.  Decorrelates retransmit storms without
+        sacrificing reproducibility.
+    max_attempts:
+        Total transmissions per call (1 = never retransmit).
+    deadline:
+        Overall per-call budget in seconds; ``None`` disables the
+        deadline entirely (fire-and-forget — the pre-robustness
+        behaviour, kept for the R1 ablation).
+    """
+
+    initial_timeout: float = 0.2
+    backoff: float = 2.0
+    max_timeout: float = 2.0
+    jitter: float = 0.1
+    max_attempts: int = 8
+    deadline: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.initial_timeout <= 0:
+            raise ValueError(f"initial_timeout must be > 0: {self.initial_timeout}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1: {self.backoff}")
+        if self.max_timeout < self.initial_timeout:
+            raise ValueError("max_timeout must be >= initial_timeout")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0 or None: {self.deadline}")
+
+    def timeout_for(self, attempt: int, rng: random.Random) -> float:
+        """Retransmit timeout armed after 0-based transmission ``attempt``."""
+        base = min(
+            self.initial_timeout * self.backoff**attempt, self.max_timeout
+        )
+        if self.jitter:
+            base *= 1.0 + self.jitter * rng.random()
+        return base
+
+    def schedule(self, rng: random.Random) -> List[float]:
+        """The full retransmit-offset schedule (for tests/analysis):
+        seconds after submission at which transmission k occurs,
+        assuming no response ever arrives."""
+        offsets: List[float] = []
+        t = 0.0
+        for attempt in range(self.max_attempts - 1):
+            t += self.timeout_for(attempt, rng)
+            offsets.append(t)
+        return offsets
+
+
+#: The pre-robustness queued path: one transmission, no deadline.  A
+#: single lost packet strands the caller forever — exists so the R1
+#: experiment can demonstrate the failure mode the retry layer removes.
+FIRE_AND_FORGET = RetryPolicy(max_attempts=1, deadline=None)
+
+
+def deadline_error(attempts: int, deadline: float) -> dict:
+    """The synthetic response delivered when a call's deadline expires."""
+    return {
+        "error": (
+            f"rpc deadline ({deadline:g}s) exceeded after "
+            f"{attempts} transmission(s)"
+        ),
+        DEADLINE_ERROR_KEY: 1,
+    }

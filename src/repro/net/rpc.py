@@ -6,32 +6,154 @@ paths mirror the two network styles:
 * :meth:`call_sync` — the client blocks; network latency and the
   server's service time advance the shared clock inline.  Used by
   single-client end-to-end runs.
-* :meth:`submit` — queued: the request joins the endpoint's FIFO and is
-  served by ``workers`` parallel servers, each charging the handler's
-  service time.  This is the path the throughput experiment (F2)
-  drives, so server saturation behaves like a real queueing system.
+* :meth:`submit` — queued: request and response packets cross the
+  `Network` loss model as real async sends, the request joins the
+  endpoint's FIFO and is served by ``workers`` parallel servers, each
+  charging the handler's service time.  This is the path the throughput
+  (F2) and robustness (R1) experiments drive, so server saturation and
+  packet loss behave like a real queueing system.
+
+The queued path is UDP-shaped, so it carries its own reliability layer
+(`repro.net.retry`): per-call retransmission with exponential backoff
+and deterministic jitter, a hard per-call deadline (no caller can ever
+hang — a call resolves with a response or a structured deadline error),
+and server-side request de-duplication with a response cache so a
+handler executes **at most once** per call no matter how many request
+copies arrive or how many responses are lost.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import itertools
+from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.net.channel import SecureChannel, establish_channel
-from repro.net.messages import Message, decode_message, encode_message
+from repro.net.messages import Message, MessageError, decode_message, encode_message
 from repro.net.network import Network, NetworkError
+from repro.net.retry import RetryPolicy, deadline_error
 from repro.sim.kernel import Simulator
 from repro.sim.tracing import Span
 
 Handler = Callable[[Message], Message]
 
 #: Transport retries on packet loss (the paper's protocol sits on TCP;
-#: a couple of retransmits is the honest abstraction).
+#: a couple of retransmits is the honest abstraction).  Applies to the
+#: synchronous path; the queued path uses a RetryPolicy instead.
 MAX_TRANSFER_ATTEMPTS = 4
+
+_MISSING = object()
 
 
 class RpcError(RuntimeError):
-    """Remote handler failure, surfaced to the caller."""
+    """Remote handler failure, surfaced to the caller.
+
+    Carries the full error response (when one exists) so recovery code
+    can branch on structured fields instead of message text, and a
+    ``transport`` flag marking failures where the request's fate is
+    *unknown* (it may have executed server-side) — the case that needs
+    idempotent resubmission rather than a blind retry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        response: Optional[Message] = None,
+        transport: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.response: Message = response if response is not None else {}
+        self.transport = transport
+
+    @property
+    def rechallenge_required(self) -> bool:
+        """The provider says the challenge expired but the transaction
+        survives: fetch a fresh nonce via ``tx.rechallenge`` and retry."""
+        return bool(self.response.get("rechallenge"))
+
+
+class _PendingCall:
+    """Client-side state for one in-flight queued call."""
+
+    __slots__ = (
+        "call_id", "method", "finish", "done", "attempts",
+        "retransmit_event", "deadline_event", "call_span",
+    )
+
+    def __init__(self, call_id: int, method: str) -> None:
+        self.call_id = call_id
+        self.method = method
+        self.finish: Callable[[Message], None] = lambda response: None
+        self.done = False
+        self.attempts = 0
+        self.retransmit_event = None
+        self.deadline_event = None
+        self.call_span = None
+
+
+class _RpcRouter:
+    """Per-network packet dispatcher for the queued transport.
+
+    One router owns every host's inbox (installed lazily, only where no
+    custom inbox exists): request packets go to the endpoint bound to
+    the destination host, response packets resolve the matching pending
+    call.  Call ids are unique per network, so late or duplicated
+    responses for completed calls are recognized and dropped (counted
+    as ``stale_responses``) instead of mis-delivered.
+    """
+
+    _ATTR = "_rpc_router"
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.endpoints: Dict[str, "RpcEndpoint"] = {}
+        self.pending: Dict[int, _PendingCall] = {}
+        self.next_call_ids = itertools.count()
+        self.stale_responses = 0
+
+    @classmethod
+    def for_network(cls, network: Network) -> "_RpcRouter":
+        router = getattr(network, cls._ATTR, None)
+        if router is None:
+            router = cls(network)
+            setattr(network, cls._ATTR, router)
+        return router
+
+    def bind(self, endpoint: "RpcEndpoint") -> None:
+        self.endpoints[endpoint.host] = endpoint
+        if endpoint.network.is_attached(endpoint.host):
+            self.ensure_inbox(endpoint.host)
+
+    def ensure_inbox(self, host: str) -> None:
+        if not self.network.has_inbox(host):
+            self.network.set_inbox(
+                host,
+                lambda source, payload, h=host: self._dispatch(
+                    h, source, payload
+                ),
+            )
+
+    def _dispatch(self, host: str, source: str, payload: bytes) -> None:
+        try:
+            packet = decode_message(payload)
+        except MessageError:
+            return  # corrupt frame: dropped, like a bad checksum
+        kind = packet.get("kind")
+        if kind == "req":
+            endpoint = self.endpoints.get(host)
+            if endpoint is not None:
+                endpoint._receive_request(source, packet)
+        elif kind == "resp":
+            call = self.pending.get(packet.get("call", -1))
+            if call is None or call.done:
+                self.stale_responses += 1
+                return
+            try:
+                response = decode_message(packet["body"])
+            except (KeyError, MessageError):
+                self.stale_responses += 1
+                return
+            call.finish(response)
 
 
 class RpcEndpoint:
@@ -58,7 +180,7 @@ class RpcEndpoint:
         self._handlers: Dict[str, Handler] = {}
         self._service_time: Dict[str, float] = {}
         self._queue: Deque[
-            Tuple[str, Message, Callable[[Message], None], Span, Span]
+            Tuple[str, int, str, Message, Span, Optional[Span]]
         ] = deque()
         self._busy_workers = 0
         self.requests_served = 0
@@ -68,6 +190,23 @@ class RpcEndpoint:
         self._server_channels: Dict[str, SecureChannel] = {}
         self._client_channels: Dict[str, SecureChannel] = {}
         self.tls_handshakes = 0
+        # -- queued-path reliability state --------------------------------
+        #: Default policy for submit(); callers may override per call.
+        self.retry_policy = RetryPolicy()
+        self._retry_rng = simulator.rng.stream("rpc.retry")
+        self._router = _RpcRouter.for_network(network)
+        self._router.bind(self)
+        #: call_id -> None (request in service) or encoded response
+        #: (kept so lost responses replay without re-executing).
+        self._request_cache: "OrderedDict[int, Optional[bytes]]" = OrderedDict()
+        self.response_cache_limit = 100_000
+        self._stalled_until = 0.0
+        self.worker_stalls = 0
+        self.calls_submitted = 0
+        self.retransmits = 0
+        self.dead_letters = 0
+        self.duplicate_requests = 0
+        self.responses_replayed = 0
 
     @property
     def tracer(self):
@@ -112,7 +251,9 @@ class RpcEndpoint:
                 return
             except NetworkError as exc:
                 last_error = exc
-        raise RpcError(f"transport gave up after retries: {last_error}")
+        raise RpcError(
+            f"transport gave up after retries: {last_error}", transport=True
+        )
 
     def register(
         self, method: str, handler: Handler, service_time: float = 0.0
@@ -168,7 +309,7 @@ class RpcEndpoint:
                 else:
                     self._transfer_with_retry(self.host, caller, raw)
             if response.get("error"):
-                raise RpcError(str(response["error"]))
+                raise RpcError(str(response["error"]), response=response)
             return decode_message(encode_message(response))  # defensive copy
 
     # -- queued path ----------------------------------------------------------
@@ -178,59 +319,154 @@ class RpcEndpoint:
         method: str,
         request: Message,
         on_response: Callable[[Message], None],
+        policy: Optional[RetryPolicy] = None,
     ) -> None:
-        """Send a request over the network into the endpoint's queue.
+        """Send a request through the network into the endpoint's queue.
 
-        Under tracing, the whole round trip is one unscoped ``rpc.call``
-        span with children bracketing each stage the request crosses
-        events in: ``net.request`` (uplink flight), ``rpc.queue_wait``
-        (FIFO time until a worker frees up), ``rpc.service`` and
-        ``net.response`` — the decomposition the throughput experiment's
-        latency percentiles break into.
+        Request and response packets are real :meth:`Network.send`\\ s:
+        they cross the loss model, count symmetrically in the traffic
+        stats, and may be dropped.  The ``policy`` (endpoint default
+        when None) governs retransmission and the per-call deadline;
+        ``on_response`` is **always** invoked exactly once — with the
+        handler's response, or with a deadline-error message (see
+        `repro.net.retry.deadline_error`) once the retry budget or the
+        deadline is exhausted.  Handler responses must be wire-encodable
+        (`repro.net.messages` types), since they genuinely round-trip.
+
+        Under tracing, the round trip is one unscoped ``rpc.call`` span;
+        the server parents ``rpc.queue_wait`` (FIFO time until a worker
+        frees up) and ``rpc.service`` under it, and every packet flight
+        appears as a ``net.link`` span — the decomposition the
+        throughput experiment's latency percentiles break into.
         """
+        policy = policy or self.retry_policy
         tracer = self.tracer
-        payload = encode_message({"method": method, "body": encode_message(request)})
-        delay = self.network.one_way_latency(caller, self.host)
-        self.network.packets_sent += 1
-        self.network.bytes_sent += len(payload)
+        simulator = self.simulator
+        router = self._router
+        router.ensure_inbox(caller)
+        router.ensure_inbox(self.host)
+        call_id = next(router.next_call_ids)
+        body = encode_message(request)
         call_span = tracer.begin(
             "rpc.call", method=method, host=self.host, caller=caller,
             transport="queued",
         )
-        uplink_span = tracer.begin(
-            "net.request", parent=call_span, latency_s=delay
-        )
+        call = _PendingCall(call_id, method)
+        call.call_span = call_span
+        router.pending[call_id] = call
+        self.calls_submitted += 1
 
-        def arrive() -> None:
-            tracer.finish(uplink_span)
-            wait_span = tracer.begin("rpc.queue_wait", parent=call_span)
-            self._queue.append((method, request, _responder(), wait_span, call_span))
-            self.queue_peak = max(self.queue_peak, len(self._queue))
-            self._pump()
+        def finish(response: Message) -> None:
+            if call.done:
+                return
+            call.done = True
+            router.pending.pop(call_id, None)
+            for event in (call.retransmit_event, call.deadline_event):
+                if event is not None:
+                    event.cancel()
+            tracer.finish(call_span)
+            on_response(response)
 
-        def _responder() -> Callable[[Message], None]:
-            def respond(response: Message) -> None:
-                back = self.network.one_way_latency(self.host, caller)
-                downlink_span = tracer.begin(
-                    "net.response", parent=call_span, latency_s=back
+        call.finish = finish
+
+        def transmit() -> None:
+            attempt = call.attempts
+            call.attempts += 1
+            if attempt:
+                self.retransmits += 1
+            packet = encode_message({
+                "kind": "req", "call": call_id, "method": method,
+                "body": body, "attempt": attempt,
+            })
+            self.network.send(caller, self.host, packet)
+            if call.attempts < policy.max_attempts:
+                timeout = policy.timeout_for(attempt, self._retry_rng)
+                call.retransmit_event = simulator.schedule(
+                    timeout, retransmit, label=f"rpc:retx:{method}"
                 )
 
-                def deliver() -> None:
-                    tracer.finish(downlink_span)
-                    tracer.finish(call_span)
-                    on_response(response)
+        def retransmit() -> None:
+            if not call.done:
+                transmit()
 
-                self.simulator.schedule(back, deliver, label=f"rpc:resp:{method}")
+        if policy.deadline is not None:
+            deadline = policy.deadline
 
-            return respond
+            def expire() -> None:
+                if call.done:
+                    return
+                self.dead_letters += 1
+                finish(deadline_error(call.attempts, deadline))
 
-        self.simulator.schedule(delay, arrive, label=f"rpc:req:{method}")
+            call.deadline_event = simulator.schedule(
+                deadline, expire, label=f"rpc:deadline:{method}"
+            )
+
+        transmit()
+
+    def _receive_request(self, caller: str, packet: Message) -> None:
+        """Server side: a request packet reached this host's inbox."""
+        call_id = packet.get("call", -1)
+        cached = self._request_cache.get(call_id, _MISSING)
+        if cached is not _MISSING:
+            # At-most-once execution: a retransmitted request never
+            # re-runs the handler.  If the response already exists, its
+            # earlier copy was evidently lost — replay it.
+            self.duplicate_requests += 1
+            if cached is not None:
+                self.responses_replayed += 1
+                self.network.send(self.host, caller, cached)
+            return
+        self._request_cache[call_id] = None
+        method = str(packet.get("method", ""))
+        try:
+            request = decode_message(packet["body"])
+        except (KeyError, MessageError):
+            request = {"_malformed": 1}
+            method = ""
+        tracer = self.tracer
+        call_span: Optional[Span] = None
+        if tracer.enabled:
+            pending = self._router.pending.get(call_id)
+            call_span = pending.call_span if pending is not None else None
+        wait_span = tracer.begin("rpc.queue_wait", parent=call_span)
+        self._queue.append((caller, call_id, method, request, wait_span, call_span))
+        self.queue_peak = max(self.queue_peak, len(self._queue))
+        self._pump()
+
+    def _respond(self, caller: str, call_id: int, response: Message) -> None:
+        payload = encode_message({
+            "kind": "resp", "call": call_id, "body": encode_message(response),
+        })
+        if call_id in self._request_cache:
+            self._request_cache[call_id] = payload
+            while len(self._request_cache) > self.response_cache_limit:
+                self._request_cache.popitem(last=False)
+        self.network.send(self.host, caller, payload)
+
+    def stall_workers(self, duration: float) -> None:
+        """Fault hook: freeze dispatch of *new* queued work for
+        ``duration`` seconds (in-flight requests complete normally),
+        modeling a GC pause / overloaded server."""
+        if duration <= 0:
+            return
+        self._stalled_until = max(
+            self._stalled_until, self.simulator.clock.now + duration
+        )
+        self.worker_stalls += 1
+        self.simulator.schedule(
+            duration, self._pump, label=f"rpc:unstall:{self.host}"
+        )
 
     def _pump(self) -> None:
         """Start serving queued requests while workers are free."""
         tracer = self.tracer
+        if self.simulator.clock.now < self._stalled_until:
+            return
         while self._busy_workers < self.workers and self._queue:
-            method, request, respond, wait_span, call_span = self._queue.popleft()
+            caller, call_id, method, request, wait_span, call_span = (
+                self._queue.popleft()
+            )
             tracer.finish(wait_span)
             self._busy_workers += 1
             service = self._service_time.get(method, 0.0)
@@ -239,15 +475,16 @@ class RpcEndpoint:
             )
 
             def finish(
+                caller: str = caller,
+                call_id: int = call_id,
                 method: str = method,
                 request: Message = request,
-                respond: Callable[[Message], None] = respond,
                 service_span=service_span,
             ) -> None:
                 response = self._dispatch(method, request, charge_time=False)
                 tracer.finish(service_span)
                 self._busy_workers -= 1
-                respond(response)
+                self._respond(caller, call_id, response)
                 self._pump()
 
             self.simulator.schedule(service, finish, label=f"rpc:serve:{method}")

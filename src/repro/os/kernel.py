@@ -130,4 +130,8 @@ class UntrustedOS:
             launched = gate(launched, inputs)
             if launched is None:
                 return None
-        return self._flicker.run(launched, inputs, padded_size=padded_size)
+        # run_with_retry transparently reruns sessions aborted by
+        # *transient* TPM faults; with a healthy TPM it is exactly run().
+        return self._flicker.run_with_retry(
+            launched, inputs, padded_size=padded_size
+        )

@@ -52,6 +52,8 @@ class NonceDatabase:
         self.rejected_replays = 0
         self.rejected_expired = 0
         self.rejected_unknown = 0
+        self.evictions = 0
+        self.invalidated = 0
 
     def issue(self, tx_id: bytes, now: float) -> bytes:
         """Mint a fresh nonce bound to ``tx_id``."""
@@ -70,8 +72,17 @@ class NonceDatabase:
 
         Returns (accepted, state-observed).  Only LIVE nonces bound to
         the same tx_id are accepted, exactly once.
+
+        Consumption participates in the periodic eviction sweep exactly
+        like issuance: a provider that is only *verifying* (a long
+        confirm-heavy phase with no new challenges) must not let dead
+        records pile up until the next issue() happens to run the sweep.
         """
+        # Look the record up before sweeping: the sweep may drop this
+        # very nonce (if expired), and the caller still deserves the
+        # precise EXPIRED verdict rather than UNKNOWN.
         record = self._records.get(nonce)
+        self._maybe_evict(now)
         if record is None:
             self.rejected_unknown += 1
             return False, NonceState.UNKNOWN
@@ -98,6 +109,14 @@ class NonceDatabase:
             return NonceState.EXPIRED
         return NonceState.LIVE
 
+    def invalidate(self, nonce: bytes) -> bool:
+        """Forget a live nonce (re-challenge path): the old challenge
+        must stop being acceptable the moment a replacement is minted."""
+        if self._records.pop(nonce, None) is None:
+            return False
+        self.invalidated += 1
+        return True
+
     def _maybe_evict(self, now: float) -> None:
         if now - self._last_eviction < self.eviction_interval:
             return
@@ -112,7 +131,9 @@ class NonceDatabase:
             if not record.consumed and now <= record.expires_at
         }
         self._last_eviction = now
-        return before - len(self._records)
+        evicted = before - len(self._records)
+        self.evictions += evicted
+        return evicted
 
     @property
     def live_count(self) -> int:

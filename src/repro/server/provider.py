@@ -20,6 +20,7 @@ man-in-the-browser.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -35,7 +36,7 @@ from repro.crypto.rsa import RsaPublicKey
 from repro.net.messages import Message
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
-from repro.server.noncedb import NonceDatabase
+from repro.server.noncedb import NonceDatabase, NonceState
 from repro.server.policy import VerifierPolicy
 from repro.server.verifier import (
     AttestationVerifier,
@@ -67,6 +68,7 @@ SERVICE_TIMES = {
     "tp.setup_complete": 0.0032,
     "tx.request": 0.0011,
     "tx.confirm": 0.0024,
+    "tx.rechallenge": 0.0011,
     "tx.status": 0.0004,
     "tx.request_batch": 0.0019,
     "tx.confirm_batch": 0.0026,
@@ -94,6 +96,12 @@ class PendingTransaction:
     issued_at: float
     status: TxStatus = TxStatus.PENDING
     detail: str = ""
+    #: Digest of the evidence that settled the transaction, plus the
+    #: response it produced — resubmitting the *same* evidence (a client
+    #: whose transport gave up mid-confirm) replays the stored outcome
+    #: instead of re-running verification or execution.
+    evidence_digest: Optional[bytes] = None
+    final_response: Optional[Message] = None
 
 
 @dataclass
@@ -139,6 +147,10 @@ class ServiceProvider:
         self.batches: Dict[bytes, PendingBatch] = {}
         self.denials: Dict[str, int] = {}
         self.allow_reconfirmation = False  # ablation-only; see tx.confirm
+        # -- recovery accounting -------------------------------------------
+        self.rechallenges_issued = 0
+        self.rechallenges_required = 0
+        self.duplicate_confirms = 0
         self._register_handlers()
 
     def enable_tls(self) -> None:
@@ -162,6 +174,7 @@ class ServiceProvider:
             "tp.setup_complete": self._handle_setup_complete,
             "tx.request": self._handle_tx_request,
             "tx.confirm": self._handle_tx_confirm,
+            "tx.rechallenge": self._handle_tx_rechallenge,
             "tx.status": self._handle_tx_status,
             "tx.request_batch": self._handle_tx_request_batch,
             "tx.confirm_batch": self._handle_tx_confirm_batch,
@@ -278,7 +291,28 @@ class ServiceProvider:
         pending = self.transactions.get(request.get("tx_id", b""))
         if pending is None:
             return {"error": "unknown transaction"}
+        digest = self._confirm_digest(request)
         if pending.status is not TxStatus.PENDING:
+            # Idempotent resubmission: a client whose transport gave up
+            # mid-confirm re-sends the *same* evidence and gets the
+            # *same* outcome — never a second execution.  Disabled under
+            # allow_reconfirmation, which exists only so the replay
+            # ablation (A1) can observe the undefended double execution.
+            if (
+                not self.allow_reconfirmation
+                and pending.final_response is not None
+                and pending.evidence_digest == digest
+            ):
+                self.duplicate_confirms += 1
+                return dict(pending.final_response)
+            if pending.status is TxStatus.EXPIRED:
+                # The expiry sweep got here first; same recovery as an
+                # expired nonce observed at consume time.
+                self.rechallenges_required += 1
+                return {
+                    "error": "nonce expired: re-challenge required",
+                    "rechallenge": 1,
+                }
             # allow_reconfirmation exists only for the replay-ablation
             # experiment (A1); a production provider never re-opens an
             # executed transaction.
@@ -307,22 +341,103 @@ class ServiceProvider:
                 pending.nonce, pending.tx_id, self.simulator.now
             )
             if not accepted:
-                return self._deny(pending, f"nonce {state.value}")
+                if state is NonceState.EXPIRED:
+                    # Recoverable: the challenge aged out (slow network,
+                    # retransmit storms, user walked away).  The
+                    # transaction survives — the client re-challenges
+                    # via tx.rechallenge and confirms against a fresh
+                    # nonce.  A *consumed* nonce stays a hard deny:
+                    # that is the replay defense, not a network fault.
+                    self.rechallenges_required += 1
+                    pending.status = TxStatus.EXPIRED
+                    pending.detail = "nonce expired; re-challenge required"
+                    return {
+                        "error": "nonce expired: re-challenge required",
+                        "rechallenge": 1,
+                    }
+                return self._finalize(
+                    pending, digest, self._deny(pending, f"nonce {state.value}")
+                )
 
         result = self._verify_evidence(pending, request, decision)
         if not result.ok:
-            return self._deny(pending, result.failure.value)
+            return self._finalize(
+                pending, digest, self._deny(pending, result.failure.value)
+            )
         if self.policy.require_monotonic_counter:
             record.last_counter = int(counter)
 
         if decision == b"reject":
             pending.status = TxStatus.REJECTED_BY_USER
-            return {"ok": 1, "status": pending.status.value}
+            return self._finalize(
+                pending, digest, {"ok": 1, "status": pending.status.value}
+            )
 
         receipt = self.execute_transaction(pending.transaction)
         pending.status = TxStatus.EXECUTED
         pending.detail = receipt
-        return {"ok": 1, "status": pending.status.value, "receipt": receipt}
+        return self._finalize(
+            pending,
+            digest,
+            {"ok": 1, "status": pending.status.value, "receipt": receipt},
+        )
+
+    def _handle_tx_rechallenge(self, request: Message) -> Message:
+        """Reissue the confirmation challenge for a live transaction.
+
+        Recovery path for an expired nonce: the canonical text is
+        unchanged (still server-authoritative), only the freshness
+        material rolls over.  The old nonce is invalidated the moment
+        the new one is minted, so at most one challenge per transaction
+        is ever acceptable.  Settled transactions are never re-opened.
+        """
+        self._authenticate(request)
+        pending = self.transactions.get(request.get("tx_id", b""))
+        if pending is None:
+            return {"error": "unknown transaction"}
+        self._expire_if_stale(pending)
+        if pending.status not in (TxStatus.PENDING, TxStatus.EXPIRED):
+            return {"error": f"transaction already {pending.status.value}"}
+        now = self.simulator.now
+        self.nonces.invalidate(pending.nonce)
+        pending.nonce = self.nonces.issue(pending.tx_id, now)
+        pending.issued_at = now
+        pending.status = TxStatus.PENDING
+        pending.detail = ""
+        self.rechallenges_issued += 1
+        return {
+            "ok": 1,
+            "tx_id": pending.tx_id,
+            "nonce": pending.nonce,
+            "text": pending.canonical_text,
+        }
+
+    def _confirm_digest(self, request: Message) -> bytes:
+        """Stable digest of a confirm request's evidence material, used
+        to recognize a resubmission of the *same* confirmation."""
+        h = hashlib.sha256()
+        for key in ("decision", "evidence", "quote", "signature", "counter"):
+            value = request.get(key)
+            if isinstance(value, int):
+                encoded = str(value).encode("ascii")
+            elif isinstance(value, str):
+                encoded = value.encode("utf-8")
+            elif isinstance(value, bytes):
+                encoded = value
+            else:
+                encoded = b""
+            h.update(key.encode("ascii"))
+            h.update(len(encoded).to_bytes(4, "big"))
+            h.update(encoded)
+        return h.digest()
+
+    def _finalize(
+        self, pending: PendingTransaction, digest: bytes, response: Message
+    ) -> Message:
+        """Record a confirm's settled outcome for idempotent replay."""
+        pending.evidence_digest = digest
+        pending.final_response = dict(response)
+        return response
 
     def _verify_evidence(
         self, pending: PendingTransaction, request: Message, decision: bytes

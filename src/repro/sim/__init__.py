@@ -22,6 +22,7 @@ Public API
 
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue
+from repro.sim.faults import FaultConfigError, FaultInjector, Window
 from repro.sim.kernel import Simulator, SimulationError
 from repro.sim.latency import (
     ConstantLatency,
@@ -63,6 +64,9 @@ __all__ = [
     "Sleep",
     "WaitFor",
     "SeededRng",
+    "FaultInjector",
+    "FaultConfigError",
+    "Window",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

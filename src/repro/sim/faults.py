@@ -1,0 +1,216 @@
+"""Deterministic, seed-driven fault injection.
+
+Any experiment can subject the simulated world to realistic trouble —
+link loss bursts, latency spikes, server worker stalls, transient TPM
+command failures — without giving up reproducibility.  The design rule
+that makes this safe:
+
+* **All fault windows are precomputed** at plan-build time from a
+  dedicated named RNG stream (``rng.stream("faults[:name]")``).
+  *Checking* whether a fault is active at some virtual time consumes no
+  randomness, so attaching an injector never perturbs the latency/loss
+  draws of the underlying models: a run with faults *configured but
+  never triggering* is bit-identical to one without the injector, and
+  two runs with the same seed see the same faults at the same times.
+
+Hook points (each component opts in explicitly):
+
+* :meth:`Network.attach_faults <repro.net.network.Network.attach_faults>`
+  — consults :meth:`burst_loss` / :meth:`latency_factor` per packet.
+* :meth:`FaultInjector.stall_workers` — schedules
+  :meth:`RpcEndpoint.stall_workers <repro.net.rpc.RpcEndpoint.stall_workers>`
+  calls at precomputed times.
+* :meth:`FaultInjector.attach_tpm` — installs a ``fault_hook`` on a
+  :class:`~repro.tpm.device.TpmDevice` that raises a *transient*
+  ``TpmError(TPM_RESULT.RETRY)`` inside precomputed windows; session-
+  level recovery (`repro.drtm.session.FlickerSession.run_with_retry`)
+  absorbs these.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.kernel import Simulator
+
+
+class FaultConfigError(ValueError):
+    """Invalid fault plan parameters."""
+
+
+@dataclass(frozen=True)
+class Window:
+    """One half-open activity interval ``[start, end)`` in virtual time."""
+
+    start: float
+    end: float
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class _WindowSet:
+    """Sorted fault windows with O(log n) activity lookup."""
+
+    def __init__(self, windows: List[Window]) -> None:
+        self.windows = sorted(windows, key=lambda w: w.start)
+        self._starts = [w.start for w in self.windows]
+
+    def active(self, now: float) -> bool:
+        index = bisect.bisect_right(self._starts, now) - 1
+        return index >= 0 and self.windows[index].active(now)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+
+def poisson_windows(
+    rng, horizon: float, rate_per_s: float, duration_s: float
+) -> List[Window]:
+    """Windows whose starts form a Poisson process over ``[0, horizon)``."""
+    if horizon <= 0:
+        raise FaultConfigError(f"horizon must be positive, got {horizon}")
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise FaultConfigError(
+            f"rate ({rate_per_s}) and duration ({duration_s}) must be positive"
+        )
+    windows: List[Window] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_per_s)
+        if t >= horizon:
+            break
+        windows.append(Window(t, t + duration_s))
+    return windows
+
+
+class FaultInjector:
+    """A deterministic fault plan for one simulated world.
+
+    Parameters
+    ----------
+    simulator:
+        Owns the clock and the master seed the plan derives from.
+    horizon:
+        Virtual-time span over which fault windows are generated.
+        Faults never fire past the horizon.
+    name:
+        Stream-name suffix, so two injectors in one world draw from
+        independent streams.
+    """
+
+    def __init__(
+        self, simulator: Simulator, horizon: float, name: str = "faults"
+    ) -> None:
+        self.simulator = simulator
+        self.horizon = float(horizon)
+        self._rng = simulator.rng.stream(name)
+        self._loss_bursts: Dict[str, Tuple[_WindowSet, float]] = {}
+        self._latency_spikes: Dict[str, Tuple[_WindowSet, float]] = {}
+        self._tpm_windows: _WindowSet = _WindowSet([])
+        self.tpm_faults_injected = 0
+        self.stalls_scheduled = 0
+
+    # ------------------------------------------------------------------
+    # Link loss bursts
+    # ------------------------------------------------------------------
+    def add_loss_bursts(
+        self,
+        host: str,
+        rate_per_s: float,
+        duration_s: float,
+        loss: float = 1.0,
+    ) -> List[Window]:
+        """During each burst, ``host``'s link drops packets with
+        probability ``loss`` on top of its configured steady loss."""
+        if not 0.0 < loss <= 1.0:
+            raise FaultConfigError(f"burst loss must be in (0, 1], got {loss}")
+        windows = poisson_windows(self._rng, self.horizon, rate_per_s, duration_s)
+        self._loss_bursts[host] = (_WindowSet(windows), loss)
+        return windows
+
+    def burst_loss(self, host: str, now: float) -> float:
+        """Extra loss probability on ``host``'s link at ``now`` (0 if none)."""
+        entry = self._loss_bursts.get(host)
+        if entry is None:
+            return 0.0
+        windows, loss = entry
+        return loss if windows.active(now) else 0.0
+
+    # ------------------------------------------------------------------
+    # Latency spikes
+    # ------------------------------------------------------------------
+    def add_latency_spikes(
+        self,
+        host: str,
+        rate_per_s: float,
+        duration_s: float,
+        factor: float = 10.0,
+    ) -> List[Window]:
+        """During each spike, latencies touching ``host`` multiply by
+        ``factor`` (bufferbloat / congestion model)."""
+        if factor < 1.0:
+            raise FaultConfigError(f"spike factor must be >= 1, got {factor}")
+        windows = poisson_windows(self._rng, self.horizon, rate_per_s, duration_s)
+        self._latency_spikes[host] = (_WindowSet(windows), factor)
+        return windows
+
+    def latency_factor(self, host: str, now: float) -> float:
+        entry = self._latency_spikes.get(host)
+        if entry is None:
+            return 1.0
+        windows, factor = entry
+        return factor if windows.active(now) else 1.0
+
+    # ------------------------------------------------------------------
+    # Server worker stalls
+    # ------------------------------------------------------------------
+    def stall_workers(
+        self, endpoint, rate_per_s: float, duration_s: float
+    ) -> List[Window]:
+        """Schedule GC-pause-style stalls on ``endpoint``: during each
+        window no queued request starts service (in-flight work
+        completes normally)."""
+        windows = poisson_windows(self._rng, self.horizon, rate_per_s, duration_s)
+        for window in windows:
+            self.simulator.schedule_at(
+                window.start,
+                lambda d=window.end - window.start: endpoint.stall_workers(d),
+                label=f"fault:stall:{endpoint.host}",
+            )
+            self.stalls_scheduled += 1
+        return windows
+
+    # ------------------------------------------------------------------
+    # Transient TPM command failures
+    # ------------------------------------------------------------------
+    def attach_tpm(
+        self, tpm, rate_per_s: float, duration_s: float
+    ) -> List[Window]:
+        """Make ``tpm`` fail every command issued inside precomputed
+        windows with a *transient* ``TPM_RESULT.RETRY`` error — the
+        glitch class real LPC parts exhibit under brown-out, which a
+        robust driver retries."""
+        windows = poisson_windows(self._rng, self.horizon, rate_per_s, duration_s)
+        self._tpm_windows = _WindowSet(windows)
+        tpm.fault_hook = self._tpm_fault_check
+        return windows
+
+    def _tpm_fault_check(self, command: str) -> None:
+        from repro.tpm.constants import TpmError, TpmResult
+
+        if self._tpm_windows.active(self.simulator.clock.now):
+            self.tpm_faults_injected += 1
+            raise TpmError(
+                TpmResult.RETRY, f"injected transient fault in {command}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(horizon={self.horizon}, "
+            f"loss_bursts={sorted(self._loss_bursts)}, "
+            f"latency_spikes={sorted(self._latency_spikes)}, "
+            f"tpm_windows={len(self._tpm_windows)})"
+        )

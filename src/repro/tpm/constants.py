@@ -58,6 +58,9 @@ class TpmResult(enum.Enum):
     AUTH_FAIL = 1
     NO_SPACE = 17
     INVALID_POSTINIT = 38
+    # TPM_NON_FATAL | TPM_RETRY: the command failed transiently and may
+    # be reissued — the class of fault `repro.sim.faults` injects.
+    RETRY = 0x800
 
 
 class TpmError(RuntimeError):
@@ -66,6 +69,12 @@ class TpmError(RuntimeError):
     def __init__(self, result: TpmResult, message: str) -> None:
         super().__init__(f"{result.name}: {message}")
         self.result = result
+
+    @property
+    def transient(self) -> bool:
+        """True for retryable faults (``TPM_RETRY``); a robust driver
+        reissues the command instead of failing the session."""
+        return self.result is TpmResult.RETRY
 
 
 def is_dynamic_pcr(index: int) -> bool:

@@ -93,6 +93,10 @@ class TpmDevice:
         self.pcrs = PcrBank()
         self._started = False
         self.commands_executed: Dict[str, int] = {}
+        #: Optional fault-injection hook (see `repro.sim.faults`): called
+        #: with the command name after latency is charged; may raise a
+        #: transient TpmError.  None costs nothing on the hot path.
+        self.fault_hook = None
 
         # Persistent hierarchy: EK and SRK are created at manufacture.
         self._ek = TpmKey.generate(KeyUsage.ENDORSEMENT, self._drbg, key_bits)
@@ -126,6 +130,10 @@ class TpmDevice:
     ) -> Any:
         self.clock.advance(self.profile.latency_for(command, self._timing_rng))
         self.commands_executed[command] = self.commands_executed.get(command, 0) + 1
+        if self.fault_hook is not None:
+            # The command charged its bus/compute time but failed before
+            # returning a result — exactly how transient faults present.
+            self.fault_hook(command)
         return handler(locality, **arguments)
 
     def startup(self) -> None:

@@ -15,7 +15,7 @@ from repro.drtm.slb import SecureLoaderBlock
 from repro.hardware.cpu import CpuMode
 from repro.hardware.keyboard import ScanCode
 from repro.tpm import TpmError
-from repro.tpm.constants import PCR_DRTM_CODE
+from repro.tpm.constants import PCR_DRTM_CODE, TpmResult
 
 
 class _NoopPal(Pal):
@@ -41,6 +41,21 @@ class _CrashingPal(Pal):
 
     def run(self, services: PalServices, inputs: Dict[str, bytes]):
         raise RuntimeError("deliberate PAL crash")
+
+
+class _TransientlyFailingPal(Pal):
+    """Raises a transient TPM fault the first N runs, then succeeds."""
+
+    name = "flaky"
+
+    def __init__(self, failures: int = 1) -> None:
+        self.failures_left = failures
+
+    def run(self, services: PalServices, inputs: Dict[str, bytes]):
+        if self.failures_left:
+            self.failures_left -= 1
+            raise TpmError(TpmResult.RETRY, "injected transient fault")
+        return {"ran": b"1"}
 
 
 class _KeyWaitingPal(Pal):
@@ -226,3 +241,30 @@ class TestOsSuspension:
         session = FlickerSession(simulator, machine, os_hooks=Hooks())
         session.run(_NoopPal(), {})
         assert calls == ["suspend", "resume"]
+
+
+class TestTransientRecovery:
+    def test_transient_pal_fault_aborts_without_wedging(self, session, machine):
+        record = session.run(_TransientlyFailingPal(), {})
+        assert record.aborted and record.abort_transient
+        # The machine unwound cleanly: peripherals are back with the OS.
+        assert machine.keyboard.owner != "pal"
+        assert machine.display.owner != "pal"
+
+    def test_run_with_retry_reruns_transient_abort(self, session):
+        record = session.run_with_retry(_TransientlyFailingPal(failures=2), {})
+        assert not record.aborted
+        assert record.outputs == {"ran": b"1"}
+        assert session.transient_retries == 2
+        assert session.sessions_run == 3
+
+    def test_run_with_retry_gives_up_after_budget(self, session):
+        record = session.run_with_retry(_TransientlyFailingPal(failures=99), {})
+        assert record.aborted and record.abort_transient
+        assert session.transient_retries == 2  # max_attempts=3 -> 2 retries
+
+    def test_non_transient_abort_is_not_retried(self, session):
+        record = session.run_with_retry(_CrashingPal(), {})
+        assert record.aborted and not record.abort_transient
+        assert session.transient_retries == 0
+        assert session.sessions_run == 1

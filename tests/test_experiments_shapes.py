@@ -14,6 +14,7 @@ from repro.bench.experiments import (
     table1_tpm_microbench,
     table2_session_breakdown,
     table3_end_to_end,
+    r1_loss_robustness,
 )
 from repro.bench.experiments.amortization import crossover_k
 from repro.bench.experiments.captcha_comparison import (
@@ -181,3 +182,38 @@ class TestA1Ablation:
         for row in rows:
             assert row["with_defense"] == "prevented", row
             assert row["without_defense"] == "succeeded", row
+
+
+class TestR1Robustness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return r1_loss_robustness(
+            loss_rates=(0.0, 0.2), offered=100, workers=2, duration=1.5,
+            seed=7,
+        )
+
+    def test_retry_rows_never_hang_and_never_double_execute(self, rows):
+        for row in rows:
+            if row["policy"] != "retry":
+                continue
+            assert row["hung"] == 0, row
+            assert row["duplicate_executions"] == 0, row
+            assert row["success_rate"] >= 0.99, row
+
+    def test_no_retry_ablation_shows_the_hang(self, rows):
+        lossy = next(
+            r for r in rows
+            if r["policy"] == "no-retry" and r["loss_pct"] > 0
+        )
+        assert lossy["hung"] > 0, lossy
+        assert lossy["success_rate"] < 0.99, lossy
+
+    def test_clean_link_identical_across_policies(self, rows):
+        clean = [r for r in rows if r["loss_pct"] == 0]
+        assert len(clean) == 2
+        retry, no_retry = clean
+        assert retry["retransmits"] == 0
+        assert retry["success_rate"] == no_retry["success_rate"] == 1.0
+        assert retry["goodput_rps"] == pytest.approx(
+            no_retry["goodput_rps"]
+        )

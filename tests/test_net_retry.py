@@ -1,0 +1,254 @@
+"""Queued-RPC reliability: retry/timeout/backoff, request de-duplication,
+and the deterministic fault-injection layer."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.net.messages import decode_message, encode_message
+from repro.net.network import LinkSpec, Network
+from repro.net.retry import DEADLINE_ERROR_KEY, FIRE_AND_FORGET, RetryPolicy
+from repro.net.rpc import RpcEndpoint
+from repro.sim import ConstantLatency, FaultInjector, Simulator
+from repro.sim.faults import poisson_windows
+from repro.tpm.constants import TpmError
+
+
+def _net(simulator, loss=0.0):
+    network = Network(simulator)
+    network.attach(
+        "a", LinkSpec(latency=ConstantLatency(0.010), loss_probability=loss)
+    )
+    network.attach("b", LinkSpec(latency=ConstantLatency(0.005)))
+    return network
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_deterministic(self):
+        schedules = []
+        for _ in range(2):
+            rng = Simulator(seed=42).rng.stream("rpc.retry")
+            schedules.append(RetryPolicy().schedule(rng))
+        assert schedules[0] == schedules[1]
+        assert len(schedules[0]) == RetryPolicy().max_attempts - 1
+
+    def test_backoff_grows_exponentially_then_caps(self):
+        policy = RetryPolicy(
+            initial_timeout=0.2, backoff=2.0, max_timeout=2.0, jitter=0.0,
+            max_attempts=8,
+        )
+        rng = Simulator(seed=1).rng.stream("rpc.retry")
+        timeouts = [policy.timeout_for(attempt, rng) for attempt in range(7)]
+        assert timeouts == [0.2, 0.4, 0.8, 1.6, 2.0, 2.0, 2.0]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(jitter=0.1)
+        rng = Simulator(seed=3).rng.stream("rpc.retry")
+        for attempt in range(6):
+            base = min(
+                policy.initial_timeout * policy.backoff**attempt,
+                policy.max_timeout,
+            )
+            assert base <= policy.timeout_for(attempt, rng) <= base * 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(initial_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_timeout=0.01)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=-1.0)
+
+
+class TestQueuedLoss:
+    def _endpoint(self, simulator, loss=0.0, **kwargs):
+        network = _net(simulator, loss=loss)
+        endpoint = RpcEndpoint(simulator, network, "b", **kwargs)
+        self.executions = {"count": 0}
+
+        def work(request):
+            self.executions["count"] += 1
+            return {"ok": 1}
+
+        endpoint.register("work", work, service_time=0.003)
+        return endpoint
+
+    def test_total_loss_resolves_with_deadline_error(self, simulator):
+        endpoint = self._endpoint(simulator, loss=1.0)
+        responses = []
+        endpoint.submit("a", "work", {}, responses.append)
+        simulator.run()
+        # The call resolved exactly once — with the structured deadline
+        # error, after the full retry budget.
+        assert len(responses) == 1
+        assert responses[0][DEADLINE_ERROR_KEY] == 1
+        assert "deadline" in responses[0]["error"]
+        assert endpoint.dead_letters == 1
+        assert endpoint.retransmits == endpoint.retry_policy.max_attempts - 1
+        assert self.executions["count"] == 0
+
+    def test_no_client_hangs_under_total_loss(self, simulator):
+        endpoint = self._endpoint(simulator, loss=1.0)
+        responses = []
+        for _ in range(10):
+            endpoint.submit("a", "work", {}, responses.append)
+        simulator.run()
+        assert len(responses) == 10
+        assert endpoint.dead_letters == 10
+
+    def test_fire_and_forget_documents_the_old_hang(self, simulator):
+        # The pre-fix transport: one transmission, no deadline.  Under
+        # total loss the callback never fires — the bug R1 demonstrates.
+        endpoint = self._endpoint(simulator, loss=1.0)
+        responses = []
+        endpoint.submit("a", "work", {}, responses.append,
+                        policy=FIRE_AND_FORGET)
+        simulator.run()
+        assert responses == []
+        assert endpoint.dead_letters == 0
+
+    def test_lossless_roundtrip_counts_symmetrically(self, simulator):
+        endpoint = self._endpoint(simulator)
+        network = endpoint.network
+        responses = []
+        endpoint.submit("a", "work", {"x": 5}, responses.append)
+        simulator.run()
+        assert responses == [{"ok": 1}]
+        # One request + one response packet, both through the network.
+        assert network.packets_sent == 2
+        assert network.packets_dropped == 0
+        assert endpoint.retransmits == 0
+
+    def test_lost_response_replayed_without_reexecution(self, simulator):
+        endpoint = self._endpoint(simulator)
+        network = endpoint.network
+        original_send = network.send
+        dropped = {"count": 0}
+
+        def drop_first_response(source, destination, payload):
+            if (
+                decode_message(payload).get("kind") == "resp"
+                and dropped["count"] == 0
+            ):
+                dropped["count"] += 1
+                return  # swallowed by the wire
+            original_send(source, destination, payload)
+
+        network.send = drop_first_response
+        responses = []
+        endpoint.submit("a", "work", {}, responses.append)
+        simulator.run()
+        assert responses == [{"ok": 1}]
+        # The retransmitted request hit the response cache: the handler
+        # ran exactly once and the cached response was replayed.
+        assert self.executions["count"] == 1
+        assert endpoint.duplicate_requests == 1
+        assert endpoint.responses_replayed == 1
+
+    def test_duplicate_request_executes_handler_once(self, simulator):
+        endpoint = self._endpoint(simulator)
+        endpoint._router.ensure_inbox("a")
+        packet = decode_message(encode_message({
+            "kind": "req", "call": 7, "method": "work",
+            "body": encode_message({}), "attempt": 0,
+        }))
+        endpoint._receive_request("a", packet)
+        endpoint._receive_request("a", packet)  # retransmit, still queued
+        simulator.run()
+        assert self.executions["count"] == 1
+        assert endpoint.duplicate_requests == 1
+
+    def test_stall_defers_dispatch(self, simulator):
+        endpoint = self._endpoint(simulator)
+        endpoint.stall_workers(1.0)
+        done_at = []
+        endpoint.submit("a", "work", {}, lambda r: done_at.append(simulator.now))
+        simulator.run()
+        assert endpoint.worker_stalls == 1
+        # Service began only once the stall lifted at t=1.0.
+        assert done_at[0] >= 1.0
+
+
+class TestFaultInjector:
+    def test_poisson_windows_deterministic(self):
+        draws = []
+        for _ in range(2):
+            rng = Simulator(seed=11).rng.stream("faults")
+            draws.append(
+                poisson_windows(rng, horizon=100.0, rate_per_s=0.1,
+                                duration_s=2.0)
+            )
+        assert draws[0] == draws[1]
+        assert draws[0]  # rate*horizon = 10 expected windows
+
+    def test_burst_loss_drops_packets(self, simulator):
+        network = _net(simulator)
+        injector = FaultInjector(simulator, horizon=10.0)
+        windows = injector.add_loss_bursts(
+            "a", rate_per_s=5.0, duration_s=10.0, loss=1.0
+        )
+        network.attach_faults(injector)
+        received = []
+        network.set_inbox("b", lambda s, p: received.append(p))
+        simulator.clock.advance(windows[0].start)  # inside the burst
+        network.send("a", "b", b"x")
+        simulator.run()
+        assert received == []
+        assert network.packets_dropped == 1
+
+    def test_latency_spike_scales_latency(self, simulator):
+        network = _net(simulator)
+        baseline = network.one_way_latency("a", "b")
+        injector = FaultInjector(simulator, horizon=10.0)
+        windows = injector.add_latency_spikes(
+            "a", rate_per_s=5.0, duration_s=10.0, factor=10.0
+        )
+        network.attach_faults(injector)
+        simulator.clock.advance(windows[0].start)  # inside the spike
+        assert network.one_way_latency("a", "b") == pytest.approx(
+            baseline * 10.0
+        )
+
+    def test_attached_but_inactive_faults_change_nothing(self):
+        # Bit-identical runs: attaching an injector whose windows never
+        # cover the observation times must not perturb the network RNG
+        # stream or any sampled value.  A vanishing rate puts the first
+        # (and only) window start far beyond the horizon.
+        samples = []
+        for with_faults in (False, True):
+            sim = Simulator(seed=21)
+            network = Network(sim)
+            network.attach("a", LinkSpec.wan())
+            network.attach("b", LinkSpec.lan())
+            if with_faults:
+                injector = FaultInjector(sim, horizon=10.0)
+                assert injector.add_loss_bursts(
+                    "a", rate_per_s=1e-9, duration_s=1.0
+                ) == []
+                injector.add_latency_spikes(
+                    "b", rate_per_s=1e-9, duration_s=1.0
+                )
+                network.attach_faults(injector)
+            samples.append(
+                [network.one_way_latency("a", "b") for _ in range(20)]
+            )
+        assert samples[0] == samples[1]
+
+    def test_tpm_fault_hook_raises_transient(self, simulator):
+        injector = FaultInjector(simulator, horizon=10.0)
+        tpm = SimpleNamespace(fault_hook=None)
+        windows = injector.attach_tpm(tpm, rate_per_s=5.0, duration_s=10.0)
+        assert tpm.fault_hook is not None
+        simulator.clock.advance(windows[0].start)
+        with pytest.raises(TpmError) as err:
+            tpm.fault_hook("quote")
+        assert err.value.transient
+        assert injector.tpm_faults_injected == 1

@@ -107,3 +107,52 @@ class TestProperties:
         for tx_id, nonce in pairs:
             accepted, _ = db.consume(nonce, tx_id, now=2.0)
             assert not accepted
+
+
+class TestConsumePathEviction:
+    def test_consume_triggers_sweep(self):
+        db = NonceDatabase(
+            HmacDrbg(b"sweep"), lifetime_seconds=10.0, eviction_interval=50.0
+        )
+        for i in range(20):
+            db.issue(b"tx-%d" % i, now=float(i))
+        live = db.issue(b"tx-live", now=60.0)
+        # A confirm-heavy phase: no further issue() calls, but consuming
+        # at t=120 still runs the sweep and drops the expired backlog.
+        accepted, _ = db.consume(live, b"tx-live", now=65.0)
+        assert accepted
+        db.consume(b"\x00" * 20, b"tx-x", now=120.0)
+        assert db.live_count == 0
+        assert db.evictions >= 20
+
+    def test_sweep_does_not_mask_expired_verdict(self):
+        db = NonceDatabase(
+            HmacDrbg(b"verdict"), lifetime_seconds=10.0, eviction_interval=50.0
+        )
+        nonce = db.issue(b"tx-1", now=0.0)
+        # At t=100 the nonce is both expired and about to be evicted by
+        # the consume-path sweep; the caller must still see EXPIRED (the
+        # recoverable, re-challengeable verdict) rather than UNKNOWN.
+        accepted, state = db.consume(nonce, b"tx-1", now=100.0)
+        assert not accepted and state is NonceState.EXPIRED
+        assert db.live_count == 0
+
+    def test_evictions_counter(self, db):
+        used = db.issue(b"tx-used", now=0.0)
+        db.consume(used, b"tx-used", now=1.0)
+        db.issue(b"tx-old", now=0.0)
+        assert db.evict(now=200.0) == 2
+        assert db.evictions == 2
+
+
+class TestInvalidate:
+    def test_invalidate_forgets_live_nonce(self, db):
+        nonce = db.issue(b"tx-1", now=0.0)
+        assert db.invalidate(nonce)
+        accepted, state = db.consume(nonce, b"tx-1", now=1.0)
+        assert not accepted and state is NonceState.UNKNOWN
+        assert db.invalidated == 1
+
+    def test_invalidate_unknown_is_noop(self, db):
+        assert not db.invalidate(b"\xab" * 20)
+        assert db.invalidated == 0

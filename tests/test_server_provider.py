@@ -67,12 +67,30 @@ class TestTransactionStateMachine:
         assert outcome.decision == b"reject"
         assert outcome.server_response["status"] == "rejected_by_user"
 
-    def test_double_confirm_rejected(self, world):
+    def test_double_confirm_never_double_executes(self, world):
         tx = world.sample_transfer(amount_cents=333, to="dest-3")
         world.human.intend(tx)
+        balance_before = world.bank.balance_of(world.config.account)
         outcome = world.confirm(tx)
         assert outcome.executed
-        # Resubmit the exact same evidence by hand.
+        balance_after = world.bank.balance_of(world.config.account)
+        assert balance_after == balance_before - 333
+        # Resubmitting the exact same evidence by hand is idempotent:
+        # the stored outcome replays, the transaction does NOT run again.
+        duplicates_before = world.bank.duplicate_confirms
+        replayed = world.browser.call(
+            world.bank.endpoint, "tx.confirm",
+            {
+                "tx_id": _last_tx_id(world),
+                "decision": b"accept",
+                "evidence": "signed",
+                "signature": outcome.session.outputs["signature"],
+            },
+        )
+        assert replayed["status"] == "executed"
+        assert world.bank.duplicate_confirms == duplicates_before + 1
+        assert world.bank.balance_of(world.config.account) == balance_after
+        # DIFFERENT evidence against a settled transaction stays an error.
         with pytest.raises(RpcError) as err:
             world.browser.call(
                 world.bank.endpoint, "tx.confirm",
@@ -80,7 +98,7 @@ class TestTransactionStateMachine:
                     "tx_id": _last_tx_id(world),
                     "decision": b"accept",
                     "evidence": "signed",
-                    "signature": outcome.session.outputs["signature"],
+                    "signature": b"not-the-same-evidence",
                 },
             )
         assert "already" in str(err.value)
@@ -135,6 +153,76 @@ class TestTransactionStateMachine:
                  "evidence": "signed", "signature": b"\x01" * 64},
             )
         assert sum(world.bank.denials.values()) == sum(before.values()) + 1
+
+
+class TestRechallengeRecovery:
+    def test_expired_nonce_recovers_via_rechallenge(self, world):
+        """End-to-end: the challenge nonce ages out while the PAL runs,
+        the provider answers with a recoverable re-challenge hint, the
+        client opens a fresh PAL session against the reissued nonce, and
+        the transaction still executes exactly once."""
+        tx = world.sample_transfer(amount_cents=444, to="dest-rc")
+        world.human.intend(tx)
+        balance_before = world.bank.balance_of(world.config.account)
+        nonces = world.bank.nonces
+        original_issue = nonces.issue
+        first_nonce = {}
+
+        def expire_first_issue(tx_id, now):
+            nonce = original_issue(tx_id, now)
+            # The first challenge dies instantly; the reissued one is
+            # normal.  Any nonzero PAL duration then lands the confirm
+            # past expiry.
+            nonces._records[nonce].expires_at = now
+            first_nonce["value"] = nonce
+            nonces.issue = original_issue
+            return nonce
+
+        nonces.issue = expire_first_issue
+        required_before = world.bank.rechallenges_required
+        issued_before = world.bank.rechallenges_issued
+        client_rechallenges_before = world.client.rechallenges
+        outcome = world.client.confirm_transaction(world.bank.endpoint, tx)
+        assert outcome.executed
+        assert world.bank.balance_of(world.config.account) == balance_before - 444
+        assert world.bank.rechallenges_required == required_before + 1
+        assert world.bank.rechallenges_issued == issued_before + 1
+        assert world.client.rechallenges == client_rechallenges_before + 1
+        # The dead challenge was invalidated when the new one was minted.
+        from repro.server.noncedb import NonceState
+
+        assert (
+            nonces.state_of(first_nonce["value"], now=world.simulator.now)
+            is NonceState.UNKNOWN
+        )
+
+    def test_consumed_nonce_stays_a_hard_deny(self, world):
+        """Replay defense is untouched by the recovery path: a CONSUMED
+        nonce never earns a re-challenge hint."""
+        tx = world.sample_transfer(amount_cents=100, to="dest-hd")
+        world.human.intend(tx)
+        outcome = world.confirm(tx)
+        assert outcome.executed
+        tx_id = _last_tx_id(world)
+        with pytest.raises(RpcError) as err:
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm",
+                {"tx_id": tx_id, "decision": b"reject",
+                 "evidence": "signed", "signature": b"different"},
+            )
+        assert not err.value.rechallenge_required
+
+    def test_rechallenge_rejected_for_settled_transaction(self, world):
+        tx = world.sample_transfer(amount_cents=100, to="dest-st")
+        world.human.intend(tx)
+        outcome = world.confirm(tx)
+        assert outcome.executed
+        with pytest.raises(RpcError) as err:
+            world.browser.call(
+                world.bank.endpoint, "tx.rechallenge",
+                {"tx_id": _last_tx_id(world)},
+            )
+        assert "already" in str(err.value)
 
 
 class TestBankRules:
