@@ -1,0 +1,41 @@
+"""Experiment F3-S: sharded provider pool — throughput vs shard count.
+
+Regenerates the scale-out series: at a fixed offered load that
+saturates one shard, completed flows/s vs shard count with the
+verification memo on and off.  Expected shape: throughput scales with
+shards until the offered load is met (≥2x from 1 to 4), p95 collapses
+once the pool leaves saturation, and the cache changes wall-clock only
+— virtual-time columns are bit-identical either way.
+"""
+
+from repro.bench.experiments import f3s_sharded_scaling
+from repro.bench.tables import format_table
+
+
+def test_f3s_sharded_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: f3s_sharded_scaling(), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            "F3-S — sharded pool throughput vs shard count",
+            rows,
+            columns=[
+                "shards", "cache", "offered_rps", "completed_rps",
+                "p95_latency_ms", "failed", "cache_hits",
+                "store_live", "store_retired", "wall_s",
+            ],
+            notes="one worker per shard saturates near 178 flows/s; "
+            "cache on/off must agree on every virtual-time column",
+        )
+    )
+    on = {r["shards"]: r for r in rows if r["cache"] == "on"}
+    off = {r["shards"]: r for r in rows if r["cache"] == "off"}
+    shard_counts = sorted(on)
+    assert on[shard_counts[-1]]["completed_rps"] >= (
+        2 * on[shard_counts[0]]["completed_rps"]
+    )
+    for shards in shard_counts:
+        for field in ("completed_rps", "p95_latency_ms", "failed"):
+            assert on[shards][field] == off[shards][field]

@@ -17,6 +17,7 @@ from repro.bench.experiments.amortization import fig4_amortization
 from repro.bench.experiments.noncedb_scale import fig5_noncedb_scalability
 from repro.bench.experiments.ablation import a1_defense_ablation
 from repro.bench.experiments.robustness import r1_loss_robustness
+from repro.bench.experiments.sharding import f3s_sharded_scaling
 
 __all__ = [
     "table1_tpm_microbench",
@@ -26,6 +27,7 @@ __all__ = [
     "fig1_latency_vs_pal_size",
     "fig2_server_throughput",
     "fig3_captcha_comparison",
+    "f3s_sharded_scaling",
     "fig4_amortization",
     "fig5_noncedb_scalability",
     "a1_defense_ablation",

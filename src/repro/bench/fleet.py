@@ -65,6 +65,7 @@ class FleetWorld:
         seed: int = 1001,
         vendor: str = "infineon",
         server_workers: int = 2,
+        shards: int = 1,
     ) -> None:
         if infected > clients:
             raise ValueError("cannot infect more clients than exist")
@@ -72,10 +73,22 @@ class FleetWorld:
         self.network = Network(self.simulator)
         self.network.attach(BANK_HOST, LinkSpec.lan())
         self.policy = VerifierPolicy()
-        self.bank = BankServer(
-            self.simulator, self.network, BANK_HOST, self.policy,
-            workers=server_workers,
-        )
+        if shards > 1:
+            # Scale-out deployment: N independent bank replicas behind
+            # the consistent-hash router, presented on the same host.
+            # The router duck-types the provider surface run_day uses.
+            from repro.server.router import build_sharded_pool
+
+            self.bank = build_sharded_pool(
+                self.simulator, self.network, BANK_HOST, self.policy,
+                shard_count=shards, provider_factory=BankServer,
+                workers_per_shard=server_workers,
+            )
+        else:
+            self.bank = BankServer(
+                self.simulator, self.network, BANK_HOST, self.policy,
+                workers=server_workers,
+            )
         self.ca = PrivacyCa(seed=self.simulator.rng.derive_seed("fleet-ca"))
         self.policy.trust_ca(self.ca.public_key)
         self.clients: List[FleetClient] = []

@@ -457,6 +457,12 @@ class TrustedPathClient:
         human reads the whole batch and gives one verdict; the evidence
         digest covers the entire rendering — so the session cost
         amortizes across the batch (experiment E3).
+
+        Recovery parity with :meth:`confirm_transaction`: an expired
+        challenge earns a fresh nonce via ``tx.rechallenge`` (and a new
+        PAL session — the old evidence is bound to the dead nonce), and
+        a transport failure resubmits the same evidence against the
+        provider's idempotent batch confirm.
         """
         from repro.net.messages import encode_message
 
@@ -475,39 +481,65 @@ class TrustedPathClient:
             endpoint, "tx.request_batch", {"transactions": encoded}
         )
         challenge = parse_challenge(response)
-        inputs: Dict[str, bytes] = {
-            "phase": b"confirm",
-            "text": challenge["text"],
-            "nonce": challenge["nonce"],
-            "mode": mode.encode("ascii"),
-        }
-        if mode == EVIDENCE_QUOTE:
-            inputs["aik_handle"] = struct.pack(">I", self.credentials.aik_handle)
-        else:
-            assert provider_credential is not None
-            inputs["credential"] = provider_credential.sealed_credential
-        if self.counter_id is not None:
-            inputs["counter_id"] = struct.pack(">I", self.counter_id)
-        record = self.os.invoke_flicker(self.pal, inputs)
-        if record is None:
-            raise SessionSuppressed("batch confirmation session suppressed")
-        if record.aborted:
-            raise TrustedPathError(f"PAL aborted: {record.abort_reason}")
-        decision = record.outputs.get("decision", Decision.TIMEOUT)
-        if decision == Decision.TIMEOUT:
-            return ConfirmOutcome(
-                decision=decision, server_response=None, session=record
+
+        rechallenges = 0
+        while True:
+            inputs: Dict[str, bytes] = {
+                "phase": b"confirm",
+                "text": challenge["text"],
+                "nonce": challenge["nonce"],
+                "mode": mode.encode("ascii"),
+            }
+            if mode == EVIDENCE_QUOTE:
+                inputs["aik_handle"] = struct.pack(
+                    ">I", self.credentials.aik_handle
+                )
+            else:
+                assert provider_credential is not None
+                inputs["credential"] = provider_credential.sealed_credential
+            if self.counter_id is not None:
+                inputs["counter_id"] = struct.pack(">I", self.counter_id)
+            record = self.os.invoke_flicker(self.pal, inputs)
+            if record is None:
+                raise SessionSuppressed("batch confirmation session suppressed")
+            if record.aborted:
+                raise TrustedPathError(f"PAL aborted: {record.abort_reason}")
+            decision = record.outputs.get("decision", Decision.TIMEOUT)
+            if decision == Decision.TIMEOUT:
+                return ConfirmOutcome(
+                    decision=decision, server_response=None, session=record
+                )
+            submission = build_confirmation_submission(
+                tx_id=challenge["tx_id"],
+                decision=decision,
+                evidence_type=mode,
+                evidence=record.outputs,
             )
-        submission = build_confirmation_submission(
-            tx_id=challenge["tx_id"],
-            decision=decision,
-            evidence_type=mode,
-            evidence=record.outputs,
-        )
-        try:
-            final = self.browser.call(endpoint, "tx.confirm_batch", submission)
-        except RpcError as exc:
-            raise ConfirmationRejected(str(exc)) from exc
-        return ConfirmOutcome(
-            decision=decision, server_response=final, session=record
-        )
+            resubmits = 0
+            while True:
+                try:
+                    final = self.browser.call(
+                        endpoint, "tx.confirm_batch", submission
+                    )
+                    return ConfirmOutcome(
+                        decision=decision, server_response=final, session=record
+                    )
+                except RpcError as exc:
+                    if exc.transport and resubmits < self.MAX_RESUBMITS:
+                        resubmits += 1
+                        self.confirm_resubmits += 1
+                        continue
+                    if (
+                        exc.rechallenge_required
+                        and rechallenges < self.MAX_RECHALLENGES
+                    ):
+                        rechallenges += 1
+                        self.rechallenges += 1
+                        refreshed = self.browser.call(
+                            endpoint,
+                            "tx.rechallenge",
+                            {"tx_id": challenge["tx_id"]},
+                        )
+                        challenge = parse_challenge(refreshed)
+                        break  # fresh PAL session against the new nonce
+                    raise ConfirmationRejected(str(exc)) from exc

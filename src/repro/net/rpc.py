@@ -72,6 +72,46 @@ class RpcError(RuntimeError):
         return bool(self.response.get("rechallenge"))
 
 
+class DeferredResponse:
+    """A queued-path handler's promise to respond later.
+
+    A handler that must wait on asynchronous work (the sharded-pool
+    router forwarding a request to a backend shard) returns one of
+    these instead of a response dict.  The serving worker is released
+    immediately — the endpoint keeps taking requests while the work is
+    in flight — and the response packet is sent when :meth:`resolve`
+    fires.  Resolution is exactly-once: later calls are ignored.
+
+    Only meaningful on the queued path; ``call_sync`` handlers run
+    inline and must return a plain message (an unresolved deferred on
+    the sync path is reported as a server error).
+    """
+
+    __slots__ = ("resolved", "value", "_deliver")
+
+    def __init__(self) -> None:
+        self.resolved = False
+        self.value: Optional[Message] = None
+        self._deliver: Optional[Callable[[Message], None]] = None
+
+    def resolve(self, response: Message) -> None:
+        if self.resolved:
+            return
+        self.resolved = True
+        self.value = response
+        deliver, self._deliver = self._deliver, None
+        if deliver is not None:
+            deliver(response)
+
+    def _on_resolve(self, deliver: Callable[[Message], None]) -> None:
+        """Endpoint-internal: wire the delivery callback (or fire it
+        immediately if the handler resolved before returning)."""
+        if self.resolved:
+            deliver(self.value if self.value is not None else {})
+        else:
+            self._deliver = deliver
+
+
 class _PendingCall:
     """Client-side state for one in-flight queued call."""
 
@@ -207,6 +247,11 @@ class RpcEndpoint:
         self.dead_letters = 0
         self.duplicate_requests = 0
         self.responses_replayed = 0
+        self.deferred_responses = 0
+        #: True while dispatching on the synchronous (inline-clock) path;
+        #: handlers that behave differently per transport (the shard
+        #: router) branch on this instead of guessing.
+        self.sync_dispatch = False
 
     @property
     def tracer(self):
@@ -298,6 +343,16 @@ class RpcEndpoint:
                 response = self._dispatch(
                     served_method, served_request, charge_time=True
                 )
+                if isinstance(response, DeferredResponse):
+                    # Sync handlers run inline: a deferred that resolved
+                    # before returning is unwrapped; one still pending
+                    # cannot be awaited here and is a handler bug.
+                    if response.resolved and response.value is not None:
+                        response = response.value
+                    else:
+                        response = {
+                            "error": "handler deferred response on sync path"
+                        }
             with tracer.span("rpc.response"):
                 raw = encode_message(response)
                 if self.tls_enabled:
@@ -484,7 +539,16 @@ class RpcEndpoint:
                 response = self._dispatch(method, request, charge_time=False)
                 tracer.finish(service_span)
                 self._busy_workers -= 1
-                self._respond(caller, call_id, response)
+                if isinstance(response, DeferredResponse):
+                    # The handler parked the call (e.g. the shard router
+                    # forwarded it): free the worker now, send the
+                    # response whenever the deferred resolves.
+                    self.deferred_responses += 1
+                    response._on_resolve(
+                        lambda resolved: self._respond(caller, call_id, resolved)
+                    )
+                else:
+                    self._respond(caller, call_id, response)
                 self._pump()
 
             self.simulator.schedule(service, finish, label=f"rpc:serve:{method}")
@@ -497,6 +561,8 @@ class RpcEndpoint:
             return {"error": f"no such method {method!r}"}
         if charge_time:
             self.simulator.clock.advance(self._service_time.get(method, 0.0))
+        previous = self.sync_dispatch
+        self.sync_dispatch = charge_time
         try:
             response = handler(request)
             self.requests_served += 1
@@ -504,6 +570,8 @@ class RpcEndpoint:
         except Exception as exc:
             self.requests_failed += 1
             return {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            self.sync_dispatch = previous
 
     @property
     def queue_depth(self) -> int:

@@ -13,23 +13,35 @@
   service providers (online banking, e-commerce) with real execution
   semantics (balances move, orders ship), so "the attack failed"
   is measured in ledger state, not in log lines.
+* :mod:`repro.server.router` — the sharded provider pool: a
+  consistent-hash router front end over N independent provider
+  replicas (experiment F3-S).
 """
 
 from repro.server.bank import BankServer
 from repro.server.noncedb import NonceDatabase, NonceState
 from repro.server.policy import VerifierPolicy
 from repro.server.provider import ServiceProvider, TxStatus
+from repro.server.router import HashRing, ProviderRouter, build_sharded_pool
 from repro.server.shop import ShopServer
-from repro.server.verifier import AttestationVerifier, VerificationFailure
+from repro.server.verifier import (
+    AttestationVerifier,
+    VerificationCache,
+    VerificationFailure,
+)
 
 __all__ = [
     "NonceDatabase",
     "NonceState",
     "VerifierPolicy",
     "AttestationVerifier",
+    "VerificationCache",
     "VerificationFailure",
     "ServiceProvider",
     "TxStatus",
     "BankServer",
     "ShopServer",
+    "HashRing",
+    "ProviderRouter",
+    "build_sharded_pool",
 ]

@@ -40,6 +40,7 @@ from repro.server.noncedb import NonceDatabase, NonceState
 from repro.server.policy import VerifierPolicy
 from repro.server.verifier import (
     AttestationVerifier,
+    VerificationCache,
     VerificationFailure,
     VerificationResult,
 )
@@ -74,6 +75,16 @@ SERVICE_TIMES = {
     "tx.confirm_batch": 0.0026,
 }
 
+#: Denial reason when an authenticated session touches a transaction it
+#: does not own.  A dedicated reason (not a generic "unknown") so the
+#: denial ledger separates cross-account probing from client bugs.
+DENIAL_NOT_OWNER = "transaction not owned by session"
+
+#: Sentinel distinguishing "caller passed no cache argument" (build a
+#: private default cache) from an explicit ``None`` (disable caching —
+#: the ablation arm of experiment F3-S).
+_DEFAULT_CACHE = object()
+
 
 @dataclass
 class AccountRecord:
@@ -102,6 +113,10 @@ class PendingTransaction:
     #: instead of re-running verification or execution.
     evidence_digest: Optional[bytes] = None
     final_response: Optional[Message] = None
+    #: Virtual time the transaction left PENDING (None while live).
+    #: The retention sweep retires settled records after
+    #: ``settled_retention_seconds`` so shard memory stays O(active).
+    settled_at: Optional[float] = None
 
 
 @dataclass
@@ -114,8 +129,15 @@ class PendingBatch:
     canonical_text: bytes
     nonce: bytes
     issued_at: float
+    account: str = ""
     status: TxStatus = TxStatus.PENDING
     detail: str = ""
+    #: Same idempotent-replay state as PendingTransaction: the batch
+    #: path settles exactly once; resubmitted identical evidence replays
+    #: the stored response instead of re-verifying or re-executing.
+    evidence_digest: Optional[bytes] = None
+    final_response: Optional[Message] = None
+    settled_at: Optional[float] = None
 
 
 class ServiceProvider:
@@ -128,11 +150,21 @@ class ServiceProvider:
         host: str,
         policy: VerifierPolicy,
         workers: int = 1,
+        verification_cache=_DEFAULT_CACHE,
     ) -> None:
         self.simulator = simulator
         self.host = host
         self.policy = policy
-        self.verifier = AttestationVerifier(policy, tracer=simulator.tracer)
+        # Verification fast path: memoize the RSA signature checks (AIK
+        # certificate per CA, quote bundles, PKCS#1 confirmations).  On
+        # by default; pass verification_cache=None for the cold-verify
+        # ablation — verdicts are identical either way.
+        if verification_cache is _DEFAULT_CACHE:
+            verification_cache = VerificationCache()
+        self.verification_cache: Optional[VerificationCache] = verification_cache
+        self.verifier = AttestationVerifier(
+            policy, tracer=simulator.tracer, cache=verification_cache
+        )
         self._drbg = HmacDrbg(
             simulator.rng.derive_seed(f"provider:{host}").to_bytes(8, "big")
         )
@@ -151,6 +183,19 @@ class ServiceProvider:
         self.rechallenges_issued = 0
         self.rechallenges_required = 0
         self.duplicate_confirms = 0
+        # -- session accounting --------------------------------------------
+        self.cookies_invalidated = 0
+        # -- bounded transaction/session store ------------------------------
+        #: How long a settled (executed/denied/rejected/expired) record
+        #: stays queryable via tx.status before the sweep retires it.
+        self.settled_retention_seconds = 3600.0
+        #: Minimum spacing between opportunistic sweeps (piggybacked on
+        #: tx.request traffic; callers may also sweep explicitly).
+        self.store_sweep_interval = 60.0
+        self._last_store_sweep = 0.0
+        self.transactions_retired = 0
+        self.batches_retired = 0
+        self.transactions_peak = 0
         self._register_handlers()
 
     def enable_tls(self) -> None:
@@ -212,6 +257,11 @@ class ServiceProvider:
         record = self.accounts.get(str(request["account"]))
         if record is None or record.password != str(request["password"]):
             return {"error": "bad credentials"}
+        # One live session per account: re-login evicts the previous
+        # cookie, so stale cookies die and the map stays O(accounts).
+        if record.cookie is not None:
+            self._cookies.pop(record.cookie, None)
+            self.cookies_invalidated += 1
         cookie = self._drbg.generate(16)
         record.cookie = cookie
         self._cookies[cookie] = record.name
@@ -222,6 +272,16 @@ class ServiceProvider:
         if not isinstance(cookie, bytes) or cookie not in self._cookies:
             raise ProtocolError("not logged in")
         return self.accounts[self._cookies[cookie]]
+
+    def _deny_not_owner(self) -> Message:
+        """An authenticated session touched another account's
+        transaction.  Counted, refused — and the transaction's own state
+        is untouched: a prober must not be able to settle, expire or
+        otherwise perturb someone else's pending confirmation."""
+        self.denials[DENIAL_NOT_OWNER] = (
+            self.denials.get(DENIAL_NOT_OWNER, 0) + 1
+        )
+        return {"error": f"denied: {DENIAL_NOT_OWNER}"}
 
     # ------------------------------------------------------------------
     # Trusted-path enrollment / setup
@@ -275,6 +335,7 @@ class ServiceProvider:
         self.validate_transaction(transaction)
         tx_id = self._drbg.generate(16)
         now = self.simulator.now
+        self._maybe_sweep_store(now)
         nonce = self.nonces.issue(tx_id, now)
         canonical_text = "\n".join(transaction.display_lines()).encode("utf-8")
         self.transactions[tx_id] = PendingTransaction(
@@ -284,13 +345,16 @@ class ServiceProvider:
             nonce=nonce,
             issued_at=now,
         )
+        self.transactions_peak = max(self.transactions_peak, len(self.transactions))
         return {"ok": 1, "tx_id": tx_id, "nonce": nonce, "text": canonical_text}
 
     def _handle_tx_confirm(self, request: Message) -> Message:
-        self._authenticate(request)
+        record = self._authenticate(request)
         pending = self.transactions.get(request.get("tx_id", b""))
         if pending is None:
             return {"error": "unknown transaction"}
+        if pending.transaction.account != record.name:
+            return self._deny_not_owner()
         digest = self._confirm_digest(request)
         if pending.status is not TxStatus.PENDING:
             # Idempotent resubmission: a client whose transport gave up
@@ -326,8 +390,8 @@ class ServiceProvider:
             return {"error": f"bad decision {decision!r}"}
 
         # Anti-rollback extension: when the policy demands it, evidence
-        # must carry a strictly increasing TPM counter value.
-        record = self.accounts[pending.transaction.account]
+        # must carry a strictly increasing TPM counter value.  ``record``
+        # is the session's account — proven above to own the transaction.
         counter = request.get("counter", -1)
         if self.policy.require_monotonic_counter:
             if not isinstance(counter, int) or counter <= record.last_counter:
@@ -351,6 +415,7 @@ class ServiceProvider:
                     self.rechallenges_required += 1
                     pending.status = TxStatus.EXPIRED
                     pending.detail = "nonce expired; re-challenge required"
+                    pending.settled_at = self.simulator.now
                     return {
                         "error": "nonce expired: re-challenge required",
                         "rechallenge": 1,
@@ -369,6 +434,7 @@ class ServiceProvider:
 
         if decision == b"reject":
             pending.status = TxStatus.REJECTED_BY_USER
+            pending.settled_at = self.simulator.now
             return self._finalize(
                 pending, digest, {"ok": 1, "status": pending.status.value}
             )
@@ -376,6 +442,7 @@ class ServiceProvider:
         receipt = self.execute_transaction(pending.transaction)
         pending.status = TxStatus.EXECUTED
         pending.detail = receipt
+        pending.settled_at = self.simulator.now
         return self._finalize(
             pending,
             digest,
@@ -391,10 +458,16 @@ class ServiceProvider:
         the new one is minted, so at most one challenge per transaction
         is ever acceptable.  Settled transactions are never re-opened.
         """
-        self._authenticate(request)
-        pending = self.transactions.get(request.get("tx_id", b""))
+        record = self._authenticate(request)
+        challenge_id = request.get("tx_id", b"")
+        pending = self.transactions.get(challenge_id)
         if pending is None:
+            batch = self.batches.get(challenge_id)
+            if batch is not None:
+                return self._rechallenge_batch(record, batch)
             return {"error": "unknown transaction"}
+        if pending.transaction.account != record.name:
+            return self._deny_not_owner()
         self._expire_if_stale(pending)
         if pending.status not in (TxStatus.PENDING, TxStatus.EXPIRED):
             return {"error": f"transaction already {pending.status.value}"}
@@ -404,12 +477,46 @@ class ServiceProvider:
         pending.issued_at = now
         pending.status = TxStatus.PENDING
         pending.detail = ""
+        pending.settled_at = None
         self.rechallenges_issued += 1
         return {
             "ok": 1,
             "tx_id": pending.tx_id,
             "nonce": pending.nonce,
             "text": pending.canonical_text,
+        }
+
+    def _rechallenge_batch(
+        self, record: AccountRecord, batch: PendingBatch
+    ) -> Message:
+        """Batch arm of tx.rechallenge: same contract as the single
+        path — unchanged canonical text, fresh nonce, old one dead, and
+        every member transaction rolls back to PENDING with it."""
+        if batch.account != record.name:
+            return self._deny_not_owner()
+        self._expire_batch_if_stale(batch)
+        if batch.status not in (TxStatus.PENDING, TxStatus.EXPIRED):
+            return {"error": f"batch already {batch.status.value}"}
+        now = self.simulator.now
+        self.nonces.invalidate(batch.nonce)
+        batch.nonce = self.nonces.issue(batch.batch_id, now)
+        batch.issued_at = now
+        batch.status = TxStatus.PENDING
+        batch.detail = ""
+        batch.settled_at = None
+        for tx_id in batch.tx_ids:
+            member = self.transactions[tx_id]
+            member.nonce = batch.nonce
+            member.issued_at = now
+            member.status = TxStatus.PENDING
+            member.detail = ""
+            member.settled_at = None
+        self.rechallenges_issued += 1
+        return {
+            "ok": 1,
+            "tx_id": batch.batch_id,
+            "nonce": batch.nonce,
+            "text": batch.canonical_text,
         }
 
     def _confirm_digest(self, request: Message) -> bytes:
@@ -504,6 +611,7 @@ class ServiceProvider:
             transactions.append(transaction)
 
         now = self.simulator.now
+        self._maybe_sweep_store(now)
         batch_id = self._drbg.generate(16)
         nonce = self.nonces.issue(batch_id, now)
         tx_ids = []
@@ -527,7 +635,9 @@ class ServiceProvider:
             canonical_text=canonical_text,
             nonce=nonce,
             issued_at=now,
+            account=record.name,
         )
+        self.transactions_peak = max(self.transactions_peak, len(self.transactions))
         return {
             "ok": 1,
             "tx_id": batch_id,  # challenge shape shared with tx.request
@@ -536,23 +646,74 @@ class ServiceProvider:
         }
 
     def _handle_tx_confirm_batch(self, request: Message) -> Message:
-        """Verify one evidence blob; execute every member or none."""
-        self._authenticate(request)
+        """Verify one evidence blob; execute every member or none.
+
+        Full parity with the single-transaction confirm: idempotent
+        replay by evidence digest, expired-nonce → re-challenge hint
+        (the batch survives; `tx.rechallenge` reissues), and the
+        monotonic-counter policy.  A consumed nonce with different
+        evidence stays the hard replay deny.
+        """
+        record = self._authenticate(request)
         batch = self.batches.get(request.get("tx_id", b""))
         if batch is None:
             return {"error": "unknown batch"}
+        if batch.account != record.name:
+            return self._deny_not_owner()
+        digest = self._confirm_digest(request)
         if batch.status is not TxStatus.PENDING:
+            if (
+                not self.allow_reconfirmation
+                and batch.final_response is not None
+                and batch.evidence_digest == digest
+            ):
+                self.duplicate_confirms += 1
+                return dict(batch.final_response)
+            if batch.status is TxStatus.EXPIRED:
+                self.rechallenges_required += 1
+                return {
+                    "error": "nonce expired: re-challenge required",
+                    "rechallenge": 1,
+                }
             return {"error": f"batch already {batch.status.value}"}
         decision = request.get("decision", b"")
         if decision not in (b"accept", b"reject"):
             return {"error": f"bad decision {decision!r}"}
+
+        counter = request.get("counter", -1)
+        if self.policy.require_monotonic_counter:
+            if not isinstance(counter, int) or counter <= record.last_counter:
+                return self._deny_batch(
+                    batch,
+                    f"counter rollback ({counter} <= {record.last_counter})",
+                )
 
         if self.policy.check_nonce_freshness:
             accepted, state = self.nonces.consume(
                 batch.nonce, batch.batch_id, self.simulator.now
             )
             if not accepted:
-                return self._deny_batch(batch, f"nonce {state.value}")
+                if state is NonceState.EXPIRED:
+                    # Recoverable, exactly as for a single transaction:
+                    # the batch survives and tx.rechallenge reissues the
+                    # challenge for the unchanged canonical text.
+                    self.rechallenges_required += 1
+                    now = self.simulator.now
+                    batch.status = TxStatus.EXPIRED
+                    batch.detail = "nonce expired; re-challenge required"
+                    batch.settled_at = now
+                    for tx_id in batch.tx_ids:
+                        member = self.transactions[tx_id]
+                        member.status = TxStatus.EXPIRED
+                        member.detail = batch.detail
+                        member.settled_at = now
+                    return {
+                        "error": "nonce expired: re-challenge required",
+                        "rechallenge": 1,
+                    }
+                return self._finalize_batch(
+                    batch, digest, self._deny_batch(batch, f"nonce {state.value}")
+                )
 
         # Reuse the single-transaction evidence check against the batch
         # text: the digest covers the whole rendered batch.
@@ -565,36 +726,66 @@ class ServiceProvider:
         )
         result = self._verify_evidence(proxy, request, decision)
         if not result.ok:
-            return self._deny_batch(batch, result.failure.value)
+            return self._finalize_batch(
+                batch, digest, self._deny_batch(batch, result.failure.value)
+            )
+        if self.policy.require_monotonic_counter:
+            record.last_counter = int(counter)
 
+        now = self.simulator.now
         if decision == b"reject":
             batch.status = TxStatus.REJECTED_BY_USER
+            batch.settled_at = now
             for tx_id in batch.tx_ids:
-                self.transactions[tx_id].status = TxStatus.REJECTED_BY_USER
-            return {"ok": 1, "status": batch.status.value}
+                member = self.transactions[tx_id]
+                member.status = TxStatus.REJECTED_BY_USER
+                member.settled_at = now
+            return self._finalize_batch(
+                batch, digest, {"ok": 1, "status": batch.status.value}
+            )
 
         receipts = []
         for tx_id in batch.tx_ids:
             pending = self.transactions[tx_id]
             receipts.append(self.execute_transaction(pending.transaction))
             pending.status = TxStatus.EXECUTED
+            pending.settled_at = now
         batch.status = TxStatus.EXECUTED
         batch.detail = "; ".join(receipts)
-        return {"ok": 1, "status": batch.status.value, "receipt": batch.detail}
+        batch.settled_at = now
+        return self._finalize_batch(
+            batch,
+            digest,
+            {"ok": 1, "status": batch.status.value, "receipt": batch.detail},
+        )
+
+    def _finalize_batch(
+        self, batch: PendingBatch, digest: bytes, response: Message
+    ) -> Message:
+        """Record a batch confirm's settled outcome for idempotent replay."""
+        batch.evidence_digest = digest
+        batch.final_response = dict(response)
+        return response
 
     def _deny_batch(self, batch: PendingBatch, reason: str) -> Message:
+        now = self.simulator.now
         batch.status = TxStatus.DENIED
+        batch.detail = reason
+        batch.settled_at = now
         for tx_id in batch.tx_ids:
             self.transactions[tx_id].status = TxStatus.DENIED
             self.transactions[tx_id].detail = reason
+            self.transactions[tx_id].settled_at = now
         self.denials[reason] = self.denials.get(reason, 0) + 1
         return {"error": f"batch denied: {reason}", "status": "denied"}
 
     def _handle_tx_status(self, request: Message) -> Message:
-        self._authenticate(request)
+        record = self._authenticate(request)
         pending = self.transactions.get(request.get("tx_id", b""))
         if pending is None:
             return {"error": "unknown transaction"}
+        if pending.transaction.account != record.name:
+            return self._deny_not_owner()
         self._expire_if_stale(pending)
         return {"ok": 1, "status": pending.status.value, "detail": pending.detail}
 
@@ -605,20 +796,70 @@ class ServiceProvider:
         if self.simulator.now - pending.issued_at > self.policy.nonce_lifetime_seconds:
             pending.status = TxStatus.EXPIRED
             pending.detail = "confirmation never arrived"
+            pending.settled_at = self.simulator.now
+
+    def _expire_batch_if_stale(self, batch: PendingBatch) -> None:
+        if batch.status is not TxStatus.PENDING:
+            return
+        if self.simulator.now - batch.issued_at > self.policy.nonce_lifetime_seconds:
+            batch.status = TxStatus.EXPIRED
+            batch.detail = "confirmation never arrived"
+            batch.settled_at = self.simulator.now
 
     def expire_stale_transactions(self) -> int:
-        """Sweep: mark overdue PENDING transactions EXPIRED."""
+        """Sweep: mark overdue PENDING transactions/batches EXPIRED."""
         count = 0
         for pending in self.transactions.values():
             before = pending.status
             self._expire_if_stale(pending)
             if before is TxStatus.PENDING and pending.status is TxStatus.EXPIRED:
                 count += 1
+        for batch in self.batches.values():
+            self._expire_batch_if_stale(batch)
         return count
+
+    def retire_settled(self, now: Optional[float] = None) -> int:
+        """Drop settled records older than the retention window.
+
+        Retired transactions stop answering ``tx.status`` (the client
+        already holds the final response; the idempotent-replay window
+        closes with retention).  PENDING and EXPIRED-awaiting-rechallenge
+        records persist until they settle or age out — memory is
+        O(active + recent), not O(lifetime).
+        """
+        now = self.simulator.now if now is None else now
+        horizon = now - self.settled_retention_seconds
+        dead_tx = [
+            tx_id
+            for tx_id, pending in self.transactions.items()
+            if pending.settled_at is not None and pending.settled_at <= horizon
+        ]
+        for tx_id in dead_tx:
+            del self.transactions[tx_id]
+        self.transactions_retired += len(dead_tx)
+        dead_batches = [
+            batch_id
+            for batch_id, batch in self.batches.items()
+            if batch.settled_at is not None and batch.settled_at <= horizon
+        ]
+        for batch_id in dead_batches:
+            del self.batches[batch_id]
+        self.batches_retired += len(dead_batches)
+        return len(dead_tx) + len(dead_batches)
+
+    def _maybe_sweep_store(self, now: float) -> None:
+        """Opportunistic store maintenance, piggybacked on request
+        traffic and rate-limited by ``store_sweep_interval``."""
+        if now - self._last_store_sweep < self.store_sweep_interval:
+            return
+        self._last_store_sweep = now
+        self.expire_stale_transactions()
+        self.retire_settled(now)
 
     def _deny(self, pending: PendingTransaction, reason: str) -> Message:
         pending.status = TxStatus.DENIED
         pending.detail = reason
+        pending.settled_at = self.simulator.now
         self.denials[reason] = self.denials.get(reason, 0) + 1
         return {"error": f"confirmation denied: {reason}", "status": "denied"}
 

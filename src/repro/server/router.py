@@ -1,0 +1,337 @@
+"""Sharded provider pool: a consistent-hash router over N replicas.
+
+The paper's deployment story (a captcha replacement at web scale) is
+many-clients-one-provider; one `ServiceProvider` with a small worker
+pool saturates in the low hundreds of confirmations per second because
+pure-Python RSA dominates its service time.  :class:`ProviderRouter`
+scales the provider *out* instead of up:
+
+* N independent :class:`~repro.server.provider.ServiceProvider` shard
+  replicas, each a complete provider — its own worker pool, its own
+  :class:`~repro.server.noncedb.NonceDatabase`, its own DRBG stream
+  (derived from the shard's hostname, so streams never collide).
+* A thin router front end speaking the *same* RPC methods on the public
+  host.  ``register``/``login`` route by consistent hash of the account
+  name; every session-cookie method routes by the cookie→shard map the
+  router learns from ``set_session`` in login responses.
+* Forwarding is transport-faithful: on the synchronous path the router
+  calls the shard inline (two real network hops); on the queued path it
+  returns a :class:`~repro.net.rpc.DeferredResponse`, releasing its
+  worker while the shard leg is in flight — the router never becomes
+  the bottleneck it exists to remove.
+
+Sharding preserves the replay defense *by construction*: a challenge
+nonce lives only in the owning shard's nonce database, so evidence can
+never be replayed cross-shard — any other shard reports the nonce
+UNKNOWN, which is a deny.  There is no cross-shard state to keep
+coherent because accounts are partitioned, not replicated.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.net.messages import Message
+from repro.net.network import LinkSpec, Network
+from repro.net.rpc import DeferredResponse, RpcEndpoint, RpcError
+from repro.server.policy import VerifierPolicy
+from repro.server.provider import SERVICE_TIMES, ServiceProvider
+from repro.sim.kernel import Simulator
+
+#: Modeled routing cost per forwarded request (hash + table lookup —
+#: orders of magnitude below any shard's verification service time).
+ROUTER_SERVICE_TIME = 0.0001
+
+#: Methods that carry the account name and may legally arrive without a
+#: session cookie — routed by consistent hash of the account.
+_ACCOUNT_ROUTED = ("register", "login")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each shard contributes ``vnodes`` points on a 64-bit ring (SHA-256
+    of ``"host#replica"`` — engineering machinery, not protocol
+    crypto); a key routes to the first point clockwise from its own
+    hash.  Virtual nodes smooth the per-shard load imbalance to a few
+    percent, and the mapping is a pure function of the host list — every
+    router instance (or a restarted one) computes the same assignment.
+    """
+
+    def __init__(self, hosts: Sequence[str], vnodes: int = 128) -> None:
+        if not hosts:
+            raise ValueError("hash ring needs at least one host")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1: {vnodes}")
+        self.hosts = list(hosts)
+        self.vnodes = vnodes
+        points: List[tuple] = []
+        for index, host in enumerate(self.hosts):
+            for replica in range(vnodes):
+                digest = hashlib.sha256(
+                    f"{host}#{replica}".encode("utf-8")
+                ).digest()
+                points.append((int.from_bytes(digest[:8], "big"), index))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def index_for(self, key: str) -> int:
+        """Shard index owning ``key`` (stable across router instances)."""
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        point = int.from_bytes(digest[:8], "big")
+        slot = bisect.bisect_right(self._points, point)
+        if slot == len(self._points):
+            slot = 0
+        return self._owners[slot]
+
+    def host_for(self, key: str) -> str:
+        return self.hosts[self.index_for(key)]
+
+
+class ProviderRouter:
+    """Front end exposing a shard pool as one provider endpoint.
+
+    Duck-types the provider surface the fleet and experiments consume
+    (``endpoint``, ``denials``, ``expire_stale_transactions`` ...) by
+    aggregating over shards, so a sharded pool drops in wherever a
+    single provider was wired.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        host: str,
+        shards: Sequence[ServiceProvider],
+        vnodes: int = 128,
+        workers: int = 8,
+    ) -> None:
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        self.simulator = simulator
+        self.host = host
+        self.shards = list(shards)
+        self.ring = HashRing([shard.host for shard in self.shards], vnodes=vnodes)
+        if not network.is_attached(host):
+            network.attach(host, LinkSpec.lan())
+        self.endpoint = RpcEndpoint(simulator, network, host, workers=workers)
+        for method in SERVICE_TIMES:
+            self.endpoint.register(
+                method, self._make_handler(method), ROUTER_SERVICE_TIME
+            )
+        #: session cookie -> shard index, learned from login responses.
+        self._cookie_shard: Dict[bytes, int] = {}
+        #: account -> its live cookie, for eviction on re-login (mirrors
+        #: the shard-side one-session-per-account invalidation).
+        self._account_cookie: Dict[str, bytes] = {}
+        # -- routing accounting --------------------------------------------
+        self.forwards_by_shard = [0] * len(self.shards)
+        self.unroutable = 0
+        self.cookie_routes = 0
+        self.account_routes = 0
+        self.cookies_invalidated = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_index_for_account(self, account: str) -> int:
+        return self.ring.index_for(account)
+
+    def shard_for_account(self, account: str) -> ServiceProvider:
+        return self.shards[self.ring.index_for(account)]
+
+    def _route(self, method: str, request: Message):
+        """(shard index, None) or (None, error response)."""
+        if method in _ACCOUNT_ROUTED:
+            account = str(request.get("account", ""))
+            if not account:
+                return None, {"error": "missing account"}
+            self.account_routes += 1
+            return self.ring.index_for(account), None
+        cookie = request.get("session")
+        if isinstance(cookie, bytes):
+            index = self._cookie_shard.get(cookie)
+            if index is not None:
+                self.cookie_routes += 1
+                return index, None
+        return None, {"error": "not logged in"}
+
+    def _observe(self, request: Message, response: Message, index: int) -> None:
+        """Learn cookie→shard mappings from forwarded login responses."""
+        cookie = response.get("set_session")
+        if not isinstance(cookie, bytes):
+            return
+        account = str(request.get("account", ""))
+        previous = self._account_cookie.get(account)
+        if previous is not None and previous != cookie:
+            self._cookie_shard.pop(previous, None)
+            self.cookies_invalidated += 1
+        self._account_cookie[account] = cookie
+        self._cookie_shard[cookie] = index
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _make_handler(self, method: str) -> Callable[[Message], Message]:
+        def handle(request: Message) -> Message:
+            return self._forward(method, request)
+
+        return handle
+
+    def _forward(self, method: str, request: Message):
+        index, error = self._route(method, request)
+        if error is not None:
+            self.unroutable += 1
+            return error
+        shard = self.shards[index]
+        self.forwards_by_shard[index] += 1
+        tracer = self.simulator.tracer
+        if self.endpoint.sync_dispatch:
+            # Synchronous path: the shard leg runs inline (two more
+            # network hops + the shard's service time on the shared
+            # clock).  Error responses come back as RpcError — unwrap
+            # so the router's own endpoint re-raises them to the caller
+            # with every structured field (e.g. the rechallenge hint)
+            # intact.
+            with tracer.span(
+                "router.forward", method=method, shard=shard.host
+            ):
+                try:
+                    response = shard.endpoint.call_sync(
+                        self.host, method, request
+                    )
+                except RpcError as exc:
+                    response = (
+                        dict(exc.response) if exc.response
+                        else {"error": str(exc)}
+                    )
+            self._observe(request, response, index)
+            return response
+        # Queued path: forward via the shard's own queue and release
+        # this router worker immediately.  The shard leg carries its own
+        # retry policy; a dead-lettered leg resolves the deferred with
+        # the structured deadline error, so the client never hangs.
+        deferred = DeferredResponse()
+        span = tracer.begin("router.forward", method=method, shard=shard.host)
+
+        def relay(response: Message) -> None:
+            tracer.finish(span)
+            self._observe(request, response, index)
+            deferred.resolve(response)
+
+        shard.endpoint.submit(self.host, method, request, relay)
+        return deferred
+
+    # ------------------------------------------------------------------
+    # Aggregated provider surface (experiment/fleet accessors)
+    # ------------------------------------------------------------------
+    @property
+    def denials(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for shard in self.shards:
+            for reason, count in shard.denials.items():
+                merged[reason] = merged.get(reason, 0) + count
+        return merged
+
+    @property
+    def duplicate_confirms(self) -> int:
+        return sum(shard.duplicate_confirms for shard in self.shards)
+
+    @property
+    def cookies_invalidated_total(self) -> int:
+        return sum(shard.cookies_invalidated for shard in self.shards)
+
+    @property
+    def transactions_retired(self) -> int:
+        return sum(shard.transactions_retired for shard in self.shards)
+
+    @property
+    def transactions_live(self) -> int:
+        return sum(len(shard.transactions) for shard in self.shards)
+
+    def count_by_status(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for shard in self.shards:
+            for status, count in shard.count_by_status().items():
+                merged[status] = merged.get(status, 0) + count
+        return merged
+
+    def expire_stale_transactions(self) -> int:
+        return sum(shard.expire_stale_transactions() for shard in self.shards)
+
+    def retire_settled(self, now: Optional[float] = None) -> int:
+        return sum(shard.retire_settled(now) for shard in self.shards)
+
+    def verification_stats(self) -> Dict[str, int]:
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+        for shard in self.shards:
+            cache = shard.verification_cache
+            if cache is None:
+                continue
+            for key, value in cache.stats().items():
+                totals[key] += value
+        return totals
+
+    # Ledger accessors exist only when the shard class provides them
+    # (e.g. BankServer); the router exposes the aggregate.
+    @property
+    def executed_transfers(self) -> list:
+        transfers: list = []
+        for shard in self.shards:
+            transfers.extend(getattr(shard, "executed_transfers", ()))
+        return transfers
+
+    def total_stolen_by(self, destination: str) -> int:
+        return sum(
+            shard.total_stolen_by(destination)
+            for shard in self.shards
+            if hasattr(shard, "total_stolen_by")
+        )
+
+    def balance_of(self, account: str) -> int:
+        return self.shard_for_account(account).balance_of(account)
+
+
+def build_sharded_pool(
+    simulator: Simulator,
+    network: Network,
+    host: str,
+    policy: VerifierPolicy,
+    shard_count: int,
+    provider_factory: Optional[Callable[..., ServiceProvider]] = None,
+    workers_per_shard: int = 1,
+    verification_cache: bool = True,
+    vnodes: int = 128,
+    router_workers: int = 8,
+) -> ProviderRouter:
+    """Build N shard replicas behind a :class:`ProviderRouter`.
+
+    ``provider_factory(simulator, network, host, policy, workers,
+    verification_cache=...)`` constructs one shard (default: plain
+    :class:`ServiceProvider`); shard hosts are ``{host}!shard{i}``, so
+    each replica derives an independent DRBG/nonce stream from its own
+    hostname.  ``verification_cache=False`` builds every shard cold
+    (the F3-S cache ablation).
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1: {shard_count}")
+    factory = provider_factory or ServiceProvider
+    extra = {} if verification_cache else {"verification_cache": None}
+    shards = []
+    for index in range(shard_count):
+        shard_host = f"{host}!shard{index}"
+        if not network.is_attached(shard_host):
+            network.attach(shard_host, LinkSpec.lan())
+        shards.append(
+            factory(
+                simulator, network, shard_host, policy,
+                workers=workers_per_shard, **extra,
+            )
+        )
+    return ProviderRouter(
+        simulator, network, host, shards,
+        vnodes=vnodes, workers=router_workers,
+    )

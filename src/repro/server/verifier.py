@@ -21,8 +21,10 @@ stopped running would be caught.
 from __future__ import annotations
 
 import enum
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.crypto.pkcs1 import pkcs1_verify
 from repro.crypto.rsa import RsaPublicKey
@@ -68,17 +70,148 @@ class VerificationResult:
         return cls(ok=False, failure=failure, detail=detail)
 
 
+_CACHE_MISS = object()
+
+
+class VerificationCache:
+    """Bounded LRU memo over the verifier's RSA signature checks.
+
+    Pure-Python RSA verification dominates provider wall-clock, and the
+    *same* signatures recur: every session re-presents the enrolled AIK
+    certificate, and retransmitted/replayed confirms re-verify identical
+    evidence.  Those checks are pure functions of ``(public key, message,
+    signature)``, so memoizing the boolean verdict is sound — a cached
+    hit is bit-identical to a cold verify by construction.  Policy checks
+    (PCR whitelists, nonce freshness, counter monotonicity) are *never*
+    cached: they depend on mutable verifier state and always re-run.
+
+    Keys embed the public key's ``(n, e)`` directly plus a SHA-256 (via
+    ``hashlib`` — this is engineering machinery, not modeled protocol
+    crypto) of the message/signature material, so a tampered certificate
+    or flipped signature byte can never alias a cached entry.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Tuple):
+        """Cached verdict for ``key``, or the module's miss sentinel."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return _CACHE_MISS
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def store(self, key: Tuple, verdict: bool) -> bool:
+        self._entries[key] = verdict
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return verdict
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+
+def _blob_digest(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
 class AttestationVerifier:
     """Stateless evidence checks against one policy.
 
     ``tracer`` (optional) records one span per verification — providers
     pass their simulator's tracer so server-side evidence checking shows
     up in session traces next to network and TPM time.
+
+    ``cache`` (optional) is a :class:`VerificationCache` memoizing the
+    raw signature checks (certificate / quote / PKCS#1) — the fast path
+    for repeated evidence.  ``None`` disables memoization entirely; the
+    verdict for any given evidence is identical either way.
     """
 
-    def __init__(self, policy: VerifierPolicy, tracer=None) -> None:
+    def __init__(
+        self,
+        policy: VerifierPolicy,
+        tracer=None,
+        cache: Optional[VerificationCache] = None,
+    ) -> None:
         self.policy = policy
         self.tracer = tracer
+        self.cache = cache
+
+    # -- memoized signature primitives ---------------------------------
+    def _cert_signature_ok(
+        self, certificate: AikCertificate, ca_key: RsaPublicKey
+    ) -> bool:
+        """``certificate.verify(ca_key)``, memoized per (cert, CA)."""
+        if self.cache is None:
+            return certificate.verify(ca_key)
+        key = (
+            b"aik-cert",
+            ca_key.n,
+            ca_key.e,
+            _blob_digest(certificate.signed_body() + certificate.signature),
+        )
+        verdict = self.cache.lookup(key)
+        if verdict is not _CACHE_MISS:
+            return verdict
+        return self.cache.store(key, certificate.verify(ca_key))
+
+    def _quote_signature_ok(
+        self, aik_public: RsaPublicKey, quote: QuoteBundle
+    ) -> bool:
+        """``verify_quote``, memoized per (AIK, serialized bundle)."""
+        if self.cache is None:
+            return verify_quote(aik_public, quote)
+        key = (
+            b"quote",
+            aik_public.n,
+            aik_public.e,
+            _blob_digest(quote.to_bytes()),
+        )
+        verdict = self.cache.lookup(key)
+        if verdict is not _CACHE_MISS:
+            return verdict
+        return self.cache.store(key, verify_quote(aik_public, quote))
+
+    def _pkcs1_ok(
+        self, public_key: RsaPublicKey, digest: bytes, signature: bytes
+    ) -> bool:
+        """Prehashed ``pkcs1_verify``, memoized per (key, digest, sig)."""
+        if self.cache is None:
+            return pkcs1_verify(public_key, digest, signature, prehashed=True)
+        key = (
+            b"pkcs1",
+            public_key.n,
+            public_key.e,
+            digest,
+            _blob_digest(signature),
+        )
+        verdict = self.cache.lookup(key)
+        if verdict is not _CACHE_MISS:
+            return verdict
+        return self.cache.store(
+            key, pkcs1_verify(public_key, digest, signature, prehashed=True)
+        )
 
     # ------------------------------------------------------------------
     @traced("verify.aik_certificate")
@@ -86,7 +219,7 @@ class AttestationVerifier:
         self, certificate: AikCertificate
     ) -> VerificationResult:
         for ca_key in self.policy.ca_public_keys:
-            if certificate.verify(ca_key):
+            if self._cert_signature_ok(certificate, ca_key):
                 return VerificationResult.success()
         return VerificationResult.reject(VerificationFailure.BAD_CA_SIGNATURE)
 
@@ -105,7 +238,7 @@ class AttestationVerifier:
         value, PCR 18 = exactly one extend of SHA1(public key), and
         external data = SHA1(setup nonce).
         """
-        if not verify_quote(aik_public, quote):
+        if not self._quote_signature_ok(aik_public, quote):
             return VerificationResult.reject(
                 VerificationFailure.BAD_CERTIFY_SIGNATURE
             )
@@ -139,7 +272,7 @@ class AttestationVerifier:
         counter: int = -1,
     ) -> VerificationResult:
         """Quote-variant evidence for one confirmation."""
-        if not verify_quote(aik_public, quote):
+        if not self._quote_signature_ok(aik_public, quote):
             return VerificationResult.reject(VerificationFailure.BAD_QUOTE_SIGNATURE)
         if quote.external_data != sha1(nonce):
             return VerificationResult.reject(VerificationFailure.QUOTE_WRONG_NONCE)
@@ -172,6 +305,6 @@ class AttestationVerifier:
         if registered_key is None:
             return VerificationResult.reject(VerificationFailure.NO_REGISTERED_KEY)
         digest = confirmation_digest(text, nonce, decision, counter)
-        if not pkcs1_verify(registered_key, digest, signature, prehashed=True):
+        if not self._pkcs1_ok(registered_key, digest, signature):
             return VerificationResult.reject(VerificationFailure.BAD_SIGNATURE)
         return VerificationResult.success()

@@ -95,22 +95,141 @@ class TestBatchRejection:
             assert world.bank.transactions[tx_id].status is TxStatus.DENIED
 
     def test_nonce_single_use_across_batch(self, world):
-        """Replaying a confirmed batch's evidence is rejected."""
+        """Parity with the single-transaction confirm: resubmitting the
+        *same* evidence replays the stored outcome idempotently (never a
+        second execution), while *different* evidence against the
+        settled batch stays an error."""
         transactions = _batch(world, 2, prefix="bn", amount=50)
         world.human.intend_batch(transactions)
         outcome = world.client.confirm_batch(world.bank.endpoint, transactions)
         assert outcome.executed
-        # Resubmit the same evidence for the same (already executed) batch.
-        with pytest.raises(RpcError):
+        batch_id = list(world.bank.batches.keys())[-1]
+        balances = [world.bank.balance_of(f"bn-{i}") for i in range(2)]
+        duplicates_before = world.bank.duplicate_confirms
+        replayed = world.browser.call(
+            world.bank.endpoint, "tx.confirm_batch",
+            {
+                "tx_id": batch_id,
+                "decision": b"accept",
+                "evidence": "signed",
+                "signature": outcome.session.outputs["signature"],
+            },
+        )
+        assert replayed["status"] == "executed"
+        assert world.bank.duplicate_confirms == duplicates_before + 1
+        # No member executed a second time.
+        assert [world.bank.balance_of(f"bn-{i}") for i in range(2)] == balances
+        # Different evidence stays a hard error — and never earns a
+        # re-challenge: the consumed nonce is the replay defense.
+        with pytest.raises(RpcError) as err:
             world.browser.call(
                 world.bank.endpoint, "tx.confirm_batch",
                 {
-                    "tx_id": list(world.bank.batches.keys())[-1],
+                    "tx_id": batch_id,
                     "decision": b"accept",
                     "evidence": "signed",
-                    "signature": outcome.session.outputs["signature"],
+                    "signature": b"not-the-original-evidence",
                 },
             )
+        assert "already" in str(err.value)
+        assert not err.value.rechallenge_required
+
+
+class TestBatchRechallengeRecovery:
+    """PR-2 recovery semantics now cover the batch path too."""
+
+    def test_expired_nonce_recovers_via_rechallenge(self, world):
+        """The batch challenge nonce ages out mid-session; the provider
+        answers with the recoverable re-challenge hint; the client runs
+        a fresh PAL session against the reissued nonce and every member
+        still executes exactly once."""
+        transactions = _batch(world, 3, prefix="brc", amount=70)
+        world.human.intend_batch(transactions)
+        nonces = world.bank.nonces
+        original_issue = nonces.issue
+        first_nonce = {}
+
+        def expire_first_issue(tx_id, now):
+            nonce = original_issue(tx_id, now)
+            nonces._records[nonce].expires_at = now
+            first_nonce["value"] = nonce
+            nonces.issue = original_issue
+            return nonce
+
+        nonces.issue = expire_first_issue
+        required_before = world.bank.rechallenges_required
+        issued_before = world.bank.rechallenges_issued
+        client_rechallenges_before = world.client.rechallenges
+        outcome = world.client.confirm_batch(world.bank.endpoint, transactions)
+        assert outcome.executed
+        for index in range(3):
+            assert world.bank.balance_of(f"brc-{index}") == 70 + index
+        assert world.bank.rechallenges_required == required_before + 1
+        assert world.bank.rechallenges_issued == issued_before + 1
+        assert world.client.rechallenges == client_rechallenges_before + 1
+        # The dead challenge was invalidated when the new one was minted.
+        from repro.server.noncedb import NonceState
+
+        assert (
+            nonces.state_of(first_nonce["value"], now=world.simulator.now)
+            is NonceState.UNKNOWN
+        )
+
+
+class TestBatchCounterExtension:
+    """The monotonic-counter policy now gates the batch path too."""
+
+    @pytest.fixture(scope="class")
+    def counter_world(self) -> TrustedPathWorld:
+        world = TrustedPathWorld(WorldConfig(seed=6161)).ready()
+        world.policy.require_monotonic_counter = True
+        world.client.enable_monotonic_counter()
+        return world
+
+    def test_batch_confirm_carries_an_increasing_counter(self, counter_world):
+        world = counter_world
+        transactions = [
+            world.sample_transfer(amount_cents=100 + i, to=f"bc-{i}")
+            for i in range(2)
+        ]
+        world.human.intend_batch(transactions)
+        outcome = world.client.confirm_batch(world.bank.endpoint, transactions)
+        assert outcome.executed
+        record = world.bank.accounts[world.config.account]
+        assert record.last_counter > 0
+        assert int.from_bytes(
+            outcome.session.outputs["counter"], "big"
+        ) == record.last_counter
+
+    def test_stale_counter_denied_before_any_crypto(self, counter_world):
+        world = counter_world
+        from repro.core.protocol import build_transaction_request
+        from repro.net.messages import encode_message
+
+        encoded = [
+            encode_message(
+                build_transaction_request(
+                    world.sample_transfer(amount_cents=33, to="bc-stale")
+                )
+            )
+        ]
+        challenge = world.browser.call(
+            world.bank.endpoint, "tx.request_batch", {"transactions": encoded}
+        )
+        record = world.bank.accounts[world.config.account]
+        with pytest.raises(RpcError, match="rollback"):
+            world.browser.call(
+                world.bank.endpoint, "tx.confirm_batch",
+                {
+                    "tx_id": challenge["tx_id"],
+                    "decision": b"accept",
+                    "evidence": "signed",
+                    "signature": b"\x09" * 64,
+                    "counter": record.last_counter,  # does not advance
+                },
+            )
+        batch = world.bank.batches[challenge["tx_id"]]
+        assert batch.status.value == "denied"
 
 
 class TestBatchValidation:

@@ -8,6 +8,7 @@ import pytest
 from repro.bench.experiments import (
     a1_defense_ablation,
     fig1_latency_vs_pal_size,
+    f3s_sharded_scaling,
     fig2_server_throughput,
     fig4_amortization,
     fig5_noncedb_scalability,
@@ -146,6 +147,47 @@ class TestF3Captcha:
         by_scheme = {row["scheme"]: row["human_seconds_per_action"] for row in rows}
         # Confirmation reading is not slower than captcha solving.
         assert by_scheme["trusted-path"] < by_scheme["captcha"] * 1.5
+
+
+class TestF3Sharding:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return f3s_sharded_scaling(
+            shard_counts=(1, 2, 4), offered=350, duration=1.0, accounts=8,
+            seed=17,
+        )
+
+    def test_throughput_monotone_in_shard_count(self, rows):
+        """At saturating load, completed rps never decreases as shards
+        are added — the CI gate on the scale-out claim."""
+        on = sorted(
+            (r for r in rows if r["cache"] == "on"),
+            key=lambda r: r["shards"],
+        )
+        completed = [r["completed_rps"] for r in on]
+        assert completed == sorted(completed)
+        assert completed[-1] >= 2 * completed[0]
+
+    def test_cache_changes_wall_clock_only(self, rows):
+        """Virtual-time results are bit-identical with the memo on or
+        off; only the hit counters (and wall-clock) differ."""
+        on = {r["shards"]: r for r in rows if r["cache"] == "on"}
+        off = {r["shards"]: r for r in rows if r["cache"] == "off"}
+        assert set(on) == set(off)
+        for shards, row in on.items():
+            for field in (
+                "completed_rps", "p95_latency_ms", "failed",
+                "store_live", "store_retired",
+            ):
+                assert row[field] == off[shards][field], (shards, field)
+            assert row["cache_hits"] > 0
+            assert off[shards]["cache_hits"] == 0
+
+    def test_no_flow_fails_and_store_is_swept(self, rows):
+        for row in rows:
+            assert row["failed"] == 0, row
+            assert row["store_retired"] > 0, row
+            assert row["store_live"] == 0, row
 
 
 class TestF4Amortization:

@@ -318,5 +318,148 @@ class TestShopRules:
             )
 
 
+class TestSessionOwnership:
+    """A valid session must not reach into another account's
+    transactions — regression tests for the missing ownership check on
+    tx.confirm / tx.status / tx.rechallenge."""
+
+    @pytest.fixture()
+    def mallory(self, world):
+        endpoint = world.bank.endpoint
+        try:
+            endpoint.call_sync(
+                "client-host", "register",
+                {"account": "mallory", "password": "mpw"},
+            )
+        except RpcError:
+            pass  # registered by an earlier test in this module
+        login = endpoint.call_sync(
+            "client-host", "login", {"account": "mallory", "password": "mpw"}
+        )
+        return login["set_session"]
+
+    def test_foreign_session_denied_on_every_tx_method(self, world, mallory):
+        from repro.core.protocol import build_transaction_request
+        from repro.server.noncedb import NonceState
+        from repro.server.provider import DENIAL_NOT_OWNER
+
+        tx = world.sample_transfer(amount_cents=260, to="dest-own")
+        challenge = world.browser.call(
+            world.bank.endpoint, "tx.request", build_transaction_request(tx)
+        )
+        denials_before = world.bank.denials.get(DENIAL_NOT_OWNER, 0)
+        probes = (
+            ("tx.status", {}),
+            ("tx.rechallenge", {}),
+            ("tx.confirm", {"decision": b"accept", "evidence": "signed",
+                            "signature": b"\x07" * 64}),
+        )
+        for method, extra in probes:
+            with pytest.raises(RpcError, match=DENIAL_NOT_OWNER):
+                world.bank.endpoint.call_sync(
+                    "client-host", method,
+                    dict(extra, tx_id=challenge["tx_id"], session=mallory),
+                )
+        assert world.bank.denials[DENIAL_NOT_OWNER] == denials_before + 3
+        # The probes did not perturb the victim's confirmation: still
+        # PENDING, challenge nonce still live.
+        status = world.browser.call(
+            world.bank.endpoint, "tx.status", {"tx_id": challenge["tx_id"]}
+        )
+        assert status["status"] == "pending"
+        assert (
+            world.bank.nonces.state_of(
+                challenge["nonce"], now=world.simulator.now
+            )
+            is NonceState.LIVE
+        )
+
+    def test_foreign_session_denied_on_batches(self, world, mallory):
+        from repro.core.protocol import build_transaction_request
+        from repro.net.messages import encode_message
+        from repro.server.provider import DENIAL_NOT_OWNER
+
+        encoded = [
+            encode_message(
+                build_transaction_request(
+                    world.sample_transfer(amount_cents=10, to="dest-bo")
+                )
+            )
+        ]
+        challenge = world.browser.call(
+            world.bank.endpoint, "tx.request_batch", {"transactions": encoded}
+        )
+        for method, extra in (
+            ("tx.rechallenge", {}),
+            ("tx.confirm_batch", {"decision": b"accept", "evidence": "signed",
+                                  "signature": b"\x08" * 64}),
+        ):
+            with pytest.raises(RpcError, match=DENIAL_NOT_OWNER):
+                world.bank.endpoint.call_sync(
+                    "client-host", method,
+                    dict(extra, tx_id=challenge["tx_id"], session=mallory),
+                )
+        assert world.bank.batches[challenge["tx_id"]].status.value == "pending"
+
+
+class TestSessionInvalidation:
+    def test_relogin_invalidates_the_previous_cookie(self, world):
+        endpoint = world.bank.endpoint
+        endpoint.call_sync(
+            "client-host", "register", {"account": "roamer", "password": "rpw"}
+        )
+        first = endpoint.call_sync(
+            "client-host", "login", {"account": "roamer", "password": "rpw"}
+        )["set_session"]
+        invalidated_before = world.bank.cookies_invalidated
+        cookie_count = len(world.bank._cookies)
+        second = endpoint.call_sync(
+            "client-host", "login", {"account": "roamer", "password": "rpw"}
+        )["set_session"]
+        assert second != first
+        assert world.bank.cookies_invalidated == invalidated_before + 1
+        assert len(world.bank._cookies) == cookie_count  # map did not grow
+        request = {
+            "kind": "transfer", "account": "roamer",
+            "f.to": "x", "f.amount": 1,
+        }
+        with pytest.raises(RpcError, match="not logged in"):
+            endpoint.call_sync(
+                "client-host", "tx.request", dict(request, session=first)
+            )
+        fresh = endpoint.call_sync(
+            "client-host", "tx.request", dict(request, session=second)
+        )
+        assert fresh["ok"] == 1
+
+
+class TestBoundedStore:
+    def test_settled_records_retire_after_retention(self, world):
+        tx = world.sample_transfer(amount_cents=15, to="dest-ret")
+        outcome = world.confirm(tx)
+        assert outcome.executed
+        tx_id = _last_tx_id(world)
+        retired_before = world.bank.transactions_retired
+        world.simulator.clock.advance(world.bank.settled_retention_seconds + 1)
+        assert world.bank.retire_settled() >= 1
+        assert tx_id not in world.bank.transactions
+        assert world.bank.transactions_retired > retired_before
+        with pytest.raises(RpcError, match="unknown"):
+            world.browser.call(
+                world.bank.endpoint, "tx.status", {"tx_id": tx_id}
+            )
+
+    def test_pending_records_survive_the_sweep(self, world):
+        from repro.core.protocol import build_transaction_request
+
+        tx = world.sample_transfer(amount_cents=25, to="dest-keep")
+        challenge = world.browser.call(
+            world.bank.endpoint, "tx.request", build_transaction_request(tx)
+        )
+        world.bank.retire_settled()
+        assert challenge["tx_id"] in world.bank.transactions
+        assert world.bank.transactions_peak >= len(world.bank.transactions)
+
+
 def _last_tx_id(world) -> bytes:
     return list(world.bank.transactions.keys())[-1]
