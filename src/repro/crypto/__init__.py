@@ -22,8 +22,20 @@ cross-checked against `hashlib`/`hmac` in the test suite:
 Performance note: RSA keygen in pure Python is slow for large moduli, so
 components default to 1024-bit keys (the TPM 1.2 era default) and the test
 suite uses smaller keys where identity, not strength, is being tested.
+
+Backend note: the hash/HMAC entry points dispatch through
+:mod:`repro.crypto.backend` — ``accel`` (``hashlib``/``hmac``, the
+default) or ``pure`` (the FIPS-pseudocode reference, selected with
+``REPRO_CRYPTO_BACKEND=pure``).  Both produce bit-identical output;
+only wall-clock changes.
 """
 
+from repro.crypto.backend import (
+    backend_name,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hmac_impl import hmac_digest, hmac_sha1, hmac_sha256
 from repro.crypto.oaep import OaepError, oaep_decrypt, oaep_encrypt
@@ -41,6 +53,10 @@ from repro.crypto.sha256 import sha256
 from repro.crypto.stream import AuthenticationError, open_box, seal_box
 
 __all__ = [
+    "backend_name",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "sha1",
     "sha256",
     "hmac_digest",

@@ -1,0 +1,170 @@
+"""Pluggable crypto backend: ``pure`` FIPS pseudocode vs ``accel`` stdlib.
+
+Every virtual-time number in the reproduction is paid for in real CPU:
+all randomness flows through :class:`~repro.crypto.drbg.HmacDrbg` (three
+HMAC-SHA256 calls per generate), every PCR extend and SLB measurement
+through SHA-1 (a 256 KB SKINIT measurement is ~4096 compression rounds).
+With the hand-rolled FIPS 180-4 implementations that cost is interpreter
+time, not crypto time.
+
+This module makes the primitive layer pluggable:
+
+``pure``
+    The repository's own FIPS-pseudocode implementations
+    (:mod:`repro.crypto.sha1`, :mod:`repro.crypto.sha256`,
+    :func:`repro.crypto.hmac_impl.hmac_digest`).  The reference arm.
+
+``accel``
+    ``hashlib`` / ``hmac`` from the standard library.  Identical output
+    by construction (same FIPS functions); the differential fuzz tests
+    in ``tests/test_crypto_backend.py`` enforce bit-for-bit agreement
+    across block boundaries and over long DRBG streams.
+
+The backend affects **wall-clock only**.  Virtual-time results are a
+pure function of seed + schedule (see DESIGN.md "determinism
+contract"); swapping backends can never change an emitted number, only
+how fast it is computed.
+
+Selection: ``accel`` by default, overridable with the
+``REPRO_CRYPTO_BACKEND`` environment variable, programmatically with
+:func:`set_backend`, per-scope with :func:`use_backend`, or per
+experiment via ``Simulator(crypto_backend=...)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _std_hmac
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+DEFAULT_BACKEND = "accel"
+ENV_VAR = "REPRO_CRYPTO_BACKEND"
+
+BACKEND_NAMES = ("pure", "accel")
+
+
+class PureBackend:
+    """The in-repo FIPS-pseudocode implementations (reference arm)."""
+
+    name = "pure"
+
+    def __init__(self) -> None:
+        # Imported lazily: this module must stay importable before (and
+        # by) repro.crypto.sha1/sha256, which dispatch through us.
+        from repro.crypto.hmac_impl import hmac_digest
+        from repro.crypto.sha1 import Sha1
+        from repro.crypto.sha256 import Sha256
+
+        self._sha1_cls = Sha1
+        self._sha256_cls = Sha256
+        self._hmac_digest = hmac_digest
+
+    def sha1(self, data: bytes) -> bytes:
+        return self._sha1_cls(data).digest()
+
+    def sha256(self, data: bytes) -> bytes:
+        return self._sha256_cls(data).digest()
+
+    def new_sha1(self, data: bytes = b""):
+        return self._sha1_cls(data)
+
+    def new_sha256(self, data: bytes = b""):
+        return self._sha256_cls(data)
+
+    def hmac_sha1(self, key: bytes, message: bytes) -> bytes:
+        return self._hmac_digest(key, message, self._sha1_cls)
+
+    def hmac_sha256(self, key: bytes, message: bytes) -> bytes:
+        return self._hmac_digest(key, message, self._sha256_cls)
+
+
+class AccelBackend:
+    """``hashlib``/``hmac`` delegation — same FIPS functions, C speed."""
+
+    name = "accel"
+
+    def sha1(self, data: bytes) -> bytes:
+        return hashlib.sha1(bytes(data)).digest()
+
+    def sha256(self, data: bytes) -> bytes:
+        return hashlib.sha256(bytes(data)).digest()
+
+    def new_sha1(self, data: bytes = b""):
+        return hashlib.sha1(bytes(data))
+
+    def new_sha256(self, data: bytes = b""):
+        return hashlib.sha256(bytes(data))
+
+    def hmac_sha1(self, key: bytes, message: bytes) -> bytes:
+        return _std_hmac.digest(key, message, "sha1")
+
+    def hmac_sha256(self, key: bytes, message: bytes) -> bytes:
+        return _std_hmac.digest(key, message, "sha256")
+
+
+_FACTORIES = {"pure": PureBackend, "accel": AccelBackend}
+
+#: The active backend instance.  ``None`` until first use so the
+#: environment variable is read lazily (imports must not depend on
+#: process environment order).
+_active = None
+
+
+def _resolve_default() -> str:
+    name = os.environ.get(ENV_VAR, DEFAULT_BACKEND)
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"{ENV_VAR}={name!r}: unknown crypto backend "
+            f"(choose from {', '.join(BACKEND_NAMES)})"
+        )
+    return name
+
+
+def get_backend():
+    """The active backend, initializing from ``REPRO_CRYPTO_BACKEND``."""
+    global _active
+    if _active is None:
+        _active = _FACTORIES[_resolve_default()]()
+    return _active
+
+
+def backend_name() -> str:
+    """Name of the active backend (``pure`` or ``accel``)."""
+    return get_backend().name
+
+
+def set_backend(name: Optional[str]) -> str:
+    """Select the active backend; returns the *previous* backend's name.
+
+    ``None`` re-resolves the default (environment variable, else
+    ``accel``) — the hook :class:`~repro.sim.kernel.Simulator` uses so
+    ``crypto_backend=None`` means "leave the process setting alone".
+    """
+    global _active
+    previous = backend_name()
+    if name is None:
+        name = _resolve_default()
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown crypto backend {name!r} "
+            f"(choose from {', '.join(BACKEND_NAMES)})"
+        )
+    if name != previous:
+        _active = _FACTORIES[name]()
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Scoped backend selection (tests and ablation arms)::
+
+        with use_backend("pure"):
+            ...  # all hashing goes through the FIPS pseudocode
+    """
+    previous = set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)

@@ -3,12 +3,18 @@
 TPM 1.2 uses HMAC-SHA1 for command authorization sessions; the secure
 channel in `repro.net` uses HMAC-SHA256 record MACs.  Cross-checked
 against the standard library `hmac` module in the tests.
+
+:func:`hmac_digest` is the ``pure`` reference arm of
+:mod:`repro.crypto.backend`; the :func:`hmac_sha1` / :func:`hmac_sha256`
+entry points (what the TPM, the secure channel and the DRBG call)
+dispatch through the active backend.
 """
 
 from __future__ import annotations
 
 from typing import Type, Union
 
+from repro.crypto import backend as _backend
 from repro.crypto.sha1 import Sha1
 from repro.crypto.sha256 import Sha256
 
@@ -16,7 +22,7 @@ HashClass = Union[Type[Sha1], Type[Sha256]]
 
 
 def hmac_digest(key: bytes, message: bytes, hash_cls: HashClass) -> bytes:
-    """Compute HMAC(key, message) with the given hash class."""
+    """Compute HMAC(key, message) with the given hash class (pure arm)."""
     block_size = hash_cls.block_size
     if len(key) > block_size:
         key = hash_cls(key).digest()
@@ -28,13 +34,14 @@ def hmac_digest(key: bytes, message: bytes, hash_cls: HashClass) -> bytes:
 
 
 def hmac_sha1(key: bytes, message: bytes) -> bytes:
-    """HMAC-SHA1, the TPM 1.2 authorization MAC."""
-    return hmac_digest(key, message, Sha1)
+    """HMAC-SHA1, the TPM 1.2 authorization MAC (backend-dispatched)."""
+    return _backend.get_backend().hmac_sha1(key, message)
 
 
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
-    """HMAC-SHA256, used by the secure channel."""
-    return hmac_digest(key, message, Sha256)
+    """HMAC-SHA256, used by the secure channel and the DRBG
+    (backend-dispatched)."""
+    return _backend.get_backend().hmac_sha256(key, message)
 
 
 def constant_time_equal(left: bytes, right: bytes) -> bool:

@@ -4,11 +4,18 @@ TPM v1.2 is built around SHA-1 (PCRs are 20-byte SHA-1 digests, the extend
 operation is ``PCR := SHA1(PCR || measurement)``), so the reproduction
 carries its own implementation rather than treating the hash as a black
 box.  Verified bit-for-bit against `hashlib.sha1` in the test suite.
+
+The :class:`Sha1` class *is* the ``pure`` reference arm of
+:mod:`repro.crypto.backend`; the module-level :func:`sha1` one-shot
+dispatches through the active backend, so every call site in ``tpm/``,
+``drtm/`` and ``net/`` follows the ``REPRO_CRYPTO_BACKEND`` selection.
 """
 
 from __future__ import annotations
 
 import struct
+
+from repro.crypto import backend as _backend
 
 _MASK32 = 0xFFFFFFFF
 
@@ -112,5 +119,10 @@ class Sha1:
 
 
 def sha1(data: bytes) -> bytes:
-    """One-shot SHA-1 digest of ``data``."""
-    return Sha1(data).digest()
+    """One-shot SHA-1 digest of ``data`` via the active crypto backend."""
+    return _backend.get_backend().sha1(data)
+
+
+def new_sha1(data: bytes = b""):
+    """Incremental SHA-1 context from the active crypto backend."""
+    return _backend.get_backend().new_sha1(data)

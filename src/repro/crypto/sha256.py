@@ -3,11 +3,17 @@
 Used by the higher layers of the reproduction (secure channel MACs,
 transaction canonical digests) where the paper's implementation would have
 used an OpenSSL SHA-256.  Verified against `hashlib.sha256` in the tests.
+
+The :class:`Sha256` class is the ``pure`` reference arm of
+:mod:`repro.crypto.backend`; the module-level :func:`sha256` one-shot
+dispatches through the active backend.
 """
 
 from __future__ import annotations
 
 import struct
+
+from repro.crypto import backend as _backend
 
 _MASK32 = 0xFFFFFFFF
 
@@ -121,5 +127,10 @@ class Sha256:
 
 
 def sha256(data: bytes) -> bytes:
-    """One-shot SHA-256 digest of ``data``."""
-    return Sha256(data).digest()
+    """One-shot SHA-256 digest of ``data`` via the active crypto backend."""
+    return _backend.get_backend().sha256(data)
+
+
+def new_sha256(data: bytes = b""):
+    """Incremental SHA-256 context from the active crypto backend."""
+    return _backend.get_backend().new_sha256(data)

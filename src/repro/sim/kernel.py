@@ -46,6 +46,13 @@ class Simulator:
         ``self.tracer`` (see `repro.sim.tracing`).  The default is the
         shared no-op tracer, which costs nothing on the hot paths and
         keeps traced/untraced runs bit-identical.
+    crypto_backend:
+        Optional crypto backend name (``"pure"`` or ``"accel"``, see
+        `repro.crypto.backend`).  Selection is process-global — hash
+        primitives have no handle on a simulator — so this is a
+        convenience knob for experiment arms; ``None`` (the default)
+        leaves the process setting untouched.  Backend choice affects
+        wall-clock only; virtual results are bit-identical either way.
     """
 
     def __init__(
@@ -53,7 +60,12 @@ class Simulator:
         seed: int = 0,
         trace: Optional[Callable[[float, str], None]] = None,
         tracing: bool = False,
+        crypto_backend: Optional[str] = None,
     ) -> None:
+        if crypto_backend is not None:
+            from repro.crypto.backend import set_backend
+
+            set_backend(crypto_backend)
         self.clock = VirtualClock()
         self.queue = EventQueue()
         self.metrics = MetricRegistry(clock=self.clock)

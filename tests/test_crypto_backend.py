@@ -1,0 +1,206 @@
+"""Differential fuzz: the ``pure`` and ``accel`` crypto backends must
+agree bit-for-bit — the accelerated arm exists so that wall-clock, and
+only wall-clock, changes (DESIGN.md "determinism contract")."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.backend import (
+    AccelBackend,
+    PureBackend,
+    backend_name,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.crypto.drbg import HmacDrbg
+
+PURE = PureBackend()
+ACCEL = AccelBackend()
+
+BLOCK = 64  # SHA-1 and SHA-256 share a 64-byte block
+
+#: Every message length from empty through three full blocks — covers
+#: the padding boundary (55/56), exact blocks and every straddle.
+ALL_LENGTHS = range(0, 3 * BLOCK + 1)
+
+#: Key lengths around the HMAC block boundary (keys longer than one
+#: block are pre-hashed — a different code path in both arms).
+KEY_LENGTHS = (0, 1, 20, 63, 64, 65, 128, 200)
+
+
+def _material(length: int, salt: int = 0) -> bytes:
+    rng = random.Random(0xC0FFEE + salt + 1_000_003 * length)
+    return bytes(rng.getrandbits(8) for _ in range(length))
+
+
+class TestDifferentialHashes:
+    def test_sha1_all_lengths_to_three_blocks(self):
+        for length in ALL_LENGTHS:
+            message = _material(length)
+            assert PURE.sha1(message) == ACCEL.sha1(message), length
+
+    def test_sha256_all_lengths_to_three_blocks(self):
+        for length in ALL_LENGTHS:
+            message = _material(length, salt=1)
+            assert PURE.sha256(message) == ACCEL.sha256(message), length
+
+    def test_incremental_contexts_agree_across_splits(self):
+        message = _material(3 * BLOCK, salt=2)
+        for split in (0, 1, BLOCK - 1, BLOCK, BLOCK + 1, len(message)):
+            for attr in ("new_sha1", "new_sha256"):
+                pure_ctx = getattr(PURE, attr)(message[:split])
+                accel_ctx = getattr(ACCEL, attr)(message[:split])
+                pure_ctx.update(message[split:])
+                accel_ctx.update(message[split:])
+                assert pure_ctx.digest() == accel_ctx.digest()
+                assert pure_ctx.hexdigest() == accel_ctx.hexdigest()
+
+
+class TestDifferentialHmac:
+    @pytest.mark.parametrize("key_length", KEY_LENGTHS)
+    def test_hmac_sha1(self, key_length):
+        key = _material(key_length, salt=3)
+        for msg_length in (0, 1, BLOCK - 1, BLOCK, BLOCK + 1, 3 * BLOCK):
+            message = _material(msg_length, salt=4)
+            assert PURE.hmac_sha1(key, message) == ACCEL.hmac_sha1(
+                key, message
+            )
+
+    @pytest.mark.parametrize("key_length", KEY_LENGTHS)
+    def test_hmac_sha256(self, key_length):
+        key = _material(key_length, salt=5)
+        for msg_length in (0, 1, BLOCK - 1, BLOCK, BLOCK + 1, 3 * BLOCK):
+            message = _material(msg_length, salt=6)
+            assert PURE.hmac_sha256(key, message) == ACCEL.hmac_sha256(
+                key, message
+            )
+
+
+class TestDifferentialDrbg:
+    """The DRBG is the system's randomness root: stream equality here is
+    what guarantees whole-experiment bit-identity across backends."""
+
+    @pytest.mark.parametrize(
+        "seed,personalization",
+        [
+            (b"seed-a", b""),
+            (b"seed-b", b"tpm:0"),
+            (b"\x00" * 32, b"provider-nonces"),
+        ],
+    )
+    def test_ten_kilobyte_streams_identical(self, seed, personalization):
+        with use_backend("pure"):
+            pure_stream = HmacDrbg(seed, personalization).generate(10_000)
+        with use_backend("accel"):
+            accel_stream = HmacDrbg(seed, personalization).generate(10_000)
+        assert pure_stream == accel_stream
+
+    def test_chunked_generation_identical(self):
+        # State updates between generate() calls must track too, not
+        # just the raw keystream.
+        chunks = (1, 31, 32, 33, 500)
+        with use_backend("pure"):
+            drbg = HmacDrbg(b"chunks")
+            pure_parts = [drbg.generate(n) for n in chunks]
+            pure_fork = drbg.fork(b"child").generate(64)
+        with use_backend("accel"):
+            drbg = HmacDrbg(b"chunks")
+            accel_parts = [drbg.generate(n) for n in chunks]
+            accel_fork = drbg.fork(b"child").generate(64)
+        assert pure_parts == accel_parts
+        assert pure_fork == accel_fork
+
+    def test_generate_below_identical(self):
+        with use_backend("pure"):
+            pure_values = [
+                HmacDrbg(b"gb").generate_below(bound)
+                for bound in (2, 10, 1 << 31)
+            ]
+        with use_backend("accel"):
+            accel_values = [
+                HmacDrbg(b"gb").generate_below(bound)
+                for bound in (2, 10, 1 << 31)
+            ]
+        assert pure_values == accel_values
+
+
+class TestBackendSelection:
+    @pytest.fixture(autouse=True)
+    def _pin_accel(self):
+        """Run each selection test from a known 'accel' state and put
+        the process backend back afterwards (the suite may run under
+        REPRO_CRYPTO_BACKEND=pure — the CI reference leg)."""
+        previous = set_backend("accel")
+        yield
+        set_backend(previous)
+
+    def test_default_resolution_without_env(self, monkeypatch):
+        from repro.crypto import backend as module
+
+        monkeypatch.delenv(module.ENV_VAR, raising=False)
+        set_backend(None)  # None re-resolves the default
+        assert backend_name() == "accel"
+
+    def test_set_backend_returns_previous(self):
+        assert set_backend("pure") == "accel"
+        try:
+            assert backend_name() == "pure"
+            assert get_backend().name == "pure"
+        finally:
+            assert set_backend("accel") == "pure"
+
+    def test_use_backend_restores_on_exit(self):
+        with use_backend("pure"):
+            assert backend_name() == "pure"
+            with use_backend("accel"):
+                assert backend_name() == "accel"
+            assert backend_name() == "pure"
+        assert backend_name() == "accel"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("pure"):
+                raise RuntimeError("boom")
+        assert backend_name() == "accel"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_backend("openssl3")
+
+    def test_env_var_resolution(self, monkeypatch):
+        from repro.crypto import backend as module
+
+        monkeypatch.setenv(module.ENV_VAR, "pure")
+        previous = set_backend(None)  # None re-reads the environment
+        try:
+            assert backend_name() == "pure"
+        finally:
+            set_backend(previous)
+
+    def test_env_var_invalid_rejected(self, monkeypatch):
+        from repro.crypto import backend as module
+
+        monkeypatch.setenv(module.ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            set_backend(None)
+        assert backend_name() == "accel"
+
+    def test_simulator_knob(self):
+        from repro.sim import Simulator
+
+        try:
+            Simulator(seed=1, crypto_backend="pure")
+            assert backend_name() == "pure"
+        finally:
+            set_backend("accel")
+
+    def test_simulator_default_leaves_backend_alone(self):
+        from repro.sim import Simulator
+
+        with use_backend("pure"):
+            Simulator(seed=1)
+            assert backend_name() == "pure"

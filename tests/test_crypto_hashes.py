@@ -1,4 +1,10 @@
-"""The from-scratch hash/MAC/DRBG implementations vs the standard library."""
+"""The from-scratch hash/MAC/DRBG implementations vs the standard library.
+
+The module-level entry points (``sha1``, ``hmac_sha256`` …) dispatch
+through `repro.crypto.backend`, so this file pins the ``pure`` backend:
+these are the reference-implementation tests, and under the default
+``accel`` backend they would compare ``hashlib`` against itself.
+"""
 
 from __future__ import annotations
 
@@ -9,9 +15,16 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.crypto import HmacDrbg, hmac_sha1, hmac_sha256, sha1, sha256
+from repro.crypto.backend import use_backend
 from repro.crypto.hmac_impl import constant_time_equal
 from repro.crypto.sha1 import Sha1
 from repro.crypto.sha256 import Sha256
+
+
+@pytest.fixture(autouse=True)
+def _pure_backend():
+    with use_backend("pure"):
+        yield
 
 KNOWN_VECTORS = [
     b"",
@@ -54,6 +67,7 @@ class TestSha1:
         with pytest.raises(TypeError):
             Sha1().update("not bytes")  # type: ignore[arg-type]
 
+    @pytest.mark.slow
     @given(st.binary(max_size=2048))
     def test_property_matches_hashlib(self, message):
         assert sha1(message) == hashlib.sha1(message).digest()
@@ -74,6 +88,7 @@ class TestSha256:
     def test_hexdigest(self):
         assert Sha256(b"abc").hexdigest() == hashlib.sha256(b"abc").hexdigest()
 
+    @pytest.mark.slow
     @given(st.binary(max_size=2048))
     def test_property_matches_hashlib(self, message):
         assert sha256(message) == hashlib.sha256(message).digest()
@@ -139,6 +154,7 @@ class TestHmacDrbg:
             value = drbg.generate_int(bits)
             assert value.bit_length() == bits
 
+    @pytest.mark.slow
     def test_generate_below_uniform_range(self):
         drbg = HmacDrbg(b"s")
         values = [drbg.generate_below(10) for _ in range(500)]
@@ -149,6 +165,7 @@ class TestHmacDrbg:
         child = parent.fork(b"child")
         assert child.generate(16) != parent.generate(16)
 
+    @pytest.mark.slow
     @given(st.integers(min_value=1, max_value=10_000))
     def test_generate_below_in_range(self, bound):
         drbg = HmacDrbg(b"prop")

@@ -82,6 +82,21 @@ class TestRsaKeys:
         assert warm_drbg.generate(32) == cold_after
         assert warm_drbg.bytes_generated == cold_drbg.bytes_generated
 
+    @pytest.mark.slow
+    def test_keygen_1024_differential_across_backends(self):
+        """Full-width keygen, cache bypassed, under both crypto backends:
+        the prime search consumes a long DRBG stream, so this is the
+        deepest single exercise of backend stream equality."""
+        from repro.crypto.backend import use_backend
+        from repro.crypto.rsa import _generate_rsa_keypair
+
+        with use_backend("pure"):
+            pure = _generate_rsa_keypair(1024, HmacDrbg(b"slow-keygen"), 65537)
+        with use_backend("accel"):
+            accel = _generate_rsa_keypair(1024, HmacDrbg(b"slow-keygen"), 65537)
+        assert pure == accel
+        assert pure.public.bits >= 1023
+
     def test_roundtrip_raw(self, keypair):
         message = 123456789
         assert keypair.raw_decrypt(keypair.public.raw_encrypt(message)) == message
