@@ -1,0 +1,45 @@
+"""Experiment R2: availability and exactly-once under crash-stop shards.
+
+Regenerates the crash-rate sweep with the provider journal on and off.
+Expected shape: the journaled arm keeps 100% flow success, zero hung
+callers and zero duplicate executions at every crash rate, and the
+deterministic replay probe's resubmitted confirmation replays
+idempotently; the journal-off ablation re-executes the probe's transfer
+and its flow success degrades with the crash rate.
+"""
+
+from repro.bench.experiments import r2_crash_availability
+from repro.bench.tables import format_table
+
+
+def test_r2_crash_availability(benchmark):
+    rows = benchmark.pedantic(
+        lambda: r2_crash_availability(), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            "R2 — availability and exactly-once under crash-stop shards",
+            rows,
+            columns=[
+                "journal", "crash_rate", "flows", "goodput_rps",
+                "success_rate", "p95_latency_ms", "failed", "hung",
+                "resubmits", "denials_shard_down", "shed",
+                "dead_letters", "breaker_opens", "crashes",
+                "journal_restores", "duplicate_executions",
+                "probe_idempotent", "probe_duplicates", "wall_s",
+            ],
+            notes="journal on: idempotent replay, no duplicates; "
+            "journal off: the replay probe re-executes the transfer",
+        )
+    )
+    for row in rows:
+        assert row["hung"] == 0
+        assert row["duplicate_executions"] == 0
+        if row["journal"] == "on":
+            assert row["success_rate"] >= 0.99
+            assert row["probe_idempotent"] == 1
+            assert row["probe_duplicates"] == 0
+        else:
+            assert row["probe_idempotent"] == 0
+            assert row["probe_duplicates"] >= 1

@@ -16,6 +16,7 @@ from repro.bench.experiments.captcha_comparison import fig3_captcha_comparison
 from repro.bench.experiments.amortization import fig4_amortization
 from repro.bench.experiments.noncedb_scale import fig5_noncedb_scalability
 from repro.bench.experiments.ablation import a1_defense_ablation
+from repro.bench.experiments.availability import r2_crash_availability
 from repro.bench.experiments.robustness import r1_loss_robustness
 from repro.bench.experiments.sharding import f3s_sharded_scaling
 
@@ -32,4 +33,5 @@ __all__ = [
     "fig5_noncedb_scalability",
     "a1_defense_ablation",
     "r1_loss_robustness",
+    "r2_crash_availability",
 ]

@@ -150,7 +150,9 @@ def _run_one(
         "goodput_rps": in_window / duration,
         "success_rate": outcomes["ok"] / submitted if submitted else 1.0,
         "hung": submitted - resolved,
-        "dead_letters": endpoint.dead_letters,
+        # Read from the metrics registry (not the endpoint attribute) so
+        # R1 and R2 report dead letters through one uniform surface.
+        "dead_letters": sim.metrics.counter("rpc.dead_letters").value,
         "retransmits": endpoint.retransmits,
         "duplicate_requests": endpoint.duplicate_requests,
         "duplicate_executions": sum(

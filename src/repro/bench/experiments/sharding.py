@@ -96,6 +96,9 @@ def _run_one(
         sim, network, ROUTER_HOST, policy,
         shard_count=shards, workers_per_shard=1,
         verification_cache=cache_on,
+        # F3-S deliberately saturates a shard to trace the knee; queues
+        # must be allowed to grow, not shed (R2 owns the shedding arm).
+        max_shard_queue_depth=1_000_000_000,
     )
     for shard in router.shards:
         # Aggressive retention so the bounded store is visible within

@@ -1,6 +1,6 @@
 """Parallel experiment-matrix runner.
 
-The report's experiment matrix (T1–T4, F1–F5, F3-S, R1, A1/A2, E1–E3)
+The report's experiment matrix (T1–T4, F1–F5, F3-S, R1/R2, A1/A2, E1–E3)
 is a set of *independent deterministic simulations*: every cell builds
 its own :class:`~repro.sim.Simulator` from its own seed and never
 touches another cell's state.  Serial execution therefore wastes
@@ -36,6 +36,7 @@ from repro.bench.experiments import (
     fig4_amortization,
     fig5_noncedb_scalability,
     r1_loss_robustness,
+    r2_crash_availability,
     table1_tpm_microbench,
     table2_session_breakdown,
     table3_end_to_end,
@@ -133,6 +134,9 @@ def build_cells(smoke: bool = False) -> List[Cell]:
             Cell("r1", ("r1",), r1_loss_robustness,
                  dict(loss_rates=(0.0, 0.2), offered=100, workers=2,
                       duration=1.5, seed=SMOKE_SEED)),
+            Cell("r2", ("r2",), r2_crash_availability,
+                 dict(crash_rates=(0.0, 0.7), recovery_s=0.35, offered=120.0,
+                      duration=1.2, accounts=8, seed=SMOKE_SEED)),
             Cell("a1", ("a1",), a1_defense_ablation, dict(seed=SMOKE_SEED)),
             Cell("a2", ("a2",), a2_latency_hiding,
                  dict(repetitions=1, seed=SMOKE_SEED)),
@@ -159,6 +163,7 @@ def build_cells(smoke: bool = False) -> List[Cell]:
                   measure_kwargs={}, f4_kwargs={}, crossover_kwargs={})),
         Cell("f5", ("f5",), fig5_noncedb_scalability),
         Cell("r1", ("r1",), r1_loss_robustness),
+        Cell("r2", ("r2",), r2_crash_availability),
         Cell("a1", ("a1",), a1_defense_ablation),
         Cell("a2", ("a2",), a2_latency_hiding),
         Cell("e1", ("e1",), e1_attention_sweep),

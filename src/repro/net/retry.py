@@ -26,6 +26,12 @@ from typing import List, Optional
 #: can tell a transport failure from an application error.
 DEADLINE_ERROR_KEY = "rpc_dead_letter"
 
+#: Response key on a load-shed rejection: the server (or a router in
+#: front of it) refused the request because its queue was full.  Unlike
+#: a deadline error nothing was attempted — the call is safely
+#: retryable after backoff.
+RPC_OVERLOADED_KEY = "rpc_overloaded"
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -108,4 +114,12 @@ def deadline_error(attempts: int, deadline: float) -> dict:
             f"{attempts} transmission(s)"
         ),
         DEADLINE_ERROR_KEY: 1,
+    }
+
+
+def overload_error(host: str, depth: int) -> dict:
+    """The load-shed rejection: explicit, immediate, retryable."""
+    return {
+        "error": f"{host} overloaded (queue depth {depth})",
+        RPC_OVERLOADED_KEY: 1,
     }

@@ -242,6 +242,19 @@ class RpcEndpoint:
         self.response_cache_limit = 100_000
         self._stalled_until = 0.0
         self.worker_stalls = 0
+        # -- crash-stop state ----------------------------------------------
+        #: While crashed the endpoint is a black hole: inbound request
+        #: packets vanish, queued work is dropped, in-flight service is
+        #: abandoned.  Callers are resolved by their own RetryPolicy
+        #: deadlines — deterministically dead-lettered, never hung.
+        self._crashed = False
+        #: Incarnation counter: bumped on every crash so service-finish
+        #: events scheduled before the crash recognize they belong to a
+        #: dead process and do nothing on the restarted one.
+        self._epoch = 0
+        self.crashes = 0
+        self.restarts = 0
+        self.crash_dropped_requests = 0
         self.calls_submitted = 0
         self.retransmits = 0
         self.dead_letters = 0
@@ -318,6 +331,10 @@ class RpcEndpoint:
         ``rpc.request`` / ``rpc.service`` / ``rpc.response`` children
         (network transfers nest below as ``net.transfer``).
         """
+        if self._crashed:
+            # The TCP abstraction of a dead host: connection refused,
+            # immediately and unambiguously (no request was consumed).
+            raise RpcError(f"host {self.host} is down", transport=True)
         tracer = self.tracer
         with tracer.span(
             "rpc.call", method=method, host=self.host, caller=caller,
@@ -451,6 +468,7 @@ class RpcEndpoint:
                 if call.done:
                     return
                 self.dead_letters += 1
+                simulator.metrics.counter("rpc.dead_letters").increment()
                 finish(deadline_error(call.attempts, deadline))
 
             call.deadline_event = simulator.schedule(
@@ -461,6 +479,9 @@ class RpcEndpoint:
 
     def _receive_request(self, caller: str, packet: Message) -> None:
         """Server side: a request packet reached this host's inbox."""
+        if self._crashed:
+            self.crash_dropped_requests += 1
+            return
         call_id = packet.get("call", -1)
         cached = self._request_cache.get(call_id, _MISSING)
         if cached is not _MISSING:
@@ -490,6 +511,8 @@ class RpcEndpoint:
         self._pump()
 
     def _respond(self, caller: str, call_id: int, response: Message) -> None:
+        if self._crashed:
+            return  # a dead process sends nothing
         payload = encode_message({
             "kind": "resp", "call": call_id, "body": encode_message(response),
         })
@@ -498,6 +521,45 @@ class RpcEndpoint:
             while len(self._request_cache) > self.response_cache_limit:
                 self._request_cache.popitem(last=False)
         self.network.send(self.host, caller, payload)
+
+    # -- crash-stop fault hooks ---------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Fault hook: the host process dies right now.
+
+        Everything volatile goes with it: the request queue (those
+        callers dead-letter via their own deadlines), in-flight service
+        (the scheduled finish events are orphaned by the epoch bump),
+        and the request-dedup/response-replay cache — which is exactly
+        the loss a durable journal exists to compensate for.  Packets
+        already on the wire still arrive wherever they were headed;
+        packets addressed *to* a crashed host are dropped on arrival.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self._epoch += 1
+        self.crashes += 1
+        self.simulator.metrics.counter("rpc.crashes").increment()
+        tracer = self.tracer
+        for _, _, _, _, wait_span, _ in self._queue:
+            tracer.finish(wait_span)
+        self.crash_dropped_requests += len(self._queue)
+        self._queue.clear()
+        self._busy_workers = 0
+        self._request_cache.clear()
+        self._stalled_until = 0.0
+
+    def restart(self) -> None:
+        """The host comes back up with empty volatile state; new
+        requests are served again immediately."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.restarts += 1
 
     def stall_workers(self, duration: float) -> None:
         """Fault hook: freeze dispatch of *new* queued work for
@@ -516,7 +578,7 @@ class RpcEndpoint:
     def _pump(self) -> None:
         """Start serving queued requests while workers are free."""
         tracer = self.tracer
-        if self.simulator.clock.now < self._stalled_until:
+        if self._crashed or self.simulator.clock.now < self._stalled_until:
             return
         while self._busy_workers < self.workers and self._queue:
             caller, call_id, method, request, wait_span, call_span = (
@@ -528,6 +590,7 @@ class RpcEndpoint:
             service_span = tracer.begin(
                 "rpc.service", parent=call_span, method=method
             )
+            epoch = self._epoch
 
             def finish(
                 caller: str = caller,
@@ -535,7 +598,13 @@ class RpcEndpoint:
                 method: str = method,
                 request: Message = request,
                 service_span=service_span,
+                epoch: int = epoch,
             ) -> None:
+                if epoch != self._epoch:
+                    # The process serving this request died mid-service;
+                    # the work (and its worker slot) vanished with it.
+                    tracer.finish(service_span)
+                    return
                 response = self._dispatch(method, request, charge_time=False)
                 tracer.finish(service_span)
                 self._busy_workers -= 1

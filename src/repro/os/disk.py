@@ -28,6 +28,13 @@ class UntrustedDisk:
         self.writes += 1
         self._files[path] = bytes(data)
 
+    def append_file(self, path: str, data: bytes) -> None:
+        """Append to a file (created empty if absent).  Exists so a
+        write-ahead journal costs one append per record instead of
+        rewriting the whole file."""
+        self.writes += 1
+        self._files[path] = self._files.get(path, b"") + bytes(data)
+
     def read_file(self, path: str) -> Optional[bytes]:
         self.reads += 1
         return self._files.get(path)

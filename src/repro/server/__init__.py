@@ -22,7 +22,14 @@ from repro.server.bank import BankServer
 from repro.server.noncedb import NonceDatabase, NonceState
 from repro.server.policy import VerifierPolicy
 from repro.server.provider import ServiceProvider, TxStatus
-from repro.server.router import HashRing, ProviderRouter, build_sharded_pool
+from repro.server.journal import JournalError, ProviderJournal
+from repro.server.router import (
+    DENIAL_SHARD_DOWN,
+    CircuitBreaker,
+    HashRing,
+    ProviderRouter,
+    build_sharded_pool,
+)
 from repro.server.shop import ShopServer
 from repro.server.verifier import (
     AttestationVerifier,
@@ -44,4 +51,8 @@ __all__ = [
     "HashRing",
     "ProviderRouter",
     "build_sharded_pool",
+    "CircuitBreaker",
+    "DENIAL_SHARD_DOWN",
+    "ProviderJournal",
+    "JournalError",
 ]

@@ -11,7 +11,7 @@ from typing import Dict, List
 
 from repro.core.errors import ProtocolError
 from repro.core.transaction import Transaction
-from repro.net.messages import Message
+from repro.net.messages import Message, decode_message, encode_message
 from repro.server.provider import AccountRecord, ServiceProvider
 
 DEFAULT_OPENING_BALANCE_CENTS = 500_000  # 5000.00
@@ -64,6 +64,40 @@ class BankServer(ServiceProvider):
             Transfer(source=source, destination=destination, amount_cents=amount)
         )
         return f"transferred {amount} cents {source}->{destination}"
+
+    # -- durability hooks --------------------------------------------------
+    def capture_business_state(self) -> Message:
+        """Ledger state for the provider journal snapshot: balances in
+        insertion order plus the executed-transfer log (the log is what
+        the R2 ablation counts duplicate executions in)."""
+        return {
+            "bal": [
+                encode_message({"a": name, "v": cents})
+                for name, cents in self.balances.items()
+            ],
+            "xf": [
+                encode_message({
+                    "s": transfer.source,
+                    "d": transfer.destination,
+                    "v": transfer.amount_cents,
+                })
+                for transfer in self.executed_transfers
+            ],
+        }
+
+    def restore_business_state(self, state: Message) -> None:
+        self.balances = {
+            str(msg["a"]): int(msg["v"])
+            for msg in map(decode_message, state["bal"])
+        }
+        self.executed_transfers = [
+            Transfer(
+                source=str(msg["s"]),
+                destination=str(msg["d"]),
+                amount_cents=int(msg["v"]),
+            )
+            for msg in map(decode_message, state["xf"])
+        ]
 
     # -- experiment accessors ----------------------------------------------
     def balance_of(self, account: str) -> int:

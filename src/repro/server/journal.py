@@ -1,0 +1,127 @@
+"""Write-ahead journal + snapshot: provider durability across crashes.
+
+A :class:`~repro.server.provider.ServiceProvider` that survives a
+crash-stop failure must bring back everything its security argument
+rests on: the nonce database (single-use freshness — the replay
+defense), session cookie grants and evictions, transaction settlement
+with the evidence digest and final response (exactly-once confirms),
+and the per-account monotonic counter (anti-rollback).  This module is
+the persistence layer for that state, on the simulated
+:class:`~repro.os.disk.UntrustedDisk`:
+
+* **Records** are appended as the provider mutates state — one
+  canonically encoded message per mutation, length-prefixed in a single
+  WAL file, each carrying the provider's post-operation DRBG states so
+  a restore resumes the *exact* randomness stream (future nonces and
+  cookies mint bit-identically to an uncrashed run).
+* **Snapshots** bound replay time: every ``snapshot_every`` appends the
+  provider's full captured state replaces the snapshot file and the WAL
+  truncates.  Restore = load snapshot, replay the WAL tail.
+
+Disk writes are modeled as atomic and durable (the simulated disk has
+no partial-write failure mode); what the crash destroys is *memory* —
+and, deliberately, the RPC layer's request-dedup/response cache, which
+is exactly the loss the journaled ``final_response`` compensates for.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.os.disk import UntrustedDisk
+
+#: WAL framing: u32 record length, record bytes.
+_LEN = struct.Struct(">I")
+#: Timestamp encoding: the wire format (`repro.net.messages`) has no
+#: float tag, so virtual times travel as exact big-endian float64.
+_F64 = struct.Struct(">d")
+
+
+class JournalError(RuntimeError):
+    """Corrupt or unreadable journal state."""
+
+
+def pack_time(value: Optional[float]) -> bytes:
+    """Encode a virtual timestamp (``None`` -> empty, exact otherwise)."""
+    if value is None:
+        return b""
+    return _F64.pack(value)
+
+
+def unpack_time(raw: bytes) -> Optional[float]:
+    """Inverse of :func:`pack_time`: empty bytes decode to ``None``."""
+    if not raw:
+        return None
+    return _F64.unpack(raw)[0]
+
+
+class ProviderJournal:
+    """One provider's durable WAL + snapshot pair on a simulated disk.
+
+    The journal is storage-only: it knows how to persist opaque record
+    and snapshot blobs, not what they mean.  The provider owns the
+    record vocabulary (see ``ServiceProvider._replay_record``).
+    """
+
+    def __init__(
+        self,
+        disk: UntrustedDisk,
+        host: str,
+        snapshot_every: int = 256,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1: {snapshot_every}")
+        self.disk = disk
+        self.host = host
+        self.wal_path = f"journal/{host}.wal"
+        self.snapshot_path = f"journal/{host}.snap"
+        self.snapshot_every = snapshot_every
+        self._since_snapshot = 0
+        self.appends = 0
+        self.snapshots = 0
+
+    # -- write side ---------------------------------------------------------
+    def append(self, record: bytes) -> None:
+        """Durably append one encoded record to the WAL."""
+        self.disk.append_file(self.wal_path, _LEN.pack(len(record)) + record)
+        self.appends += 1
+        self._since_snapshot += 1
+
+    @property
+    def snapshot_due(self) -> bool:
+        return self._since_snapshot >= self.snapshot_every
+
+    def write_snapshot(self, state: bytes) -> None:
+        """Replace the snapshot and truncate the WAL it supersedes."""
+        self.disk.write_file(self.snapshot_path, state)
+        self.disk.write_file(self.wal_path, b"")
+        self.snapshots += 1
+        self._since_snapshot = 0
+
+    # -- read side ----------------------------------------------------------
+    def read_snapshot(self) -> Optional[bytes]:
+        return self.disk.read_file(self.snapshot_path)
+
+    def read_records(self) -> List[bytes]:
+        """Every WAL record appended since the last snapshot, in order."""
+        raw = self.disk.read_file(self.wal_path) or b""
+        records: List[bytes] = []
+        offset = 0
+        while offset < len(raw):
+            if offset + _LEN.size > len(raw):
+                raise JournalError(f"truncated WAL header in {self.wal_path}")
+            (length,) = _LEN.unpack_from(raw, offset)
+            offset += _LEN.size
+            if offset + length > len(raw):
+                raise JournalError(f"truncated WAL record in {self.wal_path}")
+            records.append(raw[offset : offset + length])
+            offset += length
+        return records
+
+    def stats(self) -> dict:
+        return {
+            "appends": self.appends,
+            "snapshots": self.snapshots,
+            "wal_bytes": len(self.disk.read_file(self.wal_path) or b""),
+        }

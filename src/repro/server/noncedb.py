@@ -117,6 +117,50 @@ class NonceDatabase:
         self.invalidated += 1
         return True
 
+    # -- durability support (journal replay / snapshot restore) ----------
+    @property
+    def drbg(self) -> HmacDrbg:
+        """The minting DRBG — exposed so a provider journal can capture
+        and restore its exact state across a crash."""
+        return self._drbg
+
+    def replay_issue(self, nonce: bytes, tx_id: bytes, now: float) -> None:
+        """Journal replay of one :meth:`issue`: recreate the recorded
+        nonce *without* consuming DRBG randomness, with the same
+        accounting and the same opportunistic eviction sweep."""
+        self._records[nonce] = _NonceRecord(
+            tx_id=tx_id, issued_at=now, expires_at=now + self.lifetime_seconds
+        )
+        self.issued += 1
+        self._maybe_evict(now)
+
+    def export_records(self) -> list:
+        """Snapshot capture: every record as a plain tuple, in insertion
+        order (the order eviction sweeps iterate in)."""
+        return [
+            (nonce, r.tx_id, r.issued_at, r.expires_at, int(r.consumed))
+            for nonce, r in self._records.items()
+        ]
+
+    def import_records(self, records: list, last_eviction: float) -> None:
+        """Snapshot restore: replace the record set wholesale."""
+        self._records = {
+            nonce: _NonceRecord(
+                tx_id=tx_id, issued_at=issued_at,
+                expires_at=expires_at, consumed=bool(consumed),
+            )
+            for nonce, tx_id, issued_at, expires_at, consumed in records
+        }
+        self._last_eviction = last_eviction
+
+    def wipe(self) -> None:
+        """Crash-stop: the in-memory record set is simply gone."""
+        self._records.clear()
+
+    @property
+    def last_eviction(self) -> float:
+        return self._last_eviction
+
     def _maybe_evict(self, now: float) -> None:
         if now - self._last_eviction < self.eviction_interval:
             return

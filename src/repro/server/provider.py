@@ -33,9 +33,16 @@ from repro.core.protocol import (
 from repro.core.transaction import Transaction
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import RsaPublicKey
-from repro.net.messages import Message
+from repro.net.messages import Message, decode_message, encode_message
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
+from repro.os.disk import UntrustedDisk
+from repro.server.journal import (
+    JournalError,
+    ProviderJournal,
+    pack_time,
+    unpack_time,
+)
 from repro.server.noncedb import NonceDatabase, NonceState
 from repro.server.policy import VerifierPolicy
 from repro.server.verifier import (
@@ -45,7 +52,11 @@ from repro.server.verifier import (
     VerificationResult,
 )
 from repro.sim.kernel import Simulator
-from repro.tpm.ca import AikCertificate, deserialize_certificate
+from repro.tpm.ca import (
+    AikCertificate,
+    deserialize_certificate,
+    serialize_certificate,
+)
 from repro.tpm.quote import QuoteBundle
 
 
@@ -196,6 +207,16 @@ class ServiceProvider:
         self.transactions_retired = 0
         self.batches_retired = 0
         self.transactions_peak = 0
+        # -- durability (crash-stop recovery) -------------------------------
+        #: Write-ahead journal; None means volatile (a crash loses the
+        #: nonce DB, sessions, transactions and counters — the R2
+        #: ablation arm).  Attach with :meth:`attach_journal`.
+        self.journal: Optional[ProviderJournal] = None
+        self._replaying = False
+        self.crashes = 0
+        self.restarts = 0
+        self.journal_restores = 0
+        self.records_replayed = 0
         self._register_handlers()
 
     def enable_tls(self) -> None:
@@ -251,6 +272,7 @@ class ServiceProvider:
         record = AccountRecord(name=name, password=str(request["password"]))
         self.accounts[name] = record
         self.on_account_created(record, request)
+        self._journal_append({"t": "reg", "req": encode_message(request)})
         return {"ok": 1}
 
     def _handle_login(self, request: Message) -> Message:
@@ -265,6 +287,7 @@ class ServiceProvider:
         cookie = self._drbg.generate(16)
         record.cookie = cookie
         self._cookies[cookie] = record.name
+        self._journal_append({"t": "login", "a": record.name, "c": cookie})
         return {"ok": 1, "set_session": cookie}
 
     def _authenticate(self, request: Message) -> AccountRecord:
@@ -293,6 +316,9 @@ class ServiceProvider:
         if not result.ok:
             return self._denial_response(result)
         record.aik_certificate = certificate
+        self._journal_append(
+            {"t": "cert", "a": record.name, "cert": request["aik_certificate"]}
+        )
         return {"ok": 1}
 
     def _handle_setup_begin(self, request: Message) -> Message:
@@ -301,6 +327,7 @@ class ServiceProvider:
             return {"error": "enroll an AIK certificate first"}
         nonce = self._drbg.generate(20)
         record.pending_setup_nonce = nonce
+        self._journal_append({"t": "sbegin", "a": record.name, "n": nonce})
         return {"ok": 1, "nonce": nonce}
 
     def _handle_setup_complete(self, request: Message) -> Message:
@@ -320,9 +347,22 @@ class ServiceProvider:
         )
         record.pending_setup_nonce = None
         if not result.ok:
+            self._journal_append({"t": "skey", "a": record.name})
             return self._denial_response(result)
         record.registered_key = public_key
+        self._journal_append(
+            {"t": "skey", "a": record.name, "k": request["public_key"]}
+        )
         return {"ok": 1}
+
+    def register_signing_key(self, account: str, public_key: RsaPublicKey) -> None:
+        """Experiment/test shortcut for the setup phase: install a
+        confirmed signing key directly.  Journaled like a completed
+        ``tp.setup_complete``, so it survives a crash the same way."""
+        self.accounts[account].registered_key = public_key
+        self._journal_append(
+            {"t": "skey", "a": account, "k": public_key.to_bytes()}
+        )
 
     # ------------------------------------------------------------------
     # Transactions
@@ -346,6 +386,10 @@ class ServiceProvider:
             issued_at=now,
         )
         self.transactions_peak = max(self.transactions_peak, len(self.transactions))
+        self._journal_append({
+            "t": "txreq", "id": tx_id, "n": nonce,
+            "at": pack_time(now), "tx": transaction.canonical_bytes(),
+        })
         return {"ok": 1, "tx_id": tx_id, "nonce": nonce, "text": canonical_text}
 
     def _handle_tx_confirm(self, request: Message) -> Message:
@@ -395,10 +439,12 @@ class ServiceProvider:
         counter = request.get("counter", -1)
         if self.policy.require_monotonic_counter:
             if not isinstance(counter, int) or counter <= record.last_counter:
-                return self._deny(
+                response = self._deny(
                     pending,
                     f"counter rollback ({counter} <= {record.last_counter})",
                 )
+                self._journal_settle(pending, consumed=0)
+                return response
 
         if self.policy.check_nonce_freshness:
             accepted, state = self.nonces.consume(
@@ -416,38 +462,49 @@ class ServiceProvider:
                     pending.status = TxStatus.EXPIRED
                     pending.detail = "nonce expired; re-challenge required"
                     pending.settled_at = self.simulator.now
+                    self._journal_settle(pending, consumed=1)
                     return {
                         "error": "nonce expired: re-challenge required",
                         "rechallenge": 1,
                     }
-                return self._finalize(
+                response = self._finalize(
                     pending, digest, self._deny(pending, f"nonce {state.value}")
                 )
+                self._journal_settle(pending, consumed=1)
+                return response
 
         result = self._verify_evidence(pending, request, decision)
         if not result.ok:
-            return self._finalize(
+            response = self._finalize(
                 pending, digest, self._deny(pending, result.failure.value)
             )
+            self._journal_settle(pending, consumed=1)
+            return response
         if self.policy.require_monotonic_counter:
             record.last_counter = int(counter)
 
         if decision == b"reject":
             pending.status = TxStatus.REJECTED_BY_USER
             pending.settled_at = self.simulator.now
-            return self._finalize(
+            response = self._finalize(
                 pending, digest, {"ok": 1, "status": pending.status.value}
             )
+            self._journal_settle(
+                pending, consumed=1, counter_account=record.name
+            )
+            return response
 
         receipt = self.execute_transaction(pending.transaction)
         pending.status = TxStatus.EXECUTED
         pending.detail = receipt
         pending.settled_at = self.simulator.now
-        return self._finalize(
+        response = self._finalize(
             pending,
             digest,
             {"ok": 1, "status": pending.status.value, "receipt": receipt},
         )
+        self._journal_settle(pending, consumed=1, counter_account=record.name)
+        return response
 
     def _handle_tx_rechallenge(self, request: Message) -> Message:
         """Reissue the confirmation challenge for a live transaction.
@@ -479,6 +536,10 @@ class ServiceProvider:
         pending.detail = ""
         pending.settled_at = None
         self.rechallenges_issued += 1
+        self._journal_append({
+            "t": "rechal", "id": pending.tx_id, "n": pending.nonce,
+            "at": pack_time(now),
+        })
         return {
             "ok": 1,
             "tx_id": pending.tx_id,
@@ -512,6 +573,10 @@ class ServiceProvider:
             member.detail = ""
             member.settled_at = None
         self.rechallenges_issued += 1
+        self._journal_append({
+            "t": "brechal", "id": batch.batch_id, "n": batch.nonce,
+            "at": pack_time(now),
+        })
         return {
             "ok": 1,
             "tx_id": batch.batch_id,
@@ -615,8 +680,7 @@ class ServiceProvider:
         batch_id = self._drbg.generate(16)
         nonce = self.nonces.issue(batch_id, now)
         tx_ids = []
-        lines = [f"BATCH CONFIRMATION — {len(transactions)} transactions", ""]
-        for position, transaction in enumerate(transactions, start=1):
+        for transaction in transactions:
             tx_id = self._drbg.generate(16)
             tx_ids.append(tx_id)
             self.transactions[tx_id] = PendingTransaction(
@@ -626,9 +690,7 @@ class ServiceProvider:
                 nonce=nonce,
                 issued_at=now,
             )
-            lines.append(f"--- [{position}/{len(transactions)}] ---")
-            lines.extend(transaction.display_lines())
-        canonical_text = "\n".join(lines).encode("utf-8")
+        canonical_text = self._render_batch_text(transactions)
         self.batches[batch_id] = PendingBatch(
             batch_id=batch_id,
             tx_ids=tx_ids,
@@ -638,12 +700,28 @@ class ServiceProvider:
             account=record.name,
         )
         self.transactions_peak = max(self.transactions_peak, len(self.transactions))
+        self._journal_append({
+            "t": "breq", "id": batch_id, "n": nonce, "at": pack_time(now),
+            "a": record.name, "ids": list(tx_ids),
+            "txs": [t.canonical_bytes() for t in transactions],
+        })
         return {
             "ok": 1,
             "tx_id": batch_id,  # challenge shape shared with tx.request
             "nonce": nonce,
             "text": canonical_text,
         }
+
+    @staticmethod
+    def _render_batch_text(transactions) -> bytes:
+        """The server-authoritative rendering of a batch challenge —
+        shared by the live handler and journal replay, so a restored
+        batch binds evidence to byte-identical text."""
+        lines = [f"BATCH CONFIRMATION — {len(transactions)} transactions", ""]
+        for position, transaction in enumerate(transactions, start=1):
+            lines.append(f"--- [{position}/{len(transactions)}] ---")
+            lines.extend(transaction.display_lines())
+        return "\n".join(lines).encode("utf-8")
 
     def _handle_tx_confirm_batch(self, request: Message) -> Message:
         """Verify one evidence blob; execute every member or none.
@@ -683,10 +761,12 @@ class ServiceProvider:
         counter = request.get("counter", -1)
         if self.policy.require_monotonic_counter:
             if not isinstance(counter, int) or counter <= record.last_counter:
-                return self._deny_batch(
+                response = self._deny_batch(
                     batch,
                     f"counter rollback ({counter} <= {record.last_counter})",
                 )
+                self._journal_settle_batch(batch, consumed=0)
+                return response
 
         if self.policy.check_nonce_freshness:
             accepted, state = self.nonces.consume(
@@ -707,13 +787,16 @@ class ServiceProvider:
                         member.status = TxStatus.EXPIRED
                         member.detail = batch.detail
                         member.settled_at = now
+                    self._journal_settle_batch(batch, consumed=1)
                     return {
                         "error": "nonce expired: re-challenge required",
                         "rechallenge": 1,
                     }
-                return self._finalize_batch(
+                response = self._finalize_batch(
                     batch, digest, self._deny_batch(batch, f"nonce {state.value}")
                 )
+                self._journal_settle_batch(batch, consumed=1)
+                return response
 
         # Reuse the single-transaction evidence check against the batch
         # text: the digest covers the whole rendered batch.
@@ -726,9 +809,11 @@ class ServiceProvider:
         )
         result = self._verify_evidence(proxy, request, decision)
         if not result.ok:
-            return self._finalize_batch(
+            response = self._finalize_batch(
                 batch, digest, self._deny_batch(batch, result.failure.value)
             )
+            self._journal_settle_batch(batch, consumed=1)
+            return response
         if self.policy.require_monotonic_counter:
             record.last_counter = int(counter)
 
@@ -740,9 +825,13 @@ class ServiceProvider:
                 member = self.transactions[tx_id]
                 member.status = TxStatus.REJECTED_BY_USER
                 member.settled_at = now
-            return self._finalize_batch(
+            response = self._finalize_batch(
                 batch, digest, {"ok": 1, "status": batch.status.value}
             )
+            self._journal_settle_batch(
+                batch, consumed=1, counter_account=record.name
+            )
+            return response
 
         receipts = []
         for tx_id in batch.tx_ids:
@@ -753,11 +842,13 @@ class ServiceProvider:
         batch.status = TxStatus.EXECUTED
         batch.detail = "; ".join(receipts)
         batch.settled_at = now
-        return self._finalize_batch(
+        response = self._finalize_batch(
             batch,
             digest,
             {"ok": 1, "status": batch.status.value, "receipt": batch.detail},
         )
+        self._journal_settle_batch(batch, consumed=1, counter_account=record.name)
+        return response
 
     def _finalize_batch(
         self, batch: PendingBatch, digest: bytes, response: Message
@@ -797,6 +888,10 @@ class ServiceProvider:
             pending.status = TxStatus.EXPIRED
             pending.detail = "confirmation never arrived"
             pending.settled_at = self.simulator.now
+            self._journal_append({
+                "t": "expire", "id": pending.tx_id,
+                "at": pack_time(pending.settled_at),
+            })
 
     def _expire_batch_if_stale(self, batch: PendingBatch) -> None:
         if batch.status is not TxStatus.PENDING:
@@ -805,6 +900,10 @@ class ServiceProvider:
             batch.status = TxStatus.EXPIRED
             batch.detail = "confirmation never arrived"
             batch.settled_at = self.simulator.now
+            self._journal_append({
+                "t": "bexpire", "id": batch.batch_id,
+                "at": pack_time(batch.settled_at),
+            })
 
     def expire_stale_transactions(self) -> int:
         """Sweep: mark overdue PENDING transactions/batches EXPIRED."""
@@ -828,6 +927,7 @@ class ServiceProvider:
         O(active + recent), not O(lifetime).
         """
         now = self.simulator.now if now is None else now
+        self._journal_append({"t": "retire", "at": pack_time(now)})
         horizon = now - self.settled_retention_seconds
         dead_tx = [
             tx_id
@@ -853,6 +953,9 @@ class ServiceProvider:
         if now - self._last_store_sweep < self.store_sweep_interval:
             return
         self._last_store_sweep = now
+        # The sweep's *mutations* journal themselves (expire/retire
+        # records); this marker only replays the rate-limiter state.
+        self._journal_append({"t": "sweepmark", "at": pack_time(now)})
         self.expire_stale_transactions()
         self.retire_settled(now)
 
@@ -867,6 +970,545 @@ class ServiceProvider:
         reason = result.failure.value
         self.denials[reason] = self.denials.get(reason, 0) + 1
         return {"error": f"denied: {reason}"}
+
+    # ------------------------------------------------------------------
+    # Durability: write-ahead journal, snapshots, crash-stop recovery
+    # ------------------------------------------------------------------
+    def attach_journal(
+        self, disk: UntrustedDisk, snapshot_every: int = 256
+    ) -> ProviderJournal:
+        """Make this provider durable: every protocol-state mutation is
+        journaled to ``disk`` and a crash's :meth:`restart` rebuilds the
+        shard bit-identically via :meth:`restore_from_journal`.  Writes
+        a baseline snapshot immediately so restore always has a floor."""
+        self.journal = ProviderJournal(disk, self.host, snapshot_every=snapshot_every)
+        self.journal.write_snapshot(encode_message(self.capture_state()))
+        return self.journal
+
+    def journal_stats(self) -> Dict[str, int]:
+        return {} if self.journal is None else self.journal.stats()
+
+    def _journal_append(self, record: Message) -> None:
+        """Durably record one state mutation.  Each record carries the
+        *post-operation* states of both DRBGs (provider ids/cookies and
+        nonce minting) so a restored shard resumes the exact randomness
+        streams — future nonces mint bit-identically to an uncrashed
+        run, which is what makes the replay defense survive a crash."""
+        if self.journal is None or self._replaying:
+            return
+        record["sdk"], record["sdv"], record["sdn"] = self._drbg.snapshot()
+        record["ndk"], record["ndv"], record["ndn"] = self.nonces.drbg.snapshot()
+        self.journal.append(encode_message(record))
+        if self.journal.snapshot_due:
+            self.journal.write_snapshot(encode_message(self.capture_state()))
+
+    def _journal_settle(
+        self,
+        pending: PendingTransaction,
+        consumed: int,
+        counter_account: Optional[str] = None,
+    ) -> None:
+        """Journal a transaction leaving PENDING: final status/detail,
+        the idempotent-replay material (evidence digest + response), and
+        whether the nonce-consume attempt must be replayed (``cd``)."""
+        if self.journal is None or self._replaying:
+            return
+        record: Message = {
+            "t": "settle",
+            "id": pending.tx_id,
+            "st": pending.status.value,
+            "dt": pending.detail,
+            "at": pack_time(pending.settled_at),
+            # consume is only *attempted* when the policy checks
+            # freshness; replay must mirror the attempt, not assume it.
+            "cd": consumed if self.policy.check_nonce_freshness else 0,
+        }
+        if pending.evidence_digest is not None:
+            record["dg"] = pending.evidence_digest
+        if pending.final_response is not None:
+            record["fr"] = encode_message(pending.final_response)
+        if counter_account is not None and self.policy.require_monotonic_counter:
+            record["a"] = counter_account
+            record["ctr"] = self.accounts[counter_account].last_counter
+        self._journal_append(record)
+
+    def _journal_settle_batch(
+        self,
+        batch: PendingBatch,
+        consumed: int,
+        counter_account: Optional[str] = None,
+    ) -> None:
+        if self.journal is None or self._replaying:
+            return
+        record: Message = {
+            "t": "bsettle",
+            "id": batch.batch_id,
+            "st": batch.status.value,
+            "dt": batch.detail,
+            "at": pack_time(batch.settled_at),
+            "cd": consumed if self.policy.check_nonce_freshness else 0,
+        }
+        if batch.evidence_digest is not None:
+            record["dg"] = batch.evidence_digest
+        if batch.final_response is not None:
+            record["fr"] = encode_message(batch.final_response)
+        if counter_account is not None and self.policy.require_monotonic_counter:
+            record["a"] = counter_account
+            record["ctr"] = self.accounts[counter_account].last_counter
+        self._journal_append(record)
+
+    # -- state capture / restore ----------------------------------------
+    def capture_business_state(self) -> Message:
+        """Subclass hook: business-side durable state (ledger...)."""
+        return {}
+
+    def restore_business_state(self, state: Message) -> None:
+        """Subclass hook: inverse of :meth:`capture_business_state`."""
+
+    def capture_state(self) -> Message:
+        """The provider's complete protocol state as two canonical
+        blobs: ``core`` (everything the security argument rests on —
+        hashed by :meth:`state_digest`) and ``stats`` (observability
+        counters, restored but excluded from the identity check)."""
+        accounts = []
+        for record in self.accounts.values():
+            msg: Message = {
+                "n": record.name,
+                "p": record.password,
+                "ctr": record.last_counter,
+            }
+            if record.cookie is not None:
+                msg["c"] = record.cookie
+            if record.aik_certificate is not None:
+                msg["cert"] = serialize_certificate(record.aik_certificate)
+            if record.registered_key is not None:
+                msg["k"] = record.registered_key.to_bytes()
+            if record.pending_setup_nonce is not None:
+                msg["sn"] = record.pending_setup_nonce
+            accounts.append(encode_message(msg))
+        nonce_records = [
+            encode_message({
+                "v": nonce, "tx": tx_id, "ia": pack_time(issued_at),
+                "ea": pack_time(expires_at), "cd": consumed,
+            })
+            for nonce, tx_id, issued_at, expires_at, consumed
+            in self.nonces.export_records()
+        ]
+        txs = []
+        for pending in self.transactions.values():
+            msg = {
+                "id": pending.tx_id,
+                "tx": pending.transaction.canonical_bytes(),
+                "ct": pending.canonical_text,
+                "n": pending.nonce,
+                "ia": pack_time(pending.issued_at),
+                "st": pending.status.value,
+                "dt": pending.detail,
+                "sa": pack_time(pending.settled_at),
+            }
+            if pending.evidence_digest is not None:
+                msg["dg"] = pending.evidence_digest
+            if pending.final_response is not None:
+                msg["fr"] = encode_message(pending.final_response)
+            txs.append(encode_message(msg))
+        batches = []
+        for batch in self.batches.values():
+            msg = {
+                "id": batch.batch_id,
+                "ids": list(batch.tx_ids),
+                "ct": batch.canonical_text,
+                "n": batch.nonce,
+                "ia": pack_time(batch.issued_at),
+                "a": batch.account,
+                "st": batch.status.value,
+                "dt": batch.detail,
+                "sa": pack_time(batch.settled_at),
+            }
+            if batch.evidence_digest is not None:
+                msg["dg"] = batch.evidence_digest
+            if batch.final_response is not None:
+                msg["fr"] = encode_message(batch.final_response)
+            batches.append(encode_message(msg))
+        sdk, sdv, sdn = self._drbg.snapshot()
+        ndk, ndv, ndn = self.nonces.drbg.snapshot()
+        core: Message = {
+            "accounts": accounts,
+            "nonces": nonce_records,
+            "nle": pack_time(self.nonces.last_eviction),
+            "txs": txs,
+            "batches": batches,
+            "sweep_at": pack_time(self._last_store_sweep),
+            "sdk": sdk, "sdv": sdv, "sdn": sdn,
+            "ndk": ndk, "ndv": ndv, "ndn": ndn,
+            "biz": encode_message(self.capture_business_state()),
+        }
+        stats: Message = {
+            "denials": [
+                encode_message({"r": reason, "c": count})
+                for reason, count in self.denials.items()
+            ],
+            "ri": self.rechallenges_issued,
+            "rr": self.rechallenges_required,
+            "dc": self.duplicate_confirms,
+            "ci": self.cookies_invalidated,
+            "tr": self.transactions_retired,
+            "br": self.batches_retired,
+            "tp": self.transactions_peak,
+            "ni": self.nonces.issued,
+            "nc": self.nonces.consumed,
+            "nrr": self.nonces.rejected_replays,
+            "nre": self.nonces.rejected_expired,
+            "nru": self.nonces.rejected_unknown,
+            "nev": self.nonces.evictions,
+            "niv": self.nonces.invalidated,
+        }
+        return {"core": encode_message(core), "stats": encode_message(stats)}
+
+    def state_digest(self) -> bytes:
+        """Digest of the security-relevant state (accounts, sessions,
+        nonce DB, transactions, DRBG streams, business ledger).  Two
+        shards with equal digests will behave identically forever —
+        the acceptance check for journal-recovery bit-identity."""
+        return hashlib.sha256(self.capture_state()["core"]).digest()
+
+    def restore_state(self, state: Message) -> None:
+        core = decode_message(state["core"])
+        stats = decode_message(state["stats"])
+        self.accounts = {}
+        self._cookies = {}
+        for encoded in core["accounts"]:
+            msg = decode_message(encoded)
+            record = AccountRecord(
+                name=str(msg["n"]),
+                password=str(msg["p"]),
+                last_counter=int(msg["ctr"]),
+            )
+            if "c" in msg:
+                record.cookie = msg["c"]
+                self._cookies[record.cookie] = record.name
+            if "cert" in msg:
+                record.aik_certificate = deserialize_certificate(msg["cert"])
+            if "k" in msg:
+                record.registered_key = RsaPublicKey.from_bytes(msg["k"])
+            if "sn" in msg:
+                record.pending_setup_nonce = msg["sn"]
+            self.accounts[record.name] = record
+        self.nonces.import_records(
+            [
+                (m["v"], m["tx"], unpack_time(m["ia"]),
+                 unpack_time(m["ea"]), int(m["cd"]))
+                for m in map(decode_message, core["nonces"])
+            ],
+            unpack_time(core["nle"]) or 0.0,
+        )
+        self.transactions = {}
+        for encoded in core["txs"]:
+            msg = decode_message(encoded)
+            pending = PendingTransaction(
+                tx_id=msg["id"],
+                transaction=Transaction.from_canonical_bytes(msg["tx"]),
+                canonical_text=msg["ct"],
+                nonce=msg["n"],
+                issued_at=unpack_time(msg["ia"]) or 0.0,
+                status=TxStatus(str(msg["st"])),
+                detail=str(msg["dt"]),
+                settled_at=unpack_time(msg["sa"]),
+            )
+            if "dg" in msg:
+                pending.evidence_digest = msg["dg"]
+            if "fr" in msg:
+                pending.final_response = decode_message(msg["fr"])
+            self.transactions[pending.tx_id] = pending
+        self.batches = {}
+        for encoded in core["batches"]:
+            msg = decode_message(encoded)
+            batch = PendingBatch(
+                batch_id=msg["id"],
+                tx_ids=list(msg["ids"]),
+                canonical_text=msg["ct"],
+                nonce=msg["n"],
+                issued_at=unpack_time(msg["ia"]) or 0.0,
+                account=str(msg["a"]),
+                status=TxStatus(str(msg["st"])),
+                detail=str(msg["dt"]),
+                settled_at=unpack_time(msg["sa"]),
+            )
+            if "dg" in msg:
+                batch.evidence_digest = msg["dg"]
+            if "fr" in msg:
+                batch.final_response = decode_message(msg["fr"])
+            self.batches[batch.batch_id] = batch
+        self._last_store_sweep = unpack_time(core["sweep_at"]) or 0.0
+        self._drbg.restore((core["sdk"], core["sdv"], int(core["sdn"])))
+        self.nonces.drbg.restore((core["ndk"], core["ndv"], int(core["ndn"])))
+        self.restore_business_state(decode_message(core["biz"]))
+        self.denials = {}
+        for encoded in stats["denials"]:
+            msg = decode_message(encoded)
+            self.denials[str(msg["r"])] = int(msg["c"])
+        self.rechallenges_issued = int(stats["ri"])
+        self.rechallenges_required = int(stats["rr"])
+        self.duplicate_confirms = int(stats["dc"])
+        self.cookies_invalidated = int(stats["ci"])
+        self.transactions_retired = int(stats["tr"])
+        self.batches_retired = int(stats["br"])
+        self.transactions_peak = int(stats["tp"])
+        self.nonces.issued = int(stats["ni"])
+        self.nonces.consumed = int(stats["nc"])
+        self.nonces.rejected_replays = int(stats["nrr"])
+        self.nonces.rejected_expired = int(stats["nre"])
+        self.nonces.rejected_unknown = int(stats["nru"])
+        self.nonces.evictions = int(stats["nev"])
+        self.nonces.invalidated = int(stats["niv"])
+
+    # -- crash-stop lifecycle -------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop: the process is gone.  The RPC endpoint drops its
+        queue and dedup cache; every piece of protocol state the
+        provider keeps in RAM — sessions, setup nonces, anti-rollback
+        counters, the nonce DB, pending and settled transactions — dies
+        with it.  The account registry (credentials, enrolled certs and
+        keys) and the business ledger model a conventional durable user
+        DB and survive; they are not what the paper's defense rests on.
+        """
+        if self.endpoint.crashed:
+            return
+        self.endpoint.crash()
+        self.crashes += 1
+        self.simulator.metrics.counter("provider.crashes").increment()
+        self._cookies.clear()
+        for record in self.accounts.values():
+            record.cookie = None
+            record.pending_setup_nonce = None
+            record.last_counter = 0
+        self.transactions.clear()
+        self.batches.clear()
+        self.nonces.wipe()
+        self._last_store_sweep = 0.0
+
+    def restart(self) -> None:
+        """Bring the process back.  With a journal attached the shard is
+        rebuilt bit-identically; without one it serves again from the
+        wiped state — the R2 ablation arm where the replay defense and
+        exactly-once confirms are lost."""
+        if not self.endpoint.crashed:
+            return
+        self.endpoint.restart()
+        self.restarts += 1
+        if self.journal is not None:
+            self.restore_from_journal()
+
+    def restore_from_journal(self) -> None:
+        """Snapshot + WAL tail -> the exact pre-crash provider state."""
+        if self.journal is None:
+            raise JournalError(f"no journal attached to {self.host}")
+        snapshot = self.journal.read_snapshot()
+        if snapshot is None:
+            raise JournalError(f"no snapshot on disk for {self.host}")
+        self.restore_state(decode_message(snapshot))
+        records = [decode_message(raw) for raw in self.journal.read_records()]
+        self._replaying = True
+        try:
+            for record in records:
+                self._replay_record(record)
+                self.records_replayed += 1
+        finally:
+            self._replaying = False
+        if records:
+            # Replay recreated recorded randomness without consuming the
+            # generators; jump both streams to their last recorded state.
+            last = records[-1]
+            self._drbg.restore((last["sdk"], last["sdv"], int(last["sdn"])))
+            self.nonces.drbg.restore(
+                (last["ndk"], last["ndv"], int(last["ndn"]))
+            )
+        self.journal_restores += 1
+
+    def _replay_record(self, rec: Message) -> None:
+        kind = rec["t"]
+        if kind == "reg":
+            request = decode_message(rec["req"])
+            record = AccountRecord(
+                name=str(request["account"]),
+                password=str(request["password"]),
+            )
+            self.accounts[record.name] = record
+            self.on_account_created(record, request)
+        elif kind == "login":
+            record = self.accounts[str(rec["a"])]
+            if record.cookie is not None:
+                self._cookies.pop(record.cookie, None)
+                self.cookies_invalidated += 1
+            record.cookie = rec["c"]
+            self._cookies[record.cookie] = record.name
+        elif kind == "cert":
+            record = self.accounts[str(rec["a"])]
+            record.aik_certificate = deserialize_certificate(rec["cert"])
+        elif kind == "sbegin":
+            self.accounts[str(rec["a"])].pending_setup_nonce = rec["n"]
+        elif kind == "skey":
+            record = self.accounts[str(rec["a"])]
+            record.pending_setup_nonce = None
+            if "k" in rec:
+                record.registered_key = RsaPublicKey.from_bytes(rec["k"])
+        elif kind == "txreq":
+            at = unpack_time(rec["at"])
+            transaction = Transaction.from_canonical_bytes(rec["tx"])
+            self.nonces.replay_issue(rec["n"], rec["id"], at)
+            self.transactions[rec["id"]] = PendingTransaction(
+                tx_id=rec["id"],
+                transaction=transaction,
+                canonical_text="\n".join(
+                    transaction.display_lines()
+                ).encode("utf-8"),
+                nonce=rec["n"],
+                issued_at=at,
+            )
+            self.transactions_peak = max(
+                self.transactions_peak, len(self.transactions)
+            )
+        elif kind == "breq":
+            at = unpack_time(rec["at"])
+            self.nonces.replay_issue(rec["n"], rec["id"], at)
+            transactions = []
+            for tx_id, encoded in zip(rec["ids"], rec["txs"]):
+                transaction = Transaction.from_canonical_bytes(encoded)
+                transactions.append(transaction)
+                self.transactions[tx_id] = PendingTransaction(
+                    tx_id=tx_id,
+                    transaction=transaction,
+                    canonical_text=b"",  # confirmed via the batch text
+                    nonce=rec["n"],
+                    issued_at=at,
+                )
+            self.batches[rec["id"]] = PendingBatch(
+                batch_id=rec["id"],
+                tx_ids=list(rec["ids"]),
+                canonical_text=self._render_batch_text(transactions),
+                nonce=rec["n"],
+                issued_at=at,
+                account=str(rec["a"]),
+            )
+            self.transactions_peak = max(
+                self.transactions_peak, len(self.transactions)
+            )
+        elif kind == "rechal":
+            pending = self.transactions[rec["id"]]
+            at = unpack_time(rec["at"])
+            self.nonces.invalidate(pending.nonce)
+            self.nonces.replay_issue(rec["n"], pending.tx_id, at)
+            pending.nonce = rec["n"]
+            pending.issued_at = at
+            pending.status = TxStatus.PENDING
+            pending.detail = ""
+            pending.settled_at = None
+            self.rechallenges_issued += 1
+        elif kind == "brechal":
+            batch = self.batches[rec["id"]]
+            at = unpack_time(rec["at"])
+            self.nonces.invalidate(batch.nonce)
+            self.nonces.replay_issue(rec["n"], batch.batch_id, at)
+            batch.nonce = rec["n"]
+            batch.issued_at = at
+            batch.status = TxStatus.PENDING
+            batch.detail = ""
+            batch.settled_at = None
+            for tx_id in batch.tx_ids:
+                member = self.transactions[tx_id]
+                member.nonce = rec["n"]
+                member.issued_at = at
+                member.status = TxStatus.PENDING
+                member.detail = ""
+                member.settled_at = None
+            self.rechallenges_issued += 1
+        elif kind == "settle":
+            self._replay_settle(rec)
+        elif kind == "bsettle":
+            self._replay_settle_batch(rec)
+        elif kind == "expire":
+            pending = self.transactions[rec["id"]]
+            pending.status = TxStatus.EXPIRED
+            pending.detail = "confirmation never arrived"
+            pending.settled_at = unpack_time(rec["at"])
+        elif kind == "bexpire":
+            batch = self.batches[rec["id"]]
+            batch.status = TxStatus.EXPIRED
+            batch.detail = "confirmation never arrived"
+            batch.settled_at = unpack_time(rec["at"])
+        elif kind == "sweepmark":
+            self._last_store_sweep = unpack_time(rec["at"]) or 0.0
+        elif kind == "retire":
+            self.retire_settled(unpack_time(rec["at"]))
+        else:
+            raise JournalError(f"unknown journal record kind {kind!r}")
+
+    def _replay_settle(self, rec: Message) -> None:
+        pending = self.transactions[rec["id"]]
+        at = unpack_time(rec["at"])
+        if rec.get("cd"):
+            # Re-run the consume *attempt* so the nonce DB (record
+            # state, counters, opportunistic eviction sweep) evolves
+            # exactly as it did live; the verdict is already settled.
+            self.nonces.consume(pending.nonce, pending.tx_id, at)
+        status = TxStatus(str(rec["st"]))
+        pending.status = status
+        pending.detail = str(rec["dt"])
+        pending.settled_at = at
+        if "dg" in rec:
+            pending.evidence_digest = rec["dg"]
+        if "fr" in rec:
+            pending.final_response = decode_message(rec["fr"])
+        if "ctr" in rec:
+            self.accounts[str(rec["a"])].last_counter = int(rec["ctr"])
+        if status is TxStatus.EXECUTED:
+            # Deterministic re-application of the business effect; the
+            # receipt already lives in pending.detail from the record.
+            self.execute_transaction(pending.transaction)
+        elif status is TxStatus.DENIED:
+            self.denials[pending.detail] = self.denials.get(pending.detail, 0) + 1
+        elif status is TxStatus.EXPIRED:
+            self.rechallenges_required += 1
+
+    def _replay_settle_batch(self, rec: Message) -> None:
+        batch = self.batches[rec["id"]]
+        at = unpack_time(rec["at"])
+        if rec.get("cd"):
+            self.nonces.consume(batch.nonce, batch.batch_id, at)
+        status = TxStatus(str(rec["st"]))
+        batch.status = status
+        batch.detail = str(rec["dt"])
+        batch.settled_at = at
+        if "dg" in rec:
+            batch.evidence_digest = rec["dg"]
+        if "fr" in rec:
+            batch.final_response = decode_message(rec["fr"])
+        if "ctr" in rec:
+            self.accounts[str(rec["a"])].last_counter = int(rec["ctr"])
+        if status is TxStatus.EXECUTED:
+            for tx_id in batch.tx_ids:
+                member = self.transactions[tx_id]
+                self.execute_transaction(member.transaction)
+                member.status = TxStatus.EXECUTED
+                member.settled_at = at
+        elif status is TxStatus.REJECTED_BY_USER:
+            for tx_id in batch.tx_ids:
+                member = self.transactions[tx_id]
+                member.status = status
+                member.settled_at = at
+        elif status is TxStatus.DENIED:
+            for tx_id in batch.tx_ids:
+                member = self.transactions[tx_id]
+                member.status = status
+                member.detail = batch.detail
+                member.settled_at = at
+            self.denials[batch.detail] = self.denials.get(batch.detail, 0) + 1
+        elif status is TxStatus.EXPIRED:
+            for tx_id in batch.tx_ids:
+                member = self.transactions[tx_id]
+                member.status = status
+                member.detail = batch.detail
+                member.settled_at = at
+            self.rechallenges_required += 1
 
     # -- experiment accessors -------------------------------------------------
     def count_by_status(self) -> Dict[str, int]:

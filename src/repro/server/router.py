@@ -35,7 +35,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.net.messages import Message
 from repro.net.network import LinkSpec, Network
+from repro.net.retry import (
+    DEADLINE_ERROR_KEY,
+    RetryPolicy,
+    overload_error,
+)
 from repro.net.rpc import DeferredResponse, RpcEndpoint, RpcError
+from repro.os.disk import UntrustedDisk
 from repro.server.policy import VerifierPolicy
 from repro.server.provider import SERVICE_TIMES, ServiceProvider
 from repro.sim.kernel import Simulator
@@ -47,6 +53,88 @@ ROUTER_SERVICE_TIME = 0.0001
 #: Methods that carry the account name and may legally arrive without a
 #: session cookie — routed by consistent hash of the account.
 _ACCOUNT_ROUTED = ("register", "login")
+
+#: Denial reason for the degraded mode: the owning shard's breaker is
+#: open.  An explicit, immediate refusal — the one thing the router must
+#: never do during an outage is hang the caller.
+DENIAL_SHARD_DOWN = "shard down"
+
+#: Response key marking a DENIAL_SHARD_DOWN refusal as retryable — the
+#: shard's state is intact (or restorable); only its process is gone.
+SHARD_DOWN_KEY = "shard_down"
+
+#: Default retry policy for the router→shard leg: strictly tighter than
+#: any sane caller deadline, so a black-holed leg dead-letters back to
+#: the router (feeding the breaker) long before the *caller* gives up.
+SHARD_LEG_POLICY = RetryPolicy(
+    initial_timeout=0.2,
+    backoff=2.0,
+    max_timeout=1.0,
+    max_attempts=4,
+    deadline=4.0,
+)
+
+
+class CircuitBreaker:
+    """Per-shard failure gate: closed -> open -> half-open -> closed.
+
+    Transport failures (dead-lettered legs, connection refusals) count
+    against ``failure_threshold``; at the threshold the breaker trips
+    OPEN and the router fails fast with :data:`DENIAL_SHARD_DOWN`
+    instead of queueing more work at a dead shard.  After
+    ``reset_timeout`` seconds one probe request is allowed through
+    (HALF_OPEN); its outcome either closes the breaker or re-opens it
+    for another timeout.  Application errors are *successes* here — the
+    shard answered.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self, failure_threshold: int = 3, reset_timeout: float = 1.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1: {failure_threshold}")
+        if reset_timeout <= 0:
+            raise ValueError(f"reset_timeout must be > 0: {reset_timeout}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opens = 0
+        self._open_until = 0.0
+        self._probe_inflight = False
+
+    def allow(self, now: float) -> bool:
+        """May one request pass right now?  (May consume the probe slot.)"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if now < self._open_until:
+                return False
+            self.state = self.HALF_OPEN
+            self._probe_inflight = True
+            return True
+        # HALF_OPEN: exactly one probe at a time.
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self._probe_inflight = False
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        if self.state == self.HALF_OPEN or self.failures >= self.failure_threshold:
+            self.state = self.OPEN
+            self._open_until = now + self.reset_timeout
+            self._probe_inflight = False
+            self.opens += 1
 
 
 class HashRing:
@@ -108,9 +196,17 @@ class ProviderRouter:
         shards: Sequence[ServiceProvider],
         vnodes: int = 128,
         workers: int = 8,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 1.0,
+        max_shard_queue_depth: int = 64,
+        leg_policy: Optional[RetryPolicy] = SHARD_LEG_POLICY,
     ) -> None:
         if not shards:
             raise ValueError("router needs at least one shard")
+        if max_shard_queue_depth < 1:
+            raise ValueError(
+                f"max_shard_queue_depth must be >= 1: {max_shard_queue_depth}"
+            )
         self.simulator = simulator
         self.host = host
         self.shards = list(shards)
@@ -127,21 +223,45 @@ class ProviderRouter:
         #: account -> its live cookie, for eviction on re-login (mirrors
         #: the shard-side one-session-per-account invalidation).
         self._account_cookie: Dict[str, bytes] = {}
+        # -- shard health ---------------------------------------------------
+        self.breakers = [
+            CircuitBreaker(breaker_threshold, breaker_reset_s)
+            for _ in self.shards
+        ]
+        self.max_shard_queue_depth = max_shard_queue_depth
+        self.leg_policy = leg_policy
+        #: Outstanding queued legs per shard — the router-local backlog
+        #: signal load shedding keys on.  The shard's own queue_depth
+        #: lags by a network latency (a burst is fully forwarded before
+        #: the first packet lands), so the router counts what it has in
+        #: flight instead.
+        self.outstanding = [0] * len(self.shards)
+        #: account -> shard index override, recorded when a *register*
+        #: failed over from an open home shard; account-hash routing
+        #: consults this first so the account stays findable.
+        self._account_shard: Dict[str, int] = {}
         # -- routing accounting --------------------------------------------
         self.forwards_by_shard = [0] * len(self.shards)
         self.unroutable = 0
         self.cookie_routes = 0
         self.account_routes = 0
         self.cookies_invalidated = 0
+        self.shard_down_denials = 0
+        self.shed = 0
+        self.register_failovers = 0
+        self.cookie_prunes = 0
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def shard_index_for_account(self, account: str) -> int:
-        return self.ring.index_for(account)
+        # Failed-over registrations live on their override shard, not
+        # the ring's nominal home — accessors must agree with _route.
+        override = self._account_shard.get(account)
+        return override if override is not None else self.ring.index_for(account)
 
     def shard_for_account(self, account: str) -> ServiceProvider:
-        return self.shards[self.ring.index_for(account)]
+        return self.shards[self.shard_index_for_account(account)]
 
     def _route(self, method: str, request: Message):
         """(shard index, None) or (None, error response)."""
@@ -150,6 +270,9 @@ class ProviderRouter:
             if not account:
                 return None, {"error": "missing account"}
             self.account_routes += 1
+            override = self._account_shard.get(account)
+            if override is not None:
+                return override, None
             return self.ring.index_for(account), None
         cookie = request.get("session")
         if isinstance(cookie, bytes):
@@ -161,6 +284,7 @@ class ProviderRouter:
 
     def _observe(self, request: Message, response: Message, index: int) -> None:
         """Learn cookie→shard mappings from forwarded login responses."""
+        self._inspect_response(request, response)
         cookie = response.get("set_session")
         if not isinstance(cookie, bytes):
             return
@@ -172,6 +296,26 @@ class ProviderRouter:
         self._account_cookie[account] = cookie
         self._cookie_shard[cookie] = index
 
+    def _inspect_response(self, request: Message, response: Message) -> None:
+        """Prune the cookie→shard map when the owning shard disowns a
+        session (piggybacked on the denial path, so pruning costs no
+        extra traffic).  Happens after a journal-less shard restarts:
+        its session table is gone, the router's mapping is stale, and
+        keeping it would bounce every retry off the same dead cookie
+        instead of letting the client's re-login relearn the route."""
+        error = response.get("error")
+        if not isinstance(error, str) or "not logged in" not in error:
+            return
+        cookie = request.get("session")
+        if not isinstance(cookie, bytes) or cookie not in self._cookie_shard:
+            return
+        self._cookie_shard.pop(cookie, None)
+        for account, known in list(self._account_cookie.items()):
+            if known == cookie:
+                del self._account_cookie[account]
+        self.cookie_prunes += 1
+        self.simulator.metrics.counter("router.cookie_prunes").increment()
+
     # ------------------------------------------------------------------
     # Forwarding
     # ------------------------------------------------------------------
@@ -181,12 +325,66 @@ class ProviderRouter:
 
         return handle
 
+    def _shard_down_response(self) -> Message:
+        self.shard_down_denials += 1
+        self.simulator.metrics.counter("router.shard_down_denials").increment()
+        return {"error": f"denied: {DENIAL_SHARD_DOWN}", SHARD_DOWN_KEY: 1}
+
+    def _failover_register(self, index: int, account: str) -> Optional[int]:
+        """A *register* aimed at an open shard may be placed on the next
+        live shard instead — a brand-new account has no home yet, so
+        re-homing it costs nothing.  The override map keeps account-hash
+        routing consistent afterwards.  Existing accounts never fail
+        over: their state is partitioned, not replicated, so the honest
+        answer while their shard is down is the explicit denial."""
+        now = self.simulator.now
+        for step in range(1, len(self.shards)):
+            candidate = (index + step) % len(self.shards)
+            if self.breakers[candidate].allow(now):
+                self._account_shard[account] = candidate
+                self.register_failovers += 1
+                return candidate
+        return None
+
+    def _record_outcome(self, index: int, failed: bool) -> None:
+        """Feed a forwarded leg's transport outcome to the breaker.
+        Application errors count as successes — the shard answered."""
+        breaker = self.breakers[index]
+        if not failed:
+            breaker.record_success()
+            return
+        opens_before = breaker.opens
+        breaker.record_failure(self.simulator.now)
+        if breaker.opens > opens_before:
+            self.simulator.metrics.counter("router.breaker_opens").increment()
+
     def _forward(self, method: str, request: Message):
         index, error = self._route(method, request)
         if error is not None:
             self.unroutable += 1
             return error
         shard = self.shards[index]
+        # Load shedding first: a full shard backlog is explicit back-
+        # pressure, refused before it can consume a half-open breaker's
+        # probe slot.  Sync dispatch has no queue to bound.
+        if (
+            not self.endpoint.sync_dispatch
+            and self.outstanding[index] >= self.max_shard_queue_depth
+        ):
+            self.shed += 1
+            self.simulator.metrics.counter("router.shed").increment()
+            return overload_error(shard.host, self.outstanding[index])
+        if not self.breakers[index].allow(self.simulator.now):
+            if method == "register":
+                failover = self._failover_register(
+                    index, str(request.get("account", ""))
+                )
+                if failover is None:
+                    return self._shard_down_response()
+                index = failover
+                shard = self.shards[index]
+            else:
+                return self._shard_down_response()
         self.forwards_by_shard[index] += 1
         tracer = self.simulator.tracer
         if self.endpoint.sync_dispatch:
@@ -196,6 +394,7 @@ class ProviderRouter:
             # so the router's own endpoint re-raises them to the caller
             # with every structured field (e.g. the rechallenge hint)
             # intact.
+            failed = False
             with tracer.span(
                 "router.forward", method=method, shard=shard.host
             ):
@@ -204,10 +403,12 @@ class ProviderRouter:
                         self.host, method, request
                     )
                 except RpcError as exc:
+                    failed = exc.transport  # connection refused / dead host
                     response = (
                         dict(exc.response) if exc.response
                         else {"error": str(exc)}
                     )
+            self._record_outcome(index, failed)
             self._observe(request, response, index)
             return response
         # Queued path: forward via the shard's own queue and release
@@ -216,13 +417,18 @@ class ProviderRouter:
         # the structured deadline error, so the client never hangs.
         deferred = DeferredResponse()
         span = tracer.begin("router.forward", method=method, shard=shard.host)
+        self.outstanding[index] += 1
 
         def relay(response: Message) -> None:
             tracer.finish(span)
+            self.outstanding[index] -= 1
+            self._record_outcome(index, DEADLINE_ERROR_KEY in response)
             self._observe(request, response, index)
             deferred.resolve(response)
 
-        shard.endpoint.submit(self.host, method, request, relay)
+        shard.endpoint.submit(
+            self.host, method, request, relay, policy=self.leg_policy
+        )
         return deferred
 
     # ------------------------------------------------------------------
@@ -234,7 +440,32 @@ class ProviderRouter:
         for shard in self.shards:
             for reason, count in shard.denials.items():
                 merged[reason] = merged.get(reason, 0) + count
+        # Router-level degraded-mode denials sit beside the shard-side
+        # reasons so reports read one uniform ledger.
+        if self.shard_down_denials:
+            merged[DENIAL_SHARD_DOWN] = (
+                merged.get(DENIAL_SHARD_DOWN, 0) + self.shard_down_denials
+            )
         return merged
+
+    @property
+    def crashes(self) -> int:
+        return sum(shard.crashes for shard in self.shards)
+
+    @property
+    def restarts(self) -> int:
+        return sum(shard.restarts for shard in self.shards)
+
+    def journal_stats(self) -> Dict[str, int]:
+        totals = {"appends": 0, "snapshots": 0, "wal_bytes": 0, "restores": 0}
+        for shard in self.shards:
+            for key, value in shard.journal_stats().items():
+                totals[key] += value
+            totals["restores"] += shard.journal_restores
+        return totals
+
+    def breaker_states(self) -> List[str]:
+        return [breaker.state for breaker in self.breakers]
 
     @property
     def duplicate_confirms(self) -> int:
@@ -306,6 +537,12 @@ def build_sharded_pool(
     verification_cache: bool = True,
     vnodes: int = 128,
     router_workers: int = 8,
+    journal_disk: Optional[UntrustedDisk] = None,
+    snapshot_every: int = 256,
+    breaker_threshold: int = 3,
+    breaker_reset_s: float = 1.0,
+    max_shard_queue_depth: int = 64,
+    leg_policy: Optional[RetryPolicy] = SHARD_LEG_POLICY,
 ) -> ProviderRouter:
     """Build N shard replicas behind a :class:`ProviderRouter`.
 
@@ -314,7 +551,10 @@ def build_sharded_pool(
     :class:`ServiceProvider`); shard hosts are ``{host}!shard{i}``, so
     each replica derives an independent DRBG/nonce stream from its own
     hostname.  ``verification_cache=False`` builds every shard cold
-    (the F3-S cache ablation).
+    (the F3-S cache ablation).  ``journal_disk`` makes every shard
+    durable: each gets a write-ahead journal on the shared disk and
+    rebuilds its state bit-identically on restart after a crash (the R2
+    journal ablation passes ``None`` here).
     """
     if shard_count < 1:
         raise ValueError(f"shard_count must be >= 1: {shard_count}")
@@ -325,13 +565,18 @@ def build_sharded_pool(
         shard_host = f"{host}!shard{index}"
         if not network.is_attached(shard_host):
             network.attach(shard_host, LinkSpec.lan())
-        shards.append(
-            factory(
-                simulator, network, shard_host, policy,
-                workers=workers_per_shard, **extra,
-            )
+        shard = factory(
+            simulator, network, shard_host, policy,
+            workers=workers_per_shard, **extra,
         )
+        if journal_disk is not None:
+            shard.attach_journal(journal_disk, snapshot_every=snapshot_every)
+        shards.append(shard)
     return ProviderRouter(
         simulator, network, host, shards,
         vnodes=vnodes, workers=router_workers,
+        breaker_threshold=breaker_threshold,
+        breaker_reset_s=breaker_reset_s,
+        max_shard_queue_depth=max_shard_queue_depth,
+        leg_policy=leg_policy,
     )

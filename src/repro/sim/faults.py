@@ -112,6 +112,19 @@ class FaultInjector:
         self._tpm_windows: _WindowSet = _WindowSet([])
         self.tpm_faults_injected = 0
         self.stalls_scheduled = 0
+        self.crashes_scheduled = 0
+        #: fault kind -> how many configured plans produced zero windows
+        #: (horizon shorter than one mean inter-arrival, typically).
+        self.empty_plans: Dict[str, int] = {}
+
+    def _note_plan(self, kind: str, windows: List[Window]) -> None:
+        """A configured fault kind that generated zero windows is a
+        silent no-op — make it visible: experiments that *meant* to
+        inject trouble can assert ``faults.empty_plan`` stayed zero."""
+        if windows:
+            return
+        self.empty_plans[kind] = self.empty_plans.get(kind, 0) + 1
+        self.simulator.metrics.counter("faults.empty_plan").increment()
 
     # ------------------------------------------------------------------
     # Link loss bursts
@@ -128,6 +141,7 @@ class FaultInjector:
         if not 0.0 < loss <= 1.0:
             raise FaultConfigError(f"burst loss must be in (0, 1], got {loss}")
         windows = poisson_windows(self._rng, self.horizon, rate_per_s, duration_s)
+        self._note_plan(f"loss:{host}", windows)
         self._loss_bursts[host] = (_WindowSet(windows), loss)
         return windows
 
@@ -154,6 +168,7 @@ class FaultInjector:
         if factor < 1.0:
             raise FaultConfigError(f"spike factor must be >= 1, got {factor}")
         windows = poisson_windows(self._rng, self.horizon, rate_per_s, duration_s)
+        self._note_plan(f"latency:{host}", windows)
         self._latency_spikes[host] = (_WindowSet(windows), factor)
         return windows
 
@@ -174,6 +189,7 @@ class FaultInjector:
         window no queued request starts service (in-flight work
         completes normally)."""
         windows = poisson_windows(self._rng, self.horizon, rate_per_s, duration_s)
+        self._note_plan(f"stall:{endpoint.host}", windows)
         for window in windows:
             self.simulator.schedule_at(
                 window.start,
@@ -181,6 +197,46 @@ class FaultInjector:
                 label=f"fault:stall:{endpoint.host}",
             )
             self.stalls_scheduled += 1
+        return windows
+
+    # ------------------------------------------------------------------
+    # Crash-stop host failures
+    # ------------------------------------------------------------------
+    def add_crashes(
+        self, target, rate_per_s: float, duration_s: float
+    ) -> List[Window]:
+        """Kill ``target`` at each window start and restart it at the
+        window end — the crash-stop model: the process is simply gone
+        for the window, then comes back (with whatever its durability
+        story preserves).
+
+        ``target`` is anything with ``crash()``/``restart()`` — an
+        :class:`~repro.net.rpc.RpcEndpoint` or a
+        :class:`~repro.server.provider.ServiceProvider` (whose restart
+        replays its journal).  Overlapping windows are merged so every
+        crash pairs with exactly one restart.  Windows are *relative to
+        the current virtual time* — experiments attach crash plans after
+        their setup phase has already advanced the clock.
+        """
+        raw = poisson_windows(self._rng, self.horizon, rate_per_s, duration_s)
+        windows: List[Window] = []
+        for window in sorted(raw, key=lambda w: w.start):
+            if windows and window.start < windows[-1].end:
+                merged = Window(windows[-1].start, max(windows[-1].end, window.end))
+                windows[-1] = merged
+            else:
+                windows.append(window)
+        host = getattr(target, "host", "?")
+        self._note_plan(f"crash:{host}", windows)
+        base = self.simulator.clock.now
+        for window in windows:
+            self.simulator.schedule_at(
+                base + window.start, target.crash, label=f"fault:crash:{host}"
+            )
+            self.simulator.schedule_at(
+                base + window.end, target.restart, label=f"fault:restart:{host}"
+            )
+            self.crashes_scheduled += 1
         return windows
 
     # ------------------------------------------------------------------
@@ -194,6 +250,7 @@ class FaultInjector:
         glitch class real LPC parts exhibit under brown-out, which a
         robust driver retries."""
         windows = poisson_windows(self._rng, self.horizon, rate_per_s, duration_s)
+        self._note_plan("tpm", windows)
         self._tpm_windows = _WindowSet(windows)
         tpm.fault_hook = self._tpm_fault_check
         return windows

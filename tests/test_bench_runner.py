@@ -13,7 +13,7 @@ import json
 
 import pytest
 
-from repro.bench.experiments import f3s_sharded_scaling
+from repro.bench.experiments import f3s_sharded_scaling, r2_crash_availability
 from repro.bench.fleet import e2_fleet_rows
 from repro.bench.runner import (
     Cell,
@@ -47,7 +47,7 @@ class TestMatrixDefinition:
             # The canonical order the report merges (and renders) in.
             assert ids == [
                 "t1", "t2", "t2b", "t3", "t4", "f1", "f2", "f3", "f3s",
-                "f4", "f5", "r1", "a1", "a2", "e1", "e3", "e2",
+                "f4", "f5", "r1", "r2", "a1", "a2", "e1", "e3", "e2",
             ]
 
     def test_result_keys_cover_report_needs(self):
@@ -77,6 +77,10 @@ class TestDeterminismContract:
     F3S_KWARGS = dict(
         shard_counts=(1, 2), offered=120, duration=0.5, accounts=6, seed=99
     )
+    R2_KWARGS = dict(
+        crash_rates=(0.0, 0.7), recovery_s=0.35, offered=100.0,
+        duration=0.8, accounts=6, seed=99,
+    )
 
     def test_fleet_day_identical_across_backends(self):
         with use_backend("accel"):
@@ -95,6 +99,15 @@ class TestDeterminismContract:
 
     def test_f3s_cell_identical_across_worker_counts(self):
         cell = Cell("f3s", ("f3s",), f3s_sharded_scaling, self.F3S_KWARGS)
+        serial, _ = run_cells([cell], workers=1)
+        pooled, _ = run_cells([cell], workers=4)
+        assert _canonical(serial) == _canonical(pooled)
+
+    def test_r2_cell_identical_across_worker_counts(self):
+        """Crash-stop faults included: the whole fault plan is drawn
+        from named RNG streams, so the availability cell is a pure
+        function of its seed regardless of the pool fan-out."""
+        cell = Cell("r2", ("r2",), r2_crash_availability, self.R2_KWARGS)
         serial, _ = run_cells([cell], workers=1)
         pooled, _ = run_cells([cell], workers=4)
         assert _canonical(serial) == _canonical(pooled)

@@ -16,6 +16,7 @@ from repro.bench.experiments import (
     table2_session_breakdown,
     table3_end_to_end,
     r1_loss_robustness,
+    r2_crash_availability,
 )
 from repro.bench.experiments.amortization import crossover_k
 from repro.bench.experiments.captcha_comparison import (
@@ -259,3 +260,56 @@ class TestR1Robustness:
         assert retry["goodput_rps"] == pytest.approx(
             no_retry["goodput_rps"]
         )
+
+
+class TestR2Availability:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return r2_crash_availability(
+            crash_rates=(0.0, 0.7), recovery_s=0.35, offered=120.0,
+            duration=1.2, accounts=8, seed=7,
+        )
+
+    def test_no_caller_ever_hangs(self, rows):
+        for row in rows:
+            assert row["hung"] == 0, row
+
+    def test_journaled_arm_survives_crashes_exactly_once(self, rows):
+        for row in rows:
+            if row["journal"] != "on":
+                continue
+            assert row["success_rate"] >= 0.99, row
+            assert row["duplicate_executions"] == 0, row
+            assert row["probe_idempotent"] == 1, row
+            assert row["probe_duplicates"] == 0, row
+            if row["crash_rate"] > 0:
+                assert row["journal_restores"] >= 1, row
+
+    def test_journal_off_ablation_re_executes_the_replay_probe(self, rows):
+        for row in rows:
+            if row["journal"] != "off":
+                continue
+            assert row["probe_idempotent"] == 0, row
+            assert row["probe_duplicates"] >= 1, row
+            assert row["journal_appends"] == 0, row
+
+    def test_crash_free_arms_identical_across_journal_modes(self, rows):
+        """The journal must change durability only: with no crashes the
+        client-visible workload columns agree between the two arms."""
+        on = next(r for r in rows if r["journal"] == "on"
+                  and r["crash_rate"] == 0)
+        off = next(r for r in rows if r["journal"] == "off"
+                   and r["crash_rate"] == 0)
+        for field in ("flows", "goodput_rps", "success_rate",
+                      "p95_latency_ms", "failed", "resubmits"):
+            assert on[field] == off[field], field
+
+    def test_crashes_degrade_the_unjournaled_arm(self, rows):
+        crashed_off = next(
+            r for r in rows
+            if r["journal"] == "off" and r["crash_rate"] > 0
+        )
+        assert crashed_off["success_rate"] < 1.0, crashed_off
+        assert (
+            crashed_off["relogins"] > 0 or crashed_off["reflows"] > 0
+        ), crashed_off
