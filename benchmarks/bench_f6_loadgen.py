@@ -1,0 +1,59 @@
+"""Experiment F6: open-loop population sweep — users per wall-second.
+
+Regenerates the load-engine series: one full diurnal day of open-loop
+traffic (Zipf accounts, mixed session lifetimes, a noon flash crowd)
+offered to a 2-shard pool, swept over population.  Expected shape:
+populations whose stampede stays inside pool capacity complete ≥99% of
+admitted sessions with zero shed; at 10⁵ users the stampede overruns
+the pool and every refusal is explicit and counted (router shed,
+admission-cap drops, bounded-retry failures).  ``users_per_wall_s`` is
+the headline kernel-throughput number tracked in BENCH_wall.json.
+
+The full sweep simulates a 10⁵-user day (minutes of RSA signing), so
+this file carries the ``slow`` marker and runs in the nightly job; use
+``populations=(1_000, 10_000)`` parameters for a quick local pass.
+"""
+
+import pytest
+
+from repro.bench.experiments import f6_open_loop_rows
+from repro.bench.tables import format_table
+
+pytestmark = pytest.mark.slow
+
+
+def test_f6_open_loop_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: f6_open_loop_rows(), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            "F6 — open-loop day: population vs users/wall-second",
+            rows,
+            columns=[
+                "users", "arrivals", "completed", "failed", "dropped_cap",
+                "goodput_cps", "p95_session_ms", "shed", "retries",
+                "hot_share", "ring_imbalance", "users_per_wall_s", "wall_s",
+            ],
+            notes="noon stampede sized to overrun the 2-shard pool only "
+            "at 10^5 users; all refusals are counted, never silent",
+        )
+    )
+    absorbed = [r for r in rows if r["shed"] == 0 and r["dropped_cap"] == 0]
+    saturated = [r for r in rows if r["shed"] > 0 or r["dropped_cap"] > 0]
+    # Inside capacity: the pool absorbs the whole day, ≥99% complete.
+    assert absorbed, "at least one population must stay inside capacity"
+    for row in absorbed:
+        assert row["completed"] >= 0.99 * (row["arrivals"] - row["dropped_cap"])
+    # The 10^5 row must demonstrate saturation — loudly.
+    top = max(rows, key=lambda r: r["users"])
+    assert top["users"] >= 100_000
+    assert saturated, "the top population must overrun the pool"
+    for row in saturated:
+        assert row["shed"] + row["dropped_cap"] + row["failed"] > 0
+    # Accounting always balances: every arrival ends somewhere.
+    for row in rows:
+        assert row["completed"] + row["failed"] + row["dropped_cap"] <= (
+            row["arrivals"]
+        )

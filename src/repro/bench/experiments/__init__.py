@@ -19,6 +19,7 @@ from repro.bench.experiments.ablation import a1_defense_ablation
 from repro.bench.experiments.availability import r2_crash_availability
 from repro.bench.experiments.robustness import r1_loss_robustness
 from repro.bench.experiments.sharding import f3s_sharded_scaling
+from repro.bench.experiments.openloop import f6_open_loop_rows
 
 __all__ = [
     "table1_tpm_microbench",
@@ -29,6 +30,7 @@ __all__ = [
     "fig2_server_throughput",
     "fig3_captcha_comparison",
     "f3s_sharded_scaling",
+    "f6_open_loop_rows",
     "fig4_amortization",
     "fig5_noncedb_scalability",
     "a1_defense_ablation",

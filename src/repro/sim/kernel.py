@@ -119,13 +119,17 @@ class Simulator:
         a ``resolve(simulator, wake)`` method.
         """
 
+        # Built once per process, not per step — sleep-heavy processes
+        # otherwise pay a string format on every yield.
+        sleep_label = f"{label}:sleep"
+
         def step(send_value: Any = None) -> None:
             try:
                 yielded = generator.send(send_value)
             except StopIteration:
                 return
             if isinstance(yielded, (int, float)):
-                self.schedule(float(yielded), step, label=f"{label}:sleep")
+                self.schedule(float(yielded), step, label=sleep_label)
             elif hasattr(yielded, "resolve"):
                 yielded.resolve(self, step)
             else:
@@ -147,27 +151,38 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         dispatched_before = self._dispatched
+        # Hot-loop locals: the loop body runs once per event, millions of
+        # times in an open-loop load run, so attribute chains are hoisted.
+        # ``self.tracer`` is re-read each iteration (an event may call
+        # ``enable_tracing``); the clock and queue are stable for the
+        # simulator's lifetime.
+        clock = self.clock
+        pop_due = self.queue.pop_due
+        peek_time = self.queue.peek_time
+        trace = self._trace
+        dispatched = self._dispatched
+        budget = dispatched + max_events
         try:
             while True:
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                event = pop_due(until)
+                if event is None:
+                    if until is not None and peek_time() is not None:
+                        # Earliest live event lies beyond the horizon.
+                        clock.advance_to(until)
                     break
-                if until is not None and next_time > until:
-                    self.clock.advance_to(until)
-                    break
-                event = self.queue.pop()
-                assert event is not None
-                if event.time > self.clock.now:
-                    self.clock.advance_to(event.time)
-                if self._trace is not None:
-                    self._trace(self.clock.now, event.label)
-                if self.tracer.enabled:
-                    with self.tracer.span("sim.dispatch", label=event.label):
+                if event.time > clock._now:
+                    clock._now = event.time
+                if trace is not None:
+                    trace(clock._now, event.label)
+                tracer = self.tracer
+                if tracer.enabled:
+                    with tracer.span("sim.dispatch", label=event.label):
                         event.action()
                 else:
                     event.action()
-                self._dispatched += 1
-                if self._dispatched - dispatched_before >= max_events:
+                dispatched += 1
+                self._dispatched = dispatched
+                if dispatched >= budget:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a runaway loop"
                     )

@@ -22,6 +22,8 @@ from repro.sim.kernel import Simulator
 class Sleep:
     """Yieldable: suspend the process for ``seconds`` of virtual time."""
 
+    __slots__ = ("seconds",)
+
     def __init__(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"cannot sleep negative time {seconds}")
@@ -33,6 +35,8 @@ class Sleep:
 
 class WaitFor:
     """Yieldable: suspend until ``predicate()`` is true, polling."""
+
+    __slots__ = ("predicate", "poll_period", "timeout")
 
     def __init__(
         self,
