@@ -20,6 +20,10 @@ from repro.bench.experiments.availability import r2_crash_availability
 from repro.bench.experiments.robustness import r1_loss_robustness
 from repro.bench.experiments.sharding import f3s_sharded_scaling
 from repro.bench.experiments.openloop import f6_open_loop_rows
+from repro.bench.experiments.rsa_microbench import (
+    rsa_backend_microbench,
+    rsa_micro_summary,
+)
 
 __all__ = [
     "table1_tpm_microbench",
@@ -36,4 +40,6 @@ __all__ = [
     "a1_defense_ablation",
     "r1_loss_robustness",
     "r2_crash_availability",
+    "rsa_backend_microbench",
+    "rsa_micro_summary",
 ]

@@ -52,9 +52,17 @@ from repro.bench.experiments.extensions import (
     e1_attention_sweep,
     e3_batch_amortization,
 )
+from repro.bench.experiments.rsa_microbench import (
+    rsa_backend_microbench,
+    rsa_micro_summary,
+)
 from repro.bench.experiments.session_breakdown import setup_phase_rows
 from repro.bench.fleet import e2_fleet_rows
-from repro.crypto.backend import set_backend
+from repro.crypto.backend import (
+    resolve_backend_name,
+    rsa_op_counts,
+    set_backend,
+)
 
 #: Vendors kept in smoke mode — the report's verdict arithmetic compares
 #: broadcom against infineon, so both must always run.
@@ -152,6 +160,8 @@ def build_cells(smoke: bool = False) -> List[Cell]:
                  dict(batch_sizes=(1, 8), seed=SMOKE_SEED)),
             Cell("e2", ("e2",), e2_fleet_rows,
                  dict(clients=4, infected=1, seed=SMOKE_SEED)),
+            Cell("rsax", ("rsax",), rsa_backend_microbench,
+                 dict(bits_list=(512, 1024), iterations=6, seed=SMOKE_SEED)),
         ]
     return [
         Cell("t1", ("t1",), table1_tpm_microbench),
@@ -175,6 +185,7 @@ def build_cells(smoke: bool = False) -> List[Cell]:
         Cell("e1", ("e1",), e1_attention_sweep),
         Cell("e3", ("e3",), e3_batch_amortization),
         Cell("e2", ("e2",), e2_fleet_rows),
+        Cell("rsax", ("rsax",), rsa_backend_microbench),
     ]
 
 
@@ -188,16 +199,27 @@ class MatrixResult:
     workers: int
     backend: str
     smoke: bool
+    #: Per-cell RSA operation counts (modexp / sign_crt / verify) from
+    #: the backend's op counters — a pure function of the simulated
+    #: work, identical across arms and worker placements.
+    cell_rsa_ops: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
 
-def _run_cell(cell: Cell) -> Tuple[str, object, float]:
+def _run_cell(cell: Cell) -> Tuple[str, object, float, Dict[str, int]]:
+    before = rsa_op_counts()
     started = time.perf_counter()
     value = cell.fn(**cell.kwargs)
-    return cell.cell_id, value, time.perf_counter() - started
+    wall_s = time.perf_counter() - started
+    after = rsa_op_counts()
+    ops = {op: after[op] - before[op] for op in after}
+    return cell.cell_id, value, wall_s, ops
 
 
 def _worker_init(backend: Optional[str]) -> None:
-    set_backend(backend)
+    # Validate eagerly — a bad REPRO_CRYPTO_BACKEND or --backend value
+    # must fail naming itself before any cell starts, not at the first
+    # hash call minutes into a run.
+    set_backend(resolve_backend_name(backend))
 
 
 def _merge(cells: Sequence[Cell], by_id: Dict[str, object]) -> Dict[str, object]:
@@ -225,16 +247,23 @@ def run_cells(
     cells: Sequence[Cell],
     workers: int = 1,
     backend: Optional[str] = None,
-) -> Tuple[Dict[str, object], Dict[str, float]]:
-    """Run ``cells`` and return ``(merged results, per-cell wall_s)``.
+) -> Tuple[Dict[str, object], Dict[str, float], Dict[str, Dict[str, int]]]:
+    """Run ``cells``; return ``(results, per-cell wall_s, per-cell RSA ops)``.
 
     ``workers=1`` runs in-process (no pool, no pickling) — the
     reference arm for determinism tests.  ``backend`` selects the
     crypto backend for the run (restored afterwards in-process; set via
-    the pool initializer in workers).
+    the pool initializer in workers).  Either way the choice is
+    validated eagerly, before the first cell runs.
     """
     if workers <= 1:
-        previous = set_backend(backend) if backend is not None else None
+        if backend is not None:
+            previous = set_backend(resolve_backend_name(backend))
+        else:
+            # No override: still resolve the environment default now so
+            # a bad REPRO_CRYPTO_BACKEND fails before any cell runs.
+            resolve_backend_name(None)
+            previous = None
         try:
             outcomes = [_run_cell(cell) for cell in cells]
         finally:
@@ -252,9 +281,10 @@ def run_cells(
             initargs=(backend,),
         ) as pool:
             outcomes = list(pool.map(_run_cell, cells))
-    by_id = {cell_id: value for cell_id, value, _ in outcomes}
-    wall = {cell_id: wall_s for cell_id, _, wall_s in outcomes}
-    return _merge(cells, by_id), wall
+    by_id = {cell_id: value for cell_id, value, _, _ in outcomes}
+    wall = {cell_id: wall_s for cell_id, _, wall_s, _ in outcomes}
+    rsa_ops = {cell_id: ops for cell_id, _, _, ops in outcomes}
+    return _merge(cells, by_id), wall, rsa_ops
 
 
 def run_matrix(
@@ -266,8 +296,8 @@ def run_matrix(
     from repro.crypto.backend import backend_name
 
     started = time.perf_counter()
-    results, wall = run_cells(build_cells(smoke), workers=workers,
-                              backend=backend)
+    results, wall, rsa_ops = run_cells(build_cells(smoke), workers=workers,
+                                       backend=backend)
     return MatrixResult(
         results=results,
         cell_wall_s=wall,
@@ -275,6 +305,7 @@ def run_matrix(
         workers=workers,
         backend=backend if backend is not None else backend_name(),
         smoke=smoke,
+        cell_rsa_ops=rsa_ops,
     )
 
 
@@ -290,6 +321,9 @@ WALL_KEYS = frozenset(
         # F6's headline is real time by definition: simulated users per
         # second of wall clock.
         "users_per_wall_s",
+        # RSAX strategy timings — the deterministic remainder of each
+        # row ({bits, strategy, op, agree}) survives the strip.
+        "us_per_op",
     }
 )
 
@@ -327,6 +361,15 @@ def wall_record(matrix: MatrixResult) -> Dict[str, object]:
         record["users_per_wall_s"] = round(
             max(row["users_per_wall_s"] for row in f6_rows), 1
         )
+    if matrix.cell_rsa_ops:
+        record["rsa_ops"] = {
+            cell_id: dict(ops)
+            for cell_id, ops in matrix.cell_rsa_ops.items()
+            if any(ops.values())
+        }
+    rsax_rows = matrix.results.get("rsax")
+    if rsax_rows:
+        record["rsa_micro"] = rsa_micro_summary(rsax_rows)
     return record
 
 

@@ -4,6 +4,11 @@ TPM v1.2 encrypts to the EK with OAEP (label "TCPA"), not PKCS#1 v1.5;
 the AIK activation path (`repro.tpm.device._cmd_activate_identity` /
 `repro.tpm.ca`) uses this implementation.  Verified by roundtrip and
 negative tests in ``tests/test_crypto_oaep.py``.
+
+The modular operations ride ``raw_encrypt``/``raw_decrypt`` and hence
+the :mod:`repro.crypto.backend` RSA arms; OAEP output is bit-identical
+across ``pure``/``accel``/``gmpy2`` (seed bytes come from the caller's
+DRBG, whose stream no arm may alter).
 """
 
 from __future__ import annotations

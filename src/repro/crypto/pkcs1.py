@@ -5,11 +5,18 @@ TPM 1.2 signs quotes with RSASSA-PKCS1-v1_5 over SHA-1; the Privacy CA
 and the setup-phase key certification in `repro.core` use the same
 scheme.  Encryption padding is used for the small asymmetric layer of
 sealed blobs.
+
+All modular arithmetic flows through ``RsaPublicKey.raw_verify`` /
+``RsaKeyPair.raw_sign``, which dispatch to the active
+:mod:`repro.crypto.backend` RSA arm — so every padding check here is
+bit-identical across ``pure``/``accel``/``gmpy2``.
+:func:`pkcs1_verify_many` amortizes the per-call setup when a verifier
+checks a whole ``tx.confirm_batch`` leg under one public key.
 """
 
 from __future__ import annotations
 
-
+from typing import Iterable, List, Tuple
 
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
@@ -84,7 +91,38 @@ def pkcs1_verify(
         )
     except (ValueError, SignatureError):
         return False
-    return em_int.to_bytes(public.byte_length, "big") == expected
+    # Integer compare: em_int == big-endian(expected) iff the encoded
+    # messages match, without materializing em_int back to bytes.
+    return em_int == int.from_bytes(expected, "big")
+
+
+def pkcs1_verify_many(
+    public: RsaPublicKey,
+    items: Iterable[Tuple[bytes, bytes]],
+    hash_name: str = "sha1",
+    prehashed: bool = False,
+) -> List[bool]:
+    """Verify many ``(message, signature)`` pairs under one public key.
+
+    One-pass helper for ``tx.confirm_batch`` legs: the key's byte
+    length and the padding prefix are resolved once and each pair gets
+    exactly the verdict :func:`pkcs1_verify` would give it (the loop is
+    total — a malformed pair yields ``False``, never an exception).
+    """
+    k = public.byte_length
+    verdicts: List[bool] = []
+    for message, signature in items:
+        if len(signature) != k:
+            verdicts.append(False)
+            continue
+        try:
+            em_int = public.raw_verify(int.from_bytes(signature, "big"))
+            expected = _emsa_pkcs1_encode(message, k, hash_name, prehashed)
+        except (ValueError, SignatureError):
+            verdicts.append(False)
+            continue
+        verdicts.append(em_int == int.from_bytes(expected, "big"))
+    return verdicts
 
 
 def require_valid_signature(

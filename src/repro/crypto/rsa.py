@@ -7,12 +7,21 @@ can use fast small keys when only structural identity matters.
 
 Private operations use the Chinese Remainder Theorem, as real TPM
 firmware does.
+
+The raw modular operations dispatch through the RSA entry points of
+:mod:`repro.crypto.backend` (``rsa_verify`` for the public op,
+``rsa_sign_crt`` for the private op), so the ``pure`` / ``accel`` /
+``gmpy2`` arms apply uniformly to every signature, quote and sealed
+blob in the system — bit-identically, wall-clock only.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Dict
 
+from repro.crypto import backend as _backend
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.primes import generate_safe_exponent_prime
 
@@ -57,7 +66,7 @@ class RsaPublicKey:
         """c = m^e mod n (no padding — callers use pkcs1)."""
         if not 0 <= m < self.n:
             raise ValueError("message representative out of range")
-        return pow(m, self.e, self.n)
+        return _backend.rsa_verify(self, m)
 
     raw_verify = raw_encrypt  # verification is the same public-key operation
 
@@ -80,11 +89,36 @@ class RsaPublicKey:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "RsaPublicKey":
+        """Strict inverse of :meth:`to_bytes`.
+
+        Every declared length is validated against the buffer and every
+        byte must be consumed: a truncated ``n``/``e`` slice or trailing
+        garbage raises instead of silently yielding a *different* key
+        with a *different* fingerprint — a parsing bug that would turn
+        a corrupted enrollment message into a wrong identity rather
+        than a loud error.
+        """
+        if len(data) < 4:
+            raise ValueError("malformed public key serialization: "
+                             "truncated n length prefix")
         n_len = int.from_bytes(data[:4], "big")
-        n = int.from_bytes(data[4 : 4 + n_len], "big")
         offset = 4 + n_len
+        if n_len == 0 or len(data) < offset:
+            raise ValueError("malformed public key serialization: "
+                             f"declared n length {n_len} exceeds buffer")
+        n = int.from_bytes(data[4:offset], "big")
+        if len(data) < offset + 4:
+            raise ValueError("malformed public key serialization: "
+                             "truncated e length prefix")
         e_len = int.from_bytes(data[offset : offset + 4], "big")
-        e = int.from_bytes(data[offset + 4 : offset + 4 + e_len], "big")
+        end = offset + 4 + e_len
+        if e_len == 0 or len(data) < end:
+            raise ValueError("malformed public key serialization: "
+                             f"declared e length {e_len} exceeds buffer")
+        e = int.from_bytes(data[offset + 4 : end], "big")
+        if len(data) != end:
+            raise ValueError("malformed public key serialization: "
+                             f"{len(data) - end} unconsumed trailing bytes")
         if n <= 0 or e <= 0:
             raise ValueError("malformed public key serialization")
         return cls(n=n, e=e)
@@ -111,13 +145,12 @@ class RsaKeyPair:
         return self.public.byte_length
 
     def raw_decrypt(self, c: int) -> int:
-        """m = c^d mod n via CRT (≈4x faster than the naive exponent)."""
-        if not 0 <= c < self.n:
-            raise ValueError("ciphertext representative out of range")
-        m1 = pow(c, self.d_p, self.p)
-        m2 = pow(c, self.d_q, self.q)
-        h = (self.q_inv * (m1 - m2)) % self.p
-        return m2 + h * self.q
+        """m = c^d mod n via CRT (≈4x faster than the naive exponent).
+
+        Dispatches through the backend's ``rsa_sign_crt`` entry point;
+        every arm recombines with the same Garner formula over a cached
+        per-key CRT context (range check included there)."""
+        return _backend.rsa_sign_crt(self, c)
 
     raw_sign = raw_decrypt  # signing is the same private-key operation
 
@@ -128,7 +161,35 @@ class RsaKeyPair:
 #: state.  Every re-seeded world (each experiment repetition, each
 #: test) replays its prime search from here instead of re-running ~20 s
 #: of pure-Python arithmetic; results are bit-identical either way.
-_KEYGEN_CACHE: dict = {}
+#:
+#: The cache is **bounded**: entries are LRU-evicted past
+#: :data:`KEYGEN_CACHE_LIMIT`, so a long pytest session or a pooled
+#: worker that churns through many distinct seeds cannot grow it
+#: without limit.  Eviction only costs a future re-generation — never
+#: correctness.
+_KEYGEN_CACHE: "OrderedDict" = OrderedDict()
+
+#: Generous relative to any single run: the full experiment matrix
+#: touches a few dozen distinct (bits, e, entry-state) tuples.
+KEYGEN_CACHE_LIMIT = 128
+
+_KEYGEN_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def keygen_cache_stats() -> Dict[str, int]:
+    """Hits / misses / evictions since process start (or last clear)."""
+    return dict(_KEYGEN_CACHE_STATS, entries=len(_KEYGEN_CACHE))
+
+
+def clear_keygen_cache() -> None:
+    """Drop every cached keypair and reset the counters.
+
+    Test fixtures use this to get cold-cache behaviour deterministically
+    instead of depending on what earlier tests happened to generate.
+    """
+    _KEYGEN_CACHE.clear()
+    for counter in _KEYGEN_CACHE_STATS:
+        _KEYGEN_CACHE_STATS[counter] = 0
 
 
 def generate_rsa_keypair(
@@ -143,14 +204,20 @@ def generate_rsa_keypair(
     cache_key = (bits, e, entry_key, entry_value)
     cached = _KEYGEN_CACHE.get(cache_key)
     if cached is not None:
+        _KEYGEN_CACHE.move_to_end(cache_key)
+        _KEYGEN_CACHE_STATS["hits"] += 1
         keypair, exit_key, exit_value, consumed = cached
         drbg.restore((exit_key, exit_value, entry_count + consumed))
         return keypair
+    _KEYGEN_CACHE_STATS["misses"] += 1
     keypair = _generate_rsa_keypair(bits, drbg, e)
     exit_key, exit_value, exit_count = drbg.snapshot()
     _KEYGEN_CACHE[cache_key] = (
         keypair, exit_key, exit_value, exit_count - entry_count,
     )
+    while len(_KEYGEN_CACHE) > KEYGEN_CACHE_LIMIT:
+        _KEYGEN_CACHE.popitem(last=False)
+        _KEYGEN_CACHE_STATS["evictions"] += 1
     return keypair
 
 

@@ -798,16 +798,22 @@ class ServiceProvider:
                 self._journal_settle_batch(batch, consumed=1)
                 return response
 
-        # Reuse the single-transaction evidence check against the batch
-        # text: the digest covers the whole rendered batch.
-        proxy = PendingTransaction(
-            tx_id=batch.batch_id,
-            transaction=self.transactions[batch.tx_ids[0]].transaction,
-            canonical_text=batch.canonical_text,
+        # One-pass batch evidence check: a single call covers the cert,
+        # quote and PKCS#1 legs against the whole rendered batch text
+        # (the digest binds every member at once).
+        counter_value = counter if isinstance(counter, int) else -1
+        result = self.verifier.verify_confirm_batch(
+            evidence_type=request.get("evidence"),
+            text=batch.canonical_text,
             nonce=batch.nonce,
-            issued_at=batch.issued_at,
+            decision=decision,
+            counter=counter_value,
+            members=len(batch.tx_ids),
+            aik_certificate=record.aik_certificate,
+            quote_bytes=request.get("quote"),
+            registered_key=record.registered_key,
+            signature=request.get("signature"),
         )
-        result = self._verify_evidence(proxy, request, decision)
         if not result.ok:
             response = self._finalize_batch(
                 batch, digest, self._deny_batch(batch, result.failure.value)

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.core.protocol import EVIDENCE_QUOTE, EVIDENCE_SIGNED
 from repro.crypto.pkcs1 import pkcs1_verify
 from repro.crypto.rsa import RsaPublicKey
 from repro.crypto.sha1 import sha1
@@ -157,6 +158,9 @@ class AttestationVerifier:
         self.policy = policy
         self.tracer = tracer
         self.cache = cache
+        #: One-pass batch verifications served / members they covered.
+        self.batch_legs = 0
+        self.batch_members = 0
 
     # -- memoized signature primitives ---------------------------------
     def _cert_signature_ok(
@@ -308,3 +312,101 @@ class AttestationVerifier:
         if not self._pkcs1_ok(registered_key, digest, signature):
             return VerificationResult.reject(VerificationFailure.BAD_SIGNATURE)
         return VerificationResult.success()
+
+    # ------------------------------------------------------------------
+    @traced("verify.confirm_batch")
+    def verify_confirm_batch(
+        self,
+        *,
+        evidence_type: str,
+        text: bytes,
+        nonce: bytes,
+        decision: bytes,
+        counter: int = -1,
+        members: int = 1,
+        aik_certificate: Optional[AikCertificate] = None,
+        quote_bytes: Optional[bytes] = None,
+        registered_key: Optional[RsaPublicKey] = None,
+        signature: Optional[bytes] = None,
+    ) -> VerificationResult:
+        """One-pass evidence check for a ``tx.confirm_batch`` leg.
+
+        A batch presents ONE evidence blob binding the whole rendered
+        batch text, so the cert / quote / PKCS#1 checks collapse into a
+        single call: the confirmation digest is computed once, the AIK
+        certificate re-check and the signature check both ride the
+        :class:`VerificationCache` (steady-state batches hit the cache
+        for the cert and pay exactly one RSA verify for the evidence),
+        and the policy checks (PCR whitelists, nonce binding) run fresh
+        every time — they are never memoized.
+
+        Verdicts and reason codes are identical to routing the batch
+        through the single-transaction path against the batch text;
+        ``tests/test_server_verifier.py`` pins that parity.
+        """
+        self.batch_legs += 1
+        self.batch_members += members
+        digest = confirmation_digest(text, nonce, decision, counter)
+        if evidence_type == EVIDENCE_QUOTE:
+            if aik_certificate is None:
+                return VerificationResult.reject(
+                    VerificationFailure.BAD_CA_SIGNATURE, "no enrolled AIK"
+                )
+            # Memoized CA re-check: enrollment verified this certificate
+            # already, so this is a cache hit unless the policy's CA set
+            # changed — in which case a stale AIK must stop passing.
+            if self.policy.ca_public_keys and not any(
+                self._cert_signature_ok(aik_certificate, ca_key)
+                for ca_key in self.policy.ca_public_keys
+            ):
+                return VerificationResult.reject(
+                    VerificationFailure.BAD_CA_SIGNATURE
+                )
+            if not isinstance(quote_bytes, bytes):
+                return VerificationResult.reject(VerificationFailure.MALFORMED)
+            try:
+                quote = QuoteBundle.from_bytes(quote_bytes)
+            except Exception as exc:
+                return VerificationResult.reject(
+                    VerificationFailure.MALFORMED, str(exc)
+                )
+            aik_public = aik_certificate.aik_public
+            if not self._quote_signature_ok(aik_public, quote):
+                return VerificationResult.reject(
+                    VerificationFailure.BAD_QUOTE_SIGNATURE
+                )
+            if quote.external_data != sha1(nonce):
+                return VerificationResult.reject(
+                    VerificationFailure.QUOTE_WRONG_NONCE
+                )
+            try:
+                reported_17 = quote.reported_value(PCR_DRTM_CODE)
+                reported_18 = quote.reported_value(PCR_DRTM_DATA)
+            except KeyError as exc:
+                return VerificationResult.reject(
+                    VerificationFailure.MALFORMED, detail=str(exc)
+                )
+            if not self.policy.pcr17_is_approved(reported_17):
+                return VerificationResult.reject(
+                    VerificationFailure.QUOTE_WRONG_PCR17
+                )
+            if reported_18 != self.policy.expected_pcr18_after_digest(digest):
+                return VerificationResult.reject(
+                    VerificationFailure.QUOTE_WRONG_PCR18
+                )
+            return VerificationResult.success()
+        if evidence_type == EVIDENCE_SIGNED:
+            if not isinstance(signature, bytes):
+                return VerificationResult.reject(VerificationFailure.MALFORMED)
+            if registered_key is None:
+                return VerificationResult.reject(
+                    VerificationFailure.NO_REGISTERED_KEY
+                )
+            if not self._pkcs1_ok(registered_key, digest, signature):
+                return VerificationResult.reject(
+                    VerificationFailure.BAD_SIGNATURE
+                )
+            return VerificationResult.success()
+        return VerificationResult.reject(
+            VerificationFailure.MALFORMED, f"evidence type {evidence_type!r}"
+        )

@@ -79,3 +79,23 @@ def shared_ready_world() -> TrustedPathWorld:
     balances or transaction counts).
     """
     return TrustedPathWorld(WorldConfig(seed=4242)).ready()
+
+
+@pytest.fixture
+def clean_keygen_cache():
+    """Deterministically cold RSA keygen replay cache.
+
+    Snapshots the process-wide cache and its counters, clears both for
+    the test, and restores afterwards — so cache-behaviour tests see a
+    cold start without robbing the rest of the suite of its warm-cache
+    speedup.
+    """
+    from repro.crypto import rsa as rsa_module
+
+    saved_entries = dict(rsa_module._KEYGEN_CACHE)
+    saved_stats = dict(rsa_module._KEYGEN_CACHE_STATS)
+    rsa_module.clear_keygen_cache()
+    yield
+    rsa_module.clear_keygen_cache()
+    rsa_module._KEYGEN_CACHE.update(saved_entries)
+    rsa_module._KEYGEN_CACHE_STATS.update(saved_stats)

@@ -23,11 +23,16 @@ from repro.bench.runner import (
     wall_record,
     write_wall_artifact,
 )
-from repro.crypto.backend import use_backend
+from repro.crypto.backend import gmpy2_available, use_backend
 
 #: Cheap smoke cells used where matrix mechanics, not coverage, are
 #: under test.
 FAST_IDS = ("t2b", "f1", "f5", "e3")
+
+#: Backend arms the determinism contract is checked against, beyond the
+#: accel reference: always ``pure``, plus ``gmpy2`` when installed (the
+#: CI optional-deps leg runs these tests with the package present).
+RSA_ARMS = ["pure"] + (["gmpy2"] if gmpy2_available() else [])
 
 
 def _fast_cells():
@@ -48,6 +53,7 @@ class TestMatrixDefinition:
             assert ids == [
                 "t1", "t2", "t2b", "t3", "t4", "f1", "f2", "f3", "f3s",
                 "f4", "f6", "f5", "r1", "r2", "a1", "a2", "e1", "e3", "e2",
+                "rsax",
             ]
 
     def test_result_keys_cover_report_needs(self):
@@ -58,13 +64,13 @@ class TestMatrixDefinition:
 
 class TestOrderedMerge:
     def test_pool_merge_matches_serial_order(self):
-        serial, _ = run_cells(_fast_cells(), workers=1)
-        pooled, _ = run_cells(_fast_cells(), workers=4)
+        serial, _, _ = run_cells(_fast_cells(), workers=1)
+        pooled, _, _ = run_cells(_fast_cells(), workers=4)
         assert list(serial) == list(pooled)
         assert _canonical(serial) == _canonical(pooled)
 
     def test_per_cell_wall_recorded_for_every_cell(self):
-        _, wall = run_cells(_fast_cells(), workers=1)
+        _, wall, _ = run_cells(_fast_cells(), workers=1)
         assert set(wall) == set(FAST_IDS)
         assert all(w >= 0 for w in wall.values())
 
@@ -82,25 +88,27 @@ class TestDeterminismContract:
         duration=0.8, accounts=6, seed=99,
     )
 
-    def test_fleet_day_identical_across_backends(self):
+    @pytest.mark.parametrize("arm", RSA_ARMS)
+    def test_fleet_day_identical_across_backends(self, arm):
         with use_backend("accel"):
             accel = e2_fleet_rows(**self.FLEET_KWARGS)
-        with use_backend("pure"):
-            pure = e2_fleet_rows(**self.FLEET_KWARGS)
-        assert json.dumps(accel) == json.dumps(pure)
+        with use_backend(arm):
+            other = e2_fleet_rows(**self.FLEET_KWARGS)
+        assert json.dumps(accel) == json.dumps(other)
 
     @pytest.mark.slow
-    def test_f3s_cell_identical_across_backends(self):
+    @pytest.mark.parametrize("arm", RSA_ARMS)
+    def test_f3s_cell_identical_across_backends(self, arm):
         with use_backend("accel"):
             accel = f3s_sharded_scaling(**self.F3S_KWARGS)
-        with use_backend("pure"):
-            pure = f3s_sharded_scaling(**self.F3S_KWARGS)
-        assert _canonical(accel) == _canonical(pure)
+        with use_backend(arm):
+            other = f3s_sharded_scaling(**self.F3S_KWARGS)
+        assert _canonical(accel) == _canonical(other)
 
     def test_f3s_cell_identical_across_worker_counts(self):
         cell = Cell("f3s", ("f3s",), f3s_sharded_scaling, self.F3S_KWARGS)
-        serial, _ = run_cells([cell], workers=1)
-        pooled, _ = run_cells([cell], workers=4)
+        serial, _, _ = run_cells([cell], workers=1)
+        pooled, _, _ = run_cells([cell], workers=4)
         assert _canonical(serial) == _canonical(pooled)
 
     def test_r2_cell_identical_across_worker_counts(self):
@@ -108,8 +116,8 @@ class TestDeterminismContract:
         from named RNG streams, so the availability cell is a pure
         function of its seed regardless of the pool fan-out."""
         cell = Cell("r2", ("r2",), r2_crash_availability, self.R2_KWARGS)
-        serial, _ = run_cells([cell], workers=1)
-        pooled, _ = run_cells([cell], workers=4)
+        serial, _, _ = run_cells([cell], workers=1)
+        pooled, _, _ = run_cells([cell], workers=4)
         assert _canonical(serial) == _canonical(pooled)
 
     def test_runner_backend_arg_round_trips(self):
@@ -118,6 +126,53 @@ class TestDeterminismContract:
         before = backend_name()
         run_cells(_fast_cells()[:1], workers=1, backend="pure")
         assert backend_name() == before
+
+    def test_bad_backend_rejected_before_any_cell_runs(self):
+        ran = []
+
+        def sentinel():
+            ran.append(True)
+            return []
+
+        cell = Cell("x", ("x",), sentinel)
+        with pytest.raises(ValueError, match="openssl3"):
+            run_cells([cell], workers=1, backend="openssl3")
+        assert not ran
+
+    def test_bad_env_backend_rejected_eagerly(self, monkeypatch):
+        from repro.crypto import backend as module
+
+        monkeypatch.setenv(module.ENV_VAR, "bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            run_cells(_fast_cells()[:1], workers=1)
+
+
+class TestRsaOpCounters:
+    def test_rsa_ops_recorded_per_cell(self):
+        from repro.bench.experiments.rsa_microbench import (
+            rsa_backend_microbench,
+        )
+
+        cell = Cell("rsax", ("rsax",), rsa_backend_microbench,
+                    dict(bits_list=(512,), iterations=1, seed=7))
+        _, _, rsa_ops = run_cells([cell], workers=1)
+        assert set(rsa_ops) == {"rsax"}
+        assert set(rsa_ops["rsax"]) == {"modexp", "sign_crt", "verify"}
+        assert all(count >= 0 for count in rsa_ops["rsax"].values())
+
+    def test_op_counts_identical_across_arms(self):
+        """RSA op counts are deterministic work, not wall-clock: the
+        same cell issues the same number of ops on every arm."""
+        cell = Cell("e2", ("e2",), e2_fleet_rows,
+                    dict(clients=2, infected=1, seed=556))
+        counts = {}
+        for arm in ["accel"] + RSA_ARMS:
+            from repro.crypto.rsa import clear_keygen_cache
+
+            clear_keygen_cache()  # cache hits skip keygen modexp work
+            _, _, rsa_ops = run_cells([cell], workers=1, backend=arm)
+            counts[arm] = rsa_ops["e2"]
+        assert len({tuple(sorted(c.items())) for c in counts.values()}) == 1
 
 
 class TestStripWall:

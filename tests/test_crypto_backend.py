@@ -10,9 +10,13 @@ import pytest
 
 from repro.crypto.backend import (
     AccelBackend,
+    GmpBackend,
     PureBackend,
     backend_name,
     get_backend,
+    gmpy2_available,
+    resolve_backend_name,
+    rsa_op_counts,
     set_backend,
     use_backend,
 )
@@ -20,6 +24,11 @@ from repro.crypto.drbg import HmacDrbg
 
 PURE = PureBackend()
 ACCEL = AccelBackend()
+
+#: Every RSA arm available in this environment, for differential fuzz.
+RSA_ARMS = [("pure", PURE), ("accel", ACCEL)]
+if gmpy2_available():
+    RSA_ARMS.append(("gmpy2", GmpBackend()))
 
 BLOCK = 64  # SHA-1 and SHA-256 share a 64-byte block
 
@@ -126,6 +135,190 @@ class TestDifferentialDrbg:
                 for bound in (2, 10, 1 << 31)
             ]
         assert pure_values == accel_values
+
+
+class TestDifferentialRsa:
+    """All RSA arms (and both Python modexp strategies) must agree
+    bit-for-bit on modexp, CRT signing and verification — including on
+    garbage inputs like corrupted signature bytes, where every arm must
+    return the *same wrong* number."""
+
+    KEY_BITS = (512, 768, 1024)
+
+    @staticmethod
+    def _keypair(bits):
+        from repro.crypto.rsa import generate_rsa_keypair
+
+        return generate_rsa_keypair(bits, HmacDrbg(b"rsa-diff:%d" % bits))
+
+    def test_modexp_fuzz_all_arms_and_strategies(self):
+        from repro.crypto.modexp import modexp_binary, modexp_window
+
+        rng = random.Random(0xA11CE)
+        for trial in range(300):
+            bits = rng.choice((8, 16, 64, 256, 1025))
+            mod = rng.getrandbits(bits) | 1  # odd: Montgomery-eligible
+            if mod < 3:
+                mod = 3
+            base = rng.getrandbits(bits + 7)
+            exp = rng.getrandbits(rng.choice((0, 1, 16, 64, 256)))
+            expected = pow(base, exp, mod)
+            assert modexp_binary(base, exp, mod) == expected, trial
+            assert modexp_window(base, exp, mod) == expected, trial
+            for name, arm in RSA_ARMS:
+                assert arm.rsa_modexp(base, exp, mod) == expected, (
+                    name, trial,
+                )
+
+    def test_modexp_even_modulus_and_edge_cases(self):
+        from repro.crypto.modexp import modexp_binary, modexp_window
+
+        cases = [(5, 3, 4), (2, 10, 6), (7, 0, 1), (0, 0, 7), (10, 1, 1)]
+        for base, exp, mod in cases:
+            expected = pow(base, exp, mod)
+            assert modexp_binary(base, exp, mod) == expected
+            assert modexp_window(base, exp, mod) == expected
+            for name, arm in RSA_ARMS:
+                assert arm.rsa_modexp(base, exp, mod) == expected, name
+
+    def test_modexp_rejects_bad_operands(self):
+        from repro.crypto.modexp import modexp_binary, modexp_window
+
+        for fn in (modexp_binary, modexp_window):
+            with pytest.raises(ValueError):
+                fn(2, 3, 0)
+            with pytest.raises(ValueError):
+                fn(2, -1, 5)
+
+    @pytest.mark.parametrize("bits", KEY_BITS)
+    def test_sign_crt_and_verify_agree_across_arms(self, bits):
+        key = self._keypair(bits)
+        rng = random.Random(bits)
+        for _ in range(5):
+            c = rng.randrange(0, key.n)
+            reference_sig = pow(c, key.d, key.n)
+            reference_rec = pow(c, key.public.e, key.n)
+            for name, arm in RSA_ARMS:
+                assert arm.rsa_sign_crt(key, c) == reference_sig, name
+                assert arm.rsa_verify(key.public, c) == reference_rec, name
+
+    def test_sign_crt_rejects_out_of_range(self):
+        key = self._keypair(512)
+        for name, arm in RSA_ARMS:
+            with pytest.raises(ValueError):
+                arm.rsa_sign_crt(key, key.n)
+            with pytest.raises(ValueError):
+                arm.rsa_sign_crt(key, -1)
+
+    def test_corrupted_signatures_rejected_identically(self):
+        from repro.crypto.pkcs1 import pkcs1_sign, pkcs1_verify
+
+        key = self._keypair(512)
+        message = b"transfer $100 to account 42"
+        signature = pkcs1_sign(key, message)
+        corruptions = [
+            signature[:-1] + bytes([signature[-1] ^ 0x01]),
+            bytes([signature[0] ^ 0x80]) + signature[1:],
+            signature[:10] + bytes([signature[10] ^ 0xFF]) + signature[11:],
+            signature[:-1],          # truncated
+            signature + b"\x00",     # extended
+            b"\x00" * len(signature),
+        ]
+        for name, _arm in RSA_ARMS:
+            with use_backend(name):
+                assert pkcs1_verify(key.public, message, signature), name
+                for corrupted in corruptions:
+                    assert not pkcs1_verify(
+                        key.public, message, corrupted
+                    ), name
+
+    def test_pkcs1_verify_many_matches_singles(self):
+        from repro.crypto.pkcs1 import (
+            pkcs1_sign,
+            pkcs1_verify,
+            pkcs1_verify_many,
+        )
+
+        key = self._keypair(512)
+        items = []
+        for index in range(4):
+            message = b"batch item %d" % index
+            signature = pkcs1_sign(key, message)
+            if index == 2:
+                signature = signature[:-1] + bytes(
+                    [signature[-1] ^ 0x01]
+                )
+            items.append((message, signature))
+        items.append((b"short sig", b"\x01\x02"))
+        expected = [
+            pkcs1_verify(key.public, m, s) for m, s in items
+        ]
+        assert expected == [True, True, False, True, False]
+        for name, _arm in RSA_ARMS:
+            with use_backend(name):
+                assert pkcs1_verify_many(key.public, items) == expected
+
+    def test_oaep_roundtrip_identical_across_arms(self):
+        from repro.crypto.oaep import oaep_decrypt, oaep_encrypt
+
+        key = self._keypair(1024)
+        blobs = {}
+        for name, _arm in RSA_ARMS:
+            with use_backend(name):
+                ciphertext = oaep_encrypt(
+                    key.public, b"sealed secret", HmacDrbg(b"oaep-seed")
+                )
+                assert oaep_decrypt(key, ciphertext) == b"sealed secret"
+                blobs[name] = ciphertext
+        assert len(set(blobs.values())) == 1, blobs.keys()
+
+    def test_op_counters_track_entry_points(self):
+        from repro.crypto import backend as module
+
+        key = self._keypair(512)
+        before = rsa_op_counts()
+        module.rsa_modexp(2, 3, 5)
+        module.rsa_sign_crt(key, 123)
+        module.rsa_verify(key.public, 123)
+        module.rsa_verify(key.public, 456)
+        after = rsa_op_counts()
+        assert after["modexp"] - before["modexp"] == 1
+        assert after["sign_crt"] - before["sign_crt"] == 1
+        assert after["verify"] - before["verify"] == 2
+
+
+class TestEagerValidation:
+    def test_resolve_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="openssl3"):
+            resolve_backend_name("openssl3")
+
+    def test_resolve_rejects_bad_env(self, monkeypatch):
+        from repro.crypto import backend as module
+
+        monkeypatch.setenv(module.ENV_VAR, "bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            resolve_backend_name(None)
+
+    def test_resolve_accepts_known_names(self, monkeypatch):
+        from repro.crypto import backend as module
+
+        assert resolve_backend_name("pure") == "pure"
+        assert resolve_backend_name("accel") == "accel"
+        monkeypatch.delenv(module.ENV_VAR, raising=False)
+        assert resolve_backend_name(None) == "accel"
+
+    @pytest.mark.skipif(
+        gmpy2_available(), reason="gmpy2 installed: selection is valid"
+    )
+    def test_resolve_rejects_gmpy2_without_package(self):
+        with pytest.raises(ValueError, match="gmpy2"):
+            resolve_backend_name("gmpy2")
+
+    @pytest.mark.skipif(
+        not gmpy2_available(), reason="gmpy2 not installed"
+    )
+    def test_resolve_accepts_gmpy2_with_package(self):
+        assert resolve_backend_name("gmpy2") == "gmpy2"
 
 
 class TestBackendSelection:

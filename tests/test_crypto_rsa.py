@@ -125,6 +125,145 @@ class TestRsaKeys:
             generate_rsa_keypair(256, HmacDrbg(b"small"))
 
 
+class TestMalformedSerialization:
+    """`from_bytes` must reject every malformed buffer loudly — a
+    truncated slice or trailing garbage silently parsing into a
+    *different* key means a corrupted enrollment yields a wrong
+    identity instead of an error."""
+
+    def test_truncated_n_length_prefix(self):
+        for data in (b"", b"\x00", b"\x00\x00\x04"):
+            with pytest.raises(ValueError, match="malformed"):
+                RsaPublicKey.from_bytes(data)
+
+    def test_declared_n_exceeds_buffer(self, keypair):
+        data = keypair.public.to_bytes()
+        inflated = (len(data)).to_bytes(4, "big") + data[4:]
+        with pytest.raises(ValueError, match="exceeds buffer"):
+            RsaPublicKey.from_bytes(inflated)
+
+    def test_truncated_n_slice(self, keypair):
+        data = keypair.public.to_bytes()
+        with pytest.raises(ValueError, match="malformed"):
+            RsaPublicKey.from_bytes(data[: 4 + 10])
+
+    def test_missing_e_length_prefix(self, keypair):
+        n_len = int.from_bytes(keypair.public.to_bytes()[:4], "big")
+        with pytest.raises(ValueError, match="malformed"):
+            RsaPublicKey.from_bytes(keypair.public.to_bytes()[: 4 + n_len])
+
+    def test_truncated_e_slice(self, keypair):
+        data = keypair.public.to_bytes()
+        with pytest.raises(ValueError, match="malformed"):
+            RsaPublicKey.from_bytes(data[:-1])
+
+    def test_trailing_garbage_rejected(self, keypair):
+        data = keypair.public.to_bytes()
+        with pytest.raises(ValueError, match="trailing"):
+            RsaPublicKey.from_bytes(data + b"\x00")
+        with pytest.raises(ValueError, match="trailing"):
+            RsaPublicKey.from_bytes(data + data)
+
+    def test_zero_length_fields_rejected(self):
+        zero_n = (0).to_bytes(4, "big") + (1).to_bytes(4, "big") + b"\x03"
+        with pytest.raises(ValueError, match="malformed"):
+            RsaPublicKey.from_bytes(zero_n)
+        zero_e = (1).to_bytes(4, "big") + b"\x05" + (0).to_bytes(4, "big")
+        with pytest.raises(ValueError, match="malformed"):
+            RsaPublicKey.from_bytes(zero_e)
+
+    def test_zero_valued_key_material_rejected(self):
+        data = (
+            (1).to_bytes(4, "big") + b"\x00"
+            + (1).to_bytes(4, "big") + b"\x03"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            RsaPublicKey.from_bytes(data)
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_bytes_never_parse_silently_wrong(self, data):
+        """Any buffer either parses to a key that re-serializes into a
+        buffer from_bytes accepts, or raises ValueError — never a
+        silent wrong parse."""
+        try:
+            key = RsaPublicKey.from_bytes(data)
+        except ValueError:
+            return
+        assert RsaPublicKey.from_bytes(key.to_bytes()) == key
+
+
+class TestKeygenCacheBound:
+    @pytest.fixture(autouse=True)
+    def clean_cache(self, clean_keygen_cache):
+        """Cold cache per test; restored by the shared conftest fixture."""
+
+    def test_stats_shape_and_counting(self):
+        from repro.crypto.rsa import keygen_cache_stats
+
+        stats = keygen_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "evictions": 0,
+                         "entries": 0}
+        generate_rsa_keypair(512, HmacDrbg(b"stats-a"))
+        generate_rsa_keypair(512, HmacDrbg(b"stats-a"))
+        generate_rsa_keypair(512, HmacDrbg(b"stats-b"))
+        stats = keygen_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 1
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 0
+
+    def test_cache_bounded_with_eviction(self, monkeypatch):
+        from repro.crypto import rsa as module
+
+        monkeypatch.setattr(module, "KEYGEN_CACHE_LIMIT", 3)
+        for index in range(5):
+            generate_rsa_keypair(
+                512, HmacDrbg(b"evict:%d" % index)
+            )
+        stats = module.keygen_cache_stats()
+        assert stats["entries"] == 3
+        assert stats["evictions"] == 2
+        # Oldest entries evicted: seed 0 regenerates (miss), the newest
+        # replays (hit).
+        generate_rsa_keypair(512, HmacDrbg(b"evict:4"))
+        assert module.keygen_cache_stats()["hits"] == 1
+        generate_rsa_keypair(512, HmacDrbg(b"evict:0"))
+        assert module.keygen_cache_stats()["misses"] == 6
+
+    def test_lru_order_hit_refreshes(self, monkeypatch):
+        from repro.crypto import rsa as module
+
+        monkeypatch.setattr(module, "KEYGEN_CACHE_LIMIT", 2)
+        generate_rsa_keypair(512, HmacDrbg(b"lru:a"))
+        generate_rsa_keypair(512, HmacDrbg(b"lru:b"))
+        generate_rsa_keypair(512, HmacDrbg(b"lru:a"))  # refresh a
+        generate_rsa_keypair(512, HmacDrbg(b"lru:c"))  # evicts b
+        before = module.keygen_cache_stats()["misses"]
+        generate_rsa_keypair(512, HmacDrbg(b"lru:a"))  # still cached
+        assert module.keygen_cache_stats()["misses"] == before
+
+    def test_clear_resets_everything(self):
+        from repro.crypto.rsa import clear_keygen_cache, keygen_cache_stats
+
+        generate_rsa_keypair(512, HmacDrbg(b"clear-me"))
+        assert keygen_cache_stats()["entries"] == 1
+        clear_keygen_cache()
+        assert keygen_cache_stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+        }
+
+    def test_evicted_entry_regenerates_identically(self, monkeypatch):
+        from repro.crypto import rsa as module
+
+        monkeypatch.setattr(module, "KEYGEN_CACHE_LIMIT", 1)
+        first = generate_rsa_keypair(512, HmacDrbg(b"regen"))
+        generate_rsa_keypair(512, HmacDrbg(b"displacer"))
+        again = generate_rsa_keypair(512, HmacDrbg(b"regen"))
+        assert again is not first  # regenerated, not replayed
+        assert again == first      # but bit-identical
+
+
 class TestPkcs1Signatures:
     def test_sign_verify_roundtrip(self, keypair):
         signature = pkcs1_sign(keypair, b"message")

@@ -252,8 +252,8 @@ class TestF6Determinism:
 
     def test_f6_cell_identical_across_worker_counts(self):
         cell = Cell("f6", ("f6",), f6_open_loop_rows, F6_SMALL)
-        serial, _ = run_cells([cell], workers=1)
-        pooled, _ = run_cells([cell], workers=4)
+        serial, _, _ = run_cells([cell], workers=1)
+        pooled, _, _ = run_cells([cell], workers=4)
         assert _canonical(serial) == _canonical(pooled)
 
     @pytest.mark.slow

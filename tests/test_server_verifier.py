@@ -250,3 +250,171 @@ class TestSignedConfirmation:
             self.TEXT, self.NONCE, b"accept",
         )
         assert result.failure is VerificationFailure.BAD_SIGNATURE
+
+
+class TestBatchConfirmation:
+    """`verify_confirm_batch` must give the exact verdict and reason
+    code the single-transaction path gives against the batch text —
+    and compose with the VerificationCache for its signature legs."""
+
+    TEXT = b"BATCH CONFIRMATION - 3 transactions\n..."
+    NONCE = b"b" * 20
+
+    def _certificate(self, policy, aik_key, trusted=True):
+        ca = PrivacyCa(seed=11)
+        if trusted:
+            policy.trust_ca(ca.public_key)
+        return AikCertificate(
+            aik_public=aik_key.public,
+            platform_class="pc",
+            signature=pkcs1_sign(
+                ca._keypair, aik_key.public.to_bytes() + b"pc"
+            ),
+        )
+
+    def _batch_quote(self, aik_key, decision=b"accept", counter=-1):
+        digest = confirmation_digest(self.TEXT, self.NONCE, decision,
+                                     counter)
+        pcr18 = sha1(PCR18_POST_RESET + digest)
+        return _genuine_quote(aik_key, pcr18, sha1(self.NONCE))
+
+    def _signature(self, signing_key, decision=b"accept", counter=-1):
+        digest = confirmation_digest(self.TEXT, self.NONCE, decision,
+                                     counter)
+        return pkcs1_sign(signing_key, digest, prehashed=True)
+
+    def test_quote_leg_matches_single_path(self, verifier, policy, aik_key):
+        certificate = self._certificate(policy, aik_key)
+        quote = self._batch_quote(aik_key)
+        batch = verifier.verify_confirm_batch(
+            evidence_type="quote", text=self.TEXT, nonce=self.NONCE,
+            decision=b"accept", members=3,
+            aik_certificate=certificate, quote_bytes=quote.to_bytes(),
+        )
+        single = verifier.verify_quote_confirmation(
+            aik_key.public, quote, self.TEXT, self.NONCE, b"accept"
+        )
+        assert batch.ok and single.ok
+        assert batch.failure is single.failure
+        assert verifier.batch_legs == 1
+        assert verifier.batch_members == 3
+
+    def test_signed_leg_matches_single_path(self, verifier, signing_key):
+        signature = self._signature(signing_key)
+        batch = verifier.verify_confirm_batch(
+            evidence_type="signed", text=self.TEXT, nonce=self.NONCE,
+            decision=b"accept", members=2,
+            registered_key=signing_key.public, signature=signature,
+        )
+        single = verifier.verify_signed_confirmation(
+            signing_key.public, signature, self.TEXT, self.NONCE,
+            b"accept",
+        )
+        assert batch.ok and single.ok
+
+    def test_reason_code_parity_on_rejections(self, verifier, policy,
+                                              aik_key, signing_key):
+        certificate = self._certificate(policy, aik_key)
+        cases = []
+        # Decision flip: PCR 18 no longer binds the digest.
+        cases.append((
+            dict(evidence_type="quote", aik_certificate=certificate,
+                 quote_bytes=self._batch_quote(
+                     aik_key, decision=b"reject").to_bytes()),
+            VerificationFailure.QUOTE_WRONG_PCR18,
+        ))
+        # No enrolled AIK.
+        cases.append((
+            dict(evidence_type="quote", aik_certificate=None,
+                 quote_bytes=self._batch_quote(aik_key).to_bytes()),
+            VerificationFailure.BAD_CA_SIGNATURE,
+        ))
+        # Malformed quote bytes.
+        cases.append((
+            dict(evidence_type="quote", aik_certificate=certificate,
+                 quote_bytes=b"\x01garbage"),
+            VerificationFailure.MALFORMED,
+        ))
+        cases.append((
+            dict(evidence_type="quote", aik_certificate=certificate,
+                 quote_bytes=None),
+            VerificationFailure.MALFORMED,
+        ))
+        # Signed variant: wrong key, then missing key, then non-bytes.
+        attacker = generate_rsa_keypair(512, HmacDrbg(b"batch-attacker"))
+        cases.append((
+            dict(evidence_type="signed",
+                 registered_key=signing_key.public,
+                 signature=self._signature(attacker)),
+            VerificationFailure.BAD_SIGNATURE,
+        ))
+        cases.append((
+            dict(evidence_type="signed", registered_key=None,
+                 signature=self._signature(signing_key)),
+            VerificationFailure.NO_REGISTERED_KEY,
+        ))
+        cases.append((
+            dict(evidence_type="signed",
+                 registered_key=signing_key.public, signature=None),
+            VerificationFailure.MALFORMED,
+        ))
+        # Unknown evidence type.
+        cases.append((
+            dict(evidence_type="telepathy"),
+            VerificationFailure.MALFORMED,
+        ))
+        for kwargs, expected in cases:
+            result = verifier.verify_confirm_batch(
+                text=self.TEXT, nonce=self.NONCE, decision=b"accept",
+                **kwargs,
+            )
+            assert not result.ok, kwargs
+            assert result.failure is expected, kwargs
+
+    def test_stale_ca_set_rejected(self, policy, aik_key):
+        """A cert that no longer chains to a trusted CA stops passing
+        batch verification even though enrollment once accepted it."""
+        certificate = self._certificate(policy, aik_key, trusted=False)
+        policy.trust_ca(PrivacyCa(seed=99).public_key)  # different CA
+        verifier = AttestationVerifier(policy)
+        result = verifier.verify_confirm_batch(
+            evidence_type="quote", text=self.TEXT, nonce=self.NONCE,
+            decision=b"accept", aik_certificate=certificate,
+            quote_bytes=self._batch_quote(aik_key).to_bytes(),
+        )
+        assert result.failure is VerificationFailure.BAD_CA_SIGNATURE
+
+    def test_counter_binds_digest(self, verifier, signing_key):
+        signature = self._signature(signing_key, counter=7)
+        ok = verifier.verify_confirm_batch(
+            evidence_type="signed", text=self.TEXT, nonce=self.NONCE,
+            decision=b"accept", counter=7,
+            registered_key=signing_key.public, signature=signature,
+        )
+        stale = verifier.verify_confirm_batch(
+            evidence_type="signed", text=self.TEXT, nonce=self.NONCE,
+            decision=b"accept", counter=8,
+            registered_key=signing_key.public, signature=signature,
+        )
+        assert ok.ok
+        assert stale.failure is VerificationFailure.BAD_SIGNATURE
+
+    def test_composes_with_verification_cache(self, policy, aik_key,
+                                              signing_key):
+        from repro.server.verifier import VerificationCache
+
+        cache = VerificationCache()
+        verifier = AttestationVerifier(policy, cache=cache)
+        certificate = self._certificate(policy, aik_key)
+        quote_bytes = self._batch_quote(aik_key).to_bytes()
+        kwargs = dict(
+            evidence_type="quote", text=self.TEXT, nonce=self.NONCE,
+            decision=b"accept", aik_certificate=certificate,
+            quote_bytes=quote_bytes,
+        )
+        first = verifier.verify_confirm_batch(**kwargs)
+        misses_after_first = cache.misses
+        second = verifier.verify_confirm_batch(**kwargs)
+        assert first.ok and second.ok
+        assert cache.misses == misses_after_first  # all legs memoized
+        assert cache.hits >= 2  # cert + quote signature both replayed
