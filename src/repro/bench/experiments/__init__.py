@@ -20,6 +20,7 @@ from repro.bench.experiments.availability import r2_crash_availability
 from repro.bench.experiments.robustness import r1_loss_robustness
 from repro.bench.experiments.sharding import f3s_sharded_scaling
 from repro.bench.experiments.openloop import f6_open_loop_rows
+from repro.bench.experiments.elasticity import e4_elastic_rows
 from repro.bench.experiments.rsa_microbench import (
     rsa_backend_microbench,
     rsa_micro_summary,
@@ -35,6 +36,7 @@ __all__ = [
     "fig3_captcha_comparison",
     "f3s_sharded_scaling",
     "f6_open_loop_rows",
+    "e4_elastic_rows",
     "fig4_amortization",
     "fig5_noncedb_scalability",
     "a1_defense_ablation",

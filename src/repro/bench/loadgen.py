@@ -365,6 +365,10 @@ class LoadEngine:
         ]
         self.cookies: Dict[str, bytes] = {}
         self.session_hist = Histogram("loadgen.session_s")
+        #: (virtual end time, completed) per finished session — lets
+        #: experiments compute availability over a *window* (e.g. while
+        #: a migration is in flight) instead of only day-wide totals.
+        self.session_log: List[tuple] = []
         self.outstanding = 0
         self._arrivals: Optional[List[float]] = None
         self._report: Optional[LoadReport] = None
@@ -499,6 +503,7 @@ class LoadEngine:
 
     def _session_done(self, completed: bool, confirms: int, elapsed: float) -> None:
         self.outstanding -= 1
+        self.session_log.append((self.simulator.now, completed))
         report = self._report
         if completed:
             report.sessions_completed += 1

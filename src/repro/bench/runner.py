@@ -1,6 +1,6 @@
 """Parallel experiment-matrix runner.
 
-The report's experiment matrix (T1–T4, F1–F5, F3-S, R1/R2, A1/A2, E1–E3)
+The report's experiment matrix (T1–T4, F1–F6, F3-S, R1/R2, A1/A2, E1–E4)
 is a set of *independent deterministic simulations*: every cell builds
 its own :class:`~repro.sim.Simulator` from its own seed and never
 touches another cell's state.  Serial execution therefore wastes
@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.experiments import (
     a1_defense_ablation,
+    e4_elastic_rows,
     f3s_sharded_scaling,
     f6_open_loop_rows,
     fig1_latency_vs_pal_size,
@@ -142,6 +143,13 @@ def build_cells(smoke: bool = False) -> List[Cell]:
             # day; the 10^5 row runs in the nightly full matrix.
             Cell("f6", ("f6",), f6_open_loop_rows,
                  dict(populations=(1_000, 10_000), seed=SMOKE_SEED)),
+            # E4 smoke keeps the sizing contract of the full run — the
+            # spike overruns one shard (~265 sessions/s) and two absorb
+            # it — on a shorter day so the cell stays CI-cheap.
+            Cell("e4", ("e4",), e4_elastic_rows,
+                 dict(users=6_000, day_seconds=600.0, spike_start=300.0,
+                      spike_duration_s=10.0, spike_multiplier=60.0,
+                      roundtrip_accounts=6, seed=SMOKE_SEED)),
             Cell("f5", ("f5",), fig5_noncedb_scalability,
                  dict(populations=(500, 2_000), seed=SMOKE_SEED)),
             Cell("r1", ("r1",), r1_loss_robustness,
@@ -177,6 +185,7 @@ def build_cells(smoke: bool = False) -> List[Cell]:
              dict(vendors=("infineon", "broadcom"),
                   measure_kwargs={}, f4_kwargs={}, crossover_kwargs={})),
         Cell("f6", ("f6",), f6_open_loop_rows),
+        Cell("e4", ("e4",), e4_elastic_rows),
         Cell("f5", ("f5",), fig5_noncedb_scalability),
         Cell("r1", ("r1",), r1_loss_robustness),
         Cell("r2", ("r2",), r2_crash_availability),
@@ -324,6 +333,9 @@ WALL_KEYS = frozenset(
         # RSAX strategy timings — the deterministic remainder of each
         # row ({bits, strategy, op, agree}) survives the strip.
         "us_per_op",
+        # E4's round-trip migration is wall-timed separately from its
+        # virtual migration seconds (which are deterministic and stay).
+        "rebalance_wall_s",
     }
 )
 
@@ -370,6 +382,16 @@ def wall_record(matrix: MatrixResult) -> Dict[str, object]:
     rsax_rows = matrix.results.get("rsax")
     if rsax_rows:
         record["rsa_micro"] = rsa_micro_summary(rsax_rows)
+    e4 = matrix.results.get("e4")
+    if e4:
+        # Rebalance cost trajectory: how many bytes a scale-up + drain
+        # round trip ships and how long it takes, virtual and wall.
+        roundtrip = e4["roundtrip"]
+        record["rebalance"] = {
+            "bytes": int(roundtrip["rebalance_bytes"]),
+            "virtual_s": roundtrip["rebalance_virtual_s"],
+            "wall_s": round(roundtrip["rebalance_wall_s"], 4),
+        }
     return record
 
 

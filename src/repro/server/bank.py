@@ -68,12 +68,14 @@ class BankServer(ServiceProvider):
     # -- durability hooks --------------------------------------------------
     def capture_business_state(self) -> Message:
         """Ledger state for the provider journal snapshot: balances in
-        insertion order plus the executed-transfer log (the log is what
-        the R2 ablation counts duplicate executions in)."""
+        canonical (name) order — a migration round-trip re-inserts
+        entries, and insertion history must not change the state digest
+        — plus the executed-transfer log in execution order (the log is
+        what the R2 ablation counts duplicate executions in)."""
         return {
             "bal": [
-                encode_message({"a": name, "v": cents})
-                for name, cents in self.balances.items()
+                encode_message({"a": name, "v": self.balances[name]})
+                for name in sorted(self.balances)
             ],
             "xf": [
                 encode_message({
@@ -98,6 +100,28 @@ class BankServer(ServiceProvider):
             )
             for msg in map(decode_message, state["xf"])
         ]
+
+    # -- account-slice migration hooks ------------------------------------
+    def capture_business_slice(self, accounts) -> Message:
+        """The migrated accounts' balances.  The executed-transfer log
+        stays on the shard that executed the transfers: it is a record
+        of where work happened, and duplicate-execution accounting must
+        keep seeing every historical entry exactly once."""
+        return {
+            "bal": [
+                encode_message({"a": name, "v": self.balances[name]})
+                for name in sorted(accounts)
+                if name in self.balances
+            ],
+        }
+
+    def install_business_slice(self, state: Message) -> None:
+        for msg in map(decode_message, state["bal"]):
+            self.balances[str(msg["a"])] = int(msg["v"])
+
+    def drop_business_slice(self, accounts) -> None:
+        for name in accounts:
+            self.balances.pop(name, None)
 
     # -- experiment accessors ----------------------------------------------
     def balance_of(self, account: str) -> int:

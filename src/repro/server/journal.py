@@ -33,6 +33,10 @@ from repro.os.disk import UntrustedDisk
 
 #: WAL framing: u32 record length, record bytes.
 _LEN = struct.Struct(">I")
+#: Upper bound on a plausible record length.  A frame header above this
+#: is not a crash artifact (torn appends only ever *shorten* the file) —
+#: it is mid-log corruption, and restore must refuse rather than skip.
+_MAX_RECORD = 1 << 26
 #: Timestamp encoding: the wire format (`repro.net.messages`) has no
 #: float tag, so virtual times travel as exact big-endian float64.
 _F64 = struct.Struct(">d")
@@ -80,6 +84,9 @@ class ProviderJournal:
         self._since_snapshot = 0
         self.appends = 0
         self.snapshots = 0
+        #: Torn trailing records tolerated by :meth:`read_records` — a
+        #: crash mid-append loses the record being written, nothing else.
+        self.torn_tails = 0
 
     # -- write side ---------------------------------------------------------
     def append(self, record: bytes) -> None:
@@ -104,17 +111,34 @@ class ProviderJournal:
         return self.disk.read_file(self.snapshot_path)
 
     def read_records(self) -> List[bytes]:
-        """Every WAL record appended since the last snapshot, in order."""
+        """Every WAL record appended since the last snapshot, in order.
+
+        A crash that lands mid-append leaves a truncated *final* frame —
+        the one loss a WAL is allowed: the interrupted record's
+        operation never became durable, so restore stops at the last
+        complete record instead of refusing to bring the shard back
+        (counted in ``stats()['torn_tails']``).  An implausible frame
+        length is *not* a crash artifact (torn appends only shorten the
+        file) — that is mid-log corruption and still raises
+        :class:`JournalError`.
+        """
         raw = self.disk.read_file(self.wal_path) or b""
         records: List[bytes] = []
         offset = 0
         while offset < len(raw):
             if offset + _LEN.size > len(raw):
-                raise JournalError(f"truncated WAL header in {self.wal_path}")
+                self.torn_tails += 1
+                break
             (length,) = _LEN.unpack_from(raw, offset)
+            if length > _MAX_RECORD:
+                raise JournalError(
+                    f"corrupt WAL record length {length} at offset "
+                    f"{offset} in {self.wal_path}"
+                )
             offset += _LEN.size
             if offset + length > len(raw):
-                raise JournalError(f"truncated WAL record in {self.wal_path}")
+                self.torn_tails += 1
+                break
             records.append(raw[offset : offset + length])
             offset += length
         return records
@@ -124,4 +148,5 @@ class ProviderJournal:
             "appends": self.appends,
             "snapshots": self.snapshots,
             "wal_bytes": len(self.disk.read_file(self.wal_path) or b""),
+            "torn_tails": self.torn_tails,
         }

@@ -153,6 +153,31 @@ class NonceDatabase:
         }
         self._last_eviction = last_eviction
 
+    # -- account-slice migration ------------------------------------------
+    def absorb_records(self, records: list) -> None:
+        """Adopt a migrated slice's nonce records as-is: no issuance
+        accounting, no DRBG draw, no eviction sweep — the records keep
+        the exact lifecycle state (consumed included) they had on the
+        old owner, which is what keeps cross-shard replay impossible."""
+        for nonce, tx_id, issued_at, expires_at, consumed in records:
+            self._records[nonce] = _NonceRecord(
+                tx_id=tx_id, issued_at=issued_at,
+                expires_at=expires_at, consumed=bool(consumed),
+            )
+
+    def drop_bound(self, tx_ids) -> int:
+        """Forget every nonce bound to one of ``tx_ids`` (the migrated
+        transactions/batches now owned elsewhere); returns the count.
+        Distinct from :meth:`invalidate`: these nonces are not being
+        revoked — their records moved, so no counter changes."""
+        bound = [
+            nonce for nonce, record in self._records.items()
+            if record.tx_id in tx_ids
+        ]
+        for nonce in bound:
+            del self._records[nonce]
+        return len(bound)
+
     def wipe(self) -> None:
         """Crash-stop: the in-memory record set is simply gone."""
         self._records.clear()

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.core.errors import ProtocolError
 from repro.core.protocol import (
@@ -217,6 +217,14 @@ class ServiceProvider:
         self.restarts = 0
         self.journal_restores = 0
         self.records_replayed = 0
+        # -- live rebalancing (account-slice migration) ---------------------
+        #: Active migration taps: while a slice copy is in flight, every
+        #: mutation record is mirrored into each tap so the coordinator
+        #: can ship the WAL tail at ring-flip time (`repro.server
+        #: .rebalance`).  Taps work with or without a disk journal.
+        self._migration_taps: List[list] = []
+        self.accounts_migrated_in = 0
+        self.accounts_migrated_out = 0
         self._register_handlers()
 
     def enable_tls(self) -> None:
@@ -999,8 +1007,20 @@ class ServiceProvider:
         *post-operation* states of both DRBGs (provider ids/cookies and
         nonce minting) so a restored shard resumes the exact randomness
         streams — future nonces mint bit-identically to an uncrashed
-        run, which is what makes the replay defense survive a crash."""
-        if self.journal is None or self._replaying:
+        run, which is what makes the replay defense survive a crash.
+
+        Active migration taps see every record too (copied *before* the
+        DRBG snapshots are attached — a shipped WAL tail must never
+        carry this shard's generator state to another shard), so a
+        coordinator can replay the copy-window mutations on the slice's
+        new owner even when the pool runs journal-less."""
+        if self._replaying:
+            return
+        if self._migration_taps:
+            mirrored = dict(record)
+            for tap in self._migration_taps:
+                tap.append(mirrored)
+        if self.journal is None:
             return
         record["sdk"], record["sdv"], record["sdn"] = self._drbg.snapshot()
         record["ndk"], record["ndv"], record["ndn"] = self.nonces.drbg.snapshot()
@@ -1017,7 +1037,7 @@ class ServiceProvider:
         """Journal a transaction leaving PENDING: final status/detail,
         the idempotent-replay material (evidence digest + response), and
         whether the nonce-consume attempt must be replayed (``cd``)."""
-        if self.journal is None or self._replaying:
+        if self._replaying or (self.journal is None and not self._migration_taps):
             return
         record: Message = {
             "t": "settle",
@@ -1044,7 +1064,7 @@ class ServiceProvider:
         consumed: int,
         counter_account: Optional[str] = None,
     ) -> None:
-        if self.journal is None or self._replaying:
+        if self._replaying or (self.journal is None and not self._migration_taps):
             return
         record: Message = {
             "t": "bsettle",
@@ -1071,70 +1091,164 @@ class ServiceProvider:
     def restore_business_state(self, state: Message) -> None:
         """Subclass hook: inverse of :meth:`capture_business_state`."""
 
+    # Shared element codecs for capture_state / capture_slice and their
+    # inverses — one wire shape per element, used by snapshots, slice
+    # migration and the journal alike.
+    @staticmethod
+    def _encode_account(record: AccountRecord) -> bytes:
+        msg: Message = {
+            "n": record.name,
+            "p": record.password,
+            "ctr": record.last_counter,
+        }
+        if record.cookie is not None:
+            msg["c"] = record.cookie
+        if record.aik_certificate is not None:
+            msg["cert"] = serialize_certificate(record.aik_certificate)
+        if record.registered_key is not None:
+            msg["k"] = record.registered_key.to_bytes()
+        if record.pending_setup_nonce is not None:
+            msg["sn"] = record.pending_setup_nonce
+        return encode_message(msg)
+
+    @staticmethod
+    def _decode_account(encoded: bytes) -> AccountRecord:
+        msg = decode_message(encoded)
+        record = AccountRecord(
+            name=str(msg["n"]),
+            password=str(msg["p"]),
+            last_counter=int(msg["ctr"]),
+        )
+        if "c" in msg:
+            record.cookie = msg["c"]
+        if "cert" in msg:
+            record.aik_certificate = deserialize_certificate(msg["cert"])
+        if "k" in msg:
+            record.registered_key = RsaPublicKey.from_bytes(msg["k"])
+        if "sn" in msg:
+            record.pending_setup_nonce = msg["sn"]
+        return record
+
+    @staticmethod
+    def _encode_nonce(record: tuple) -> bytes:
+        nonce, tx_id, issued_at, expires_at, consumed = record
+        return encode_message({
+            "v": nonce, "tx": tx_id, "ia": pack_time(issued_at),
+            "ea": pack_time(expires_at), "cd": consumed,
+        })
+
+    @staticmethod
+    def _decode_nonce(encoded: bytes) -> tuple:
+        msg = decode_message(encoded)
+        return (
+            msg["v"], msg["tx"], unpack_time(msg["ia"]),
+            unpack_time(msg["ea"]), int(msg["cd"]),
+        )
+
+    @staticmethod
+    def _encode_tx(pending: PendingTransaction) -> bytes:
+        msg: Message = {
+            "id": pending.tx_id,
+            "tx": pending.transaction.canonical_bytes(),
+            "ct": pending.canonical_text,
+            "n": pending.nonce,
+            "ia": pack_time(pending.issued_at),
+            "st": pending.status.value,
+            "dt": pending.detail,
+            "sa": pack_time(pending.settled_at),
+        }
+        if pending.evidence_digest is not None:
+            msg["dg"] = pending.evidence_digest
+        if pending.final_response is not None:
+            msg["fr"] = encode_message(pending.final_response)
+        return encode_message(msg)
+
+    @staticmethod
+    def _decode_tx(encoded: bytes) -> PendingTransaction:
+        msg = decode_message(encoded)
+        pending = PendingTransaction(
+            tx_id=msg["id"],
+            transaction=Transaction.from_canonical_bytes(msg["tx"]),
+            canonical_text=msg["ct"],
+            nonce=msg["n"],
+            issued_at=unpack_time(msg["ia"]) or 0.0,
+            status=TxStatus(str(msg["st"])),
+            detail=str(msg["dt"]),
+            settled_at=unpack_time(msg["sa"]),
+        )
+        if "dg" in msg:
+            pending.evidence_digest = msg["dg"]
+        if "fr" in msg:
+            pending.final_response = decode_message(msg["fr"])
+        return pending
+
+    @staticmethod
+    def _encode_batch(batch: PendingBatch) -> bytes:
+        msg: Message = {
+            "id": batch.batch_id,
+            "ids": list(batch.tx_ids),
+            "ct": batch.canonical_text,
+            "n": batch.nonce,
+            "ia": pack_time(batch.issued_at),
+            "a": batch.account,
+            "st": batch.status.value,
+            "dt": batch.detail,
+            "sa": pack_time(batch.settled_at),
+        }
+        if batch.evidence_digest is not None:
+            msg["dg"] = batch.evidence_digest
+        if batch.final_response is not None:
+            msg["fr"] = encode_message(batch.final_response)
+        return encode_message(msg)
+
+    @staticmethod
+    def _decode_batch(encoded: bytes) -> PendingBatch:
+        msg = decode_message(encoded)
+        batch = PendingBatch(
+            batch_id=msg["id"],
+            tx_ids=list(msg["ids"]),
+            canonical_text=msg["ct"],
+            nonce=msg["n"],
+            issued_at=unpack_time(msg["ia"]) or 0.0,
+            account=str(msg["a"]),
+            status=TxStatus(str(msg["st"])),
+            detail=str(msg["dt"]),
+            settled_at=unpack_time(msg["sa"]),
+        )
+        if "dg" in msg:
+            batch.evidence_digest = msg["dg"]
+        if "fr" in msg:
+            batch.final_response = decode_message(msg["fr"])
+        return batch
+
     def capture_state(self) -> Message:
         """The provider's complete protocol state as two canonical
         blobs: ``core`` (everything the security argument rests on —
         hashed by :meth:`state_digest`) and ``stats`` (observability
-        counters, restored but excluded from the identity check)."""
-        accounts = []
-        for record in self.accounts.values():
-            msg: Message = {
-                "n": record.name,
-                "p": record.password,
-                "ctr": record.last_counter,
-            }
-            if record.cookie is not None:
-                msg["c"] = record.cookie
-            if record.aik_certificate is not None:
-                msg["cert"] = serialize_certificate(record.aik_certificate)
-            if record.registered_key is not None:
-                msg["k"] = record.registered_key.to_bytes()
-            if record.pending_setup_nonce is not None:
-                msg["sn"] = record.pending_setup_nonce
-            accounts.append(encode_message(msg))
-        nonce_records = [
-            encode_message({
-                "v": nonce, "tx": tx_id, "ia": pack_time(issued_at),
-                "ea": pack_time(expires_at), "cd": consumed,
-            })
-            for nonce, tx_id, issued_at, expires_at, consumed
-            in self.nonces.export_records()
+        counters, restored but excluded from the identity check).
+
+        Elements are serialized in *canonical key order* (accounts by
+        name, nonces by value, transactions/batches by id) rather than
+        dict-insertion order: a migration round-trip re-inserts entries,
+        and insertion history must not leak into the state identity —
+        two shards holding the same state digest equal, however the
+        entries got there."""
+        accounts = [
+            self._encode_account(self.accounts[name])
+            for name in sorted(self.accounts)
         ]
-        txs = []
-        for pending in self.transactions.values():
-            msg = {
-                "id": pending.tx_id,
-                "tx": pending.transaction.canonical_bytes(),
-                "ct": pending.canonical_text,
-                "n": pending.nonce,
-                "ia": pack_time(pending.issued_at),
-                "st": pending.status.value,
-                "dt": pending.detail,
-                "sa": pack_time(pending.settled_at),
-            }
-            if pending.evidence_digest is not None:
-                msg["dg"] = pending.evidence_digest
-            if pending.final_response is not None:
-                msg["fr"] = encode_message(pending.final_response)
-            txs.append(encode_message(msg))
-        batches = []
-        for batch in self.batches.values():
-            msg = {
-                "id": batch.batch_id,
-                "ids": list(batch.tx_ids),
-                "ct": batch.canonical_text,
-                "n": batch.nonce,
-                "ia": pack_time(batch.issued_at),
-                "a": batch.account,
-                "st": batch.status.value,
-                "dt": batch.detail,
-                "sa": pack_time(batch.settled_at),
-            }
-            if batch.evidence_digest is not None:
-                msg["dg"] = batch.evidence_digest
-            if batch.final_response is not None:
-                msg["fr"] = encode_message(batch.final_response)
-            batches.append(encode_message(msg))
+        nonce_records = [
+            self._encode_nonce(record)
+            for record in sorted(self.nonces.export_records())
+        ]
+        txs = [
+            self._encode_tx(self.transactions[tx_id])
+            for tx_id in sorted(self.transactions)
+        ]
+        batches = [
+            self._encode_batch(self.batches[batch_id])
+            for batch_id in sorted(self.batches)
+        ]
         sdk, sdv, sdn = self._drbg.snapshot()
         ndk, ndv, ndn = self.nonces.drbg.snapshot()
         core: Message = {
@@ -1183,66 +1297,21 @@ class ServiceProvider:
         self.accounts = {}
         self._cookies = {}
         for encoded in core["accounts"]:
-            msg = decode_message(encoded)
-            record = AccountRecord(
-                name=str(msg["n"]),
-                password=str(msg["p"]),
-                last_counter=int(msg["ctr"]),
-            )
-            if "c" in msg:
-                record.cookie = msg["c"]
+            record = self._decode_account(encoded)
+            if record.cookie is not None:
                 self._cookies[record.cookie] = record.name
-            if "cert" in msg:
-                record.aik_certificate = deserialize_certificate(msg["cert"])
-            if "k" in msg:
-                record.registered_key = RsaPublicKey.from_bytes(msg["k"])
-            if "sn" in msg:
-                record.pending_setup_nonce = msg["sn"]
             self.accounts[record.name] = record
         self.nonces.import_records(
-            [
-                (m["v"], m["tx"], unpack_time(m["ia"]),
-                 unpack_time(m["ea"]), int(m["cd"]))
-                for m in map(decode_message, core["nonces"])
-            ],
+            [self._decode_nonce(encoded) for encoded in core["nonces"]],
             unpack_time(core["nle"]) or 0.0,
         )
         self.transactions = {}
         for encoded in core["txs"]:
-            msg = decode_message(encoded)
-            pending = PendingTransaction(
-                tx_id=msg["id"],
-                transaction=Transaction.from_canonical_bytes(msg["tx"]),
-                canonical_text=msg["ct"],
-                nonce=msg["n"],
-                issued_at=unpack_time(msg["ia"]) or 0.0,
-                status=TxStatus(str(msg["st"])),
-                detail=str(msg["dt"]),
-                settled_at=unpack_time(msg["sa"]),
-            )
-            if "dg" in msg:
-                pending.evidence_digest = msg["dg"]
-            if "fr" in msg:
-                pending.final_response = decode_message(msg["fr"])
+            pending = self._decode_tx(encoded)
             self.transactions[pending.tx_id] = pending
         self.batches = {}
         for encoded in core["batches"]:
-            msg = decode_message(encoded)
-            batch = PendingBatch(
-                batch_id=msg["id"],
-                tx_ids=list(msg["ids"]),
-                canonical_text=msg["ct"],
-                nonce=msg["n"],
-                issued_at=unpack_time(msg["ia"]) or 0.0,
-                account=str(msg["a"]),
-                status=TxStatus(str(msg["st"])),
-                detail=str(msg["dt"]),
-                settled_at=unpack_time(msg["sa"]),
-            )
-            if "dg" in msg:
-                batch.evidence_digest = msg["dg"]
-            if "fr" in msg:
-                batch.final_response = decode_message(msg["fr"])
+            batch = self._decode_batch(encoded)
             self.batches[batch.batch_id] = batch
         self._last_store_sweep = unpack_time(core["sweep_at"]) or 0.0
         self._drbg.restore((core["sdk"], core["sdv"], int(core["sdn"])))
@@ -1445,6 +1514,13 @@ class ServiceProvider:
             self._last_store_sweep = unpack_time(rec["at"]) or 0.0
         elif kind == "retire":
             self.retire_settled(unpack_time(rec["at"]))
+        elif kind == "mig_in":
+            self._apply_slice(decode_message(rec["s"]))
+        elif kind == "mig_out":
+            self._drop_slice([str(name) for name in rec["a"]])
+        elif kind == "mig_tail":
+            for encoded in rec["rs"]:
+                self._replay_record(decode_message(encoded))
         else:
             raise JournalError(f"unknown journal record kind {kind!r}")
 
@@ -1515,6 +1591,182 @@ class ServiceProvider:
                 member.detail = batch.detail
                 member.settled_at = at
             self.rechallenges_required += 1
+
+    # -- account-slice migration (live rebalancing) ----------------------
+    # The elastic pool (`repro.server.rebalance`) moves an account range
+    # between shards in two phases: capture_slice ships a snapshot of
+    # the slice while the source keeps serving (a migration tap mirrors
+    # every mutation record in the copy window), then at ring-flip time
+    # apply_migration_records replays the tail on the new owner and
+    # drop_slice removes the range from the source.  Consumed nonces
+    # travel with their transactions, so evidence replayed cross-shard
+    # after a flip is still rejected *by construction* — the nonce
+    # arrives on the new owner already marked consumed.
+
+    def capture_business_slice(self, accounts: Iterable[str]) -> Message:
+        """Subclass hook: the business state bound to ``accounts``
+        (e.g. their ledger balances).  Historical logs stay behind —
+        they record where work *happened*, not who owns the account."""
+        return {}
+
+    def install_business_slice(self, state: Message) -> None:
+        """Subclass hook: inverse of :meth:`capture_business_slice`."""
+
+    def drop_business_slice(self, accounts: Iterable[str]) -> None:
+        """Subclass hook: forget the business state of a migrated-out
+        account range."""
+
+    def start_migration_tap(self) -> list:
+        """Begin mirroring mutation records (the live WAL tail) into a
+        fresh list; runs with or without a disk journal attached."""
+        tap: list = []
+        self._migration_taps.append(tap)
+        return tap
+
+    def stop_migration_tap(self, tap: list) -> list:
+        self._migration_taps.remove(tap)
+        return tap
+
+    def capture_slice(self, account_names: Iterable[str]) -> Message:
+        """Snapshot everything owned by ``account_names``: the account
+        records, their live and settled transactions/batches, every
+        nonce bound to those ids (consumed ones included — the replay
+        defense must survive the move), and the business slice.  DRBG
+        states deliberately stay home: randomness streams belong to a
+        host, not to an account range."""
+        names = sorted(set(account_names) & self.accounts.keys())
+        name_set = set(names)
+        owned_txs = sorted(
+            tx_id for tx_id, pending in self.transactions.items()
+            if pending.transaction.account in name_set
+        )
+        owned_batches = sorted(
+            batch_id for batch_id, batch in self.batches.items()
+            if batch.account in name_set
+        )
+        owned_ids = set(owned_txs) | set(owned_batches)
+        nonce_records = sorted(
+            record for record in self.nonces.export_records()
+            if record[1] in owned_ids
+        )
+        return {
+            "names": names,
+            "as": [self._encode_account(self.accounts[n]) for n in names],
+            "ns": [self._encode_nonce(r) for r in nonce_records],
+            "txs": [self._encode_tx(self.transactions[t]) for t in owned_txs],
+            "bs": [self._encode_batch(self.batches[b]) for b in owned_batches],
+            "biz": encode_message(self.capture_business_slice(names)),
+        }
+
+    def install_slice(self, blob: Message) -> List[str]:
+        """Adopt a captured slice as the new owner; journaled as one
+        ``mig_in`` record so a crash after the flip restores the shard
+        with the migrated range intact."""
+        names = self._apply_slice(blob)
+        self._journal_append({"t": "mig_in", "s": encode_message(blob)})
+        return names
+
+    def _apply_slice(self, blob: Message) -> List[str]:
+        names = [str(name) for name in blob["names"]]
+        for encoded in blob["as"]:
+            record = self._decode_account(encoded)
+            previous = self.accounts.get(record.name)
+            if previous is not None and previous.cookie is not None:
+                self._cookies.pop(previous.cookie, None)
+            self.accounts[record.name] = record
+            if record.cookie is not None:
+                self._cookies[record.cookie] = record.name
+        for encoded in blob["txs"]:
+            pending = self._decode_tx(encoded)
+            self.transactions[pending.tx_id] = pending
+        for encoded in blob["bs"]:
+            batch = self._decode_batch(encoded)
+            self.batches[batch.batch_id] = batch
+        self.nonces.absorb_records(
+            [self._decode_nonce(encoded) for encoded in blob["ns"]]
+        )
+        self.install_business_slice(decode_message(blob["biz"]))
+        self.accounts_migrated_in += len(names)
+        self.transactions_peak = max(
+            self.transactions_peak, len(self.transactions)
+        )
+        return names
+
+    def drop_slice(self, account_names: Iterable[str]) -> int:
+        """Remove a migrated-out account range from this shard;
+        journaled as one ``mig_out`` record."""
+        names = sorted(set(account_names) & self.accounts.keys())
+        if not names:
+            return 0
+        self._drop_slice(names)
+        self._journal_append({"t": "mig_out", "a": list(names)})
+        return len(names)
+
+    def _drop_slice(self, names: List[str]) -> None:
+        name_set = set(names)
+        removed_ids: Set[bytes] = set()
+        for tx_id in [
+            tx_id for tx_id, pending in self.transactions.items()
+            if pending.transaction.account in name_set
+        ]:
+            removed_ids.add(tx_id)
+            del self.transactions[tx_id]
+        for batch_id in [
+            batch_id for batch_id, batch in self.batches.items()
+            if batch.account in name_set
+        ]:
+            removed_ids.add(batch_id)
+            del self.batches[batch_id]
+        self.nonces.drop_bound(removed_ids)
+        for name in names:
+            record = self.accounts.pop(name, None)
+            if record is not None and record.cookie is not None:
+                self._cookies.pop(record.cookie, None)
+        self.drop_business_slice(names)
+        self.accounts_migrated_out += len(names)
+
+    def apply_migration_records(
+        self, records: List[Message], account_names: Iterable[str]
+    ) -> int:
+        """Replay a copy-window WAL tail, keeping only the records that
+        concern the migrated range.  Filtering is interleaved with
+        replay: a transaction *created* during the window (its ``txreq``
+        is in the tail) must be visible when its own settle record is
+        screened.  The applied tail is journaled as one ``mig_tail``
+        record carrying this shard's own post-apply DRBG states —
+        replay mints nothing, so the streams are untouched."""
+        name_set = set(account_names)
+        applied: List[Message] = []
+        self._replaying = True
+        try:
+            for record in records:
+                if not self._migration_record_applies(record, name_set):
+                    continue
+                self._replay_record(record)
+                applied.append(record)
+        finally:
+            self._replaying = False
+        if applied:
+            self._journal_append(
+                {"t": "mig_tail", "rs": [encode_message(r) for r in applied]}
+            )
+        return len(applied)
+
+    def _migration_record_applies(self, rec: Message, names: Set[str]) -> bool:
+        kind = rec["t"]
+        if kind == "reg":
+            return str(decode_message(rec["req"])["account"]) in names
+        if kind in ("login", "cert", "sbegin", "skey", "breq"):
+            return str(rec["a"]) in names
+        if kind == "txreq":
+            return Transaction.from_canonical_bytes(rec["tx"]).account in names
+        if kind in ("rechal", "settle", "expire"):
+            return rec["id"] in self.transactions
+        if kind in ("brechal", "bsettle", "bexpire"):
+            return rec["id"] in self.batches
+        # retire/sweepmark pace the *source's* store maintenance;
+        # nested mig_* records never ship (one migration at a time).
+        return False
 
     # -- experiment accessors -------------------------------------------------
     def count_by_status(self) -> Dict[str, int]:

@@ -1,0 +1,523 @@
+"""Elastic shard pool: live migration, drain, and autoscaling.
+
+The sharded provider (`repro.server.router`) fixes its pool size at
+build time, but the paper's deployment story — confirmation as a
+captcha replacement at web scale — faces diurnal load with flash
+crowds (F6).  A pool sized for the spike wastes shards all night; a
+pool sized for the trough sheds the spike.  This module makes the pool
+*elastic* without ever weakening the security argument:
+
+* :class:`ShardPoolManager` moves **account ranges** between shards as
+  a snapshot + WAL-tail copy: capture the range's slice (accounts,
+  sessions, transactions, batches, and every nonce bound to them —
+  consumed ones included), ship it over a modeled transfer window while
+  a migration tap mirrors the source's live mutations, then atomically
+  flip ring ownership and replay the tail on the new owner.  The
+  replay defense survives the move *by construction*: a nonce's record
+  travels with its transaction, so evidence can no more be replayed
+  across a migration than across the original shard boundary.
+* Draining inverts the same machinery: a departing shard stops
+  admitting new sessions, in-flight legs settle, its ranges migrate to
+  the survivors, and the shard is removed — survivor state is
+  bit-identical (pool ``state_digest``) to a pool that was never
+  scaled.
+* :class:`AutoScaler` closes the loop: a periodic controller reads the
+  router's own signals (shed rate, outstanding legs, breaker states)
+  and scales up under sustained pressure, drains the newest shard in
+  sustained calm — with streak hysteresis and a cooldown so a single
+  noisy tick never thrashes the pool.
+
+Everything runs on the simulation's virtual clock and derives no new
+randomness, so an elastic run is as deterministic as a static one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.net.messages import Message, decode_message, encode_message
+from repro.server.provider import ServiceProvider
+from repro.server.router import CircuitBreaker, HashRing, ProviderRouter
+from repro.sim.kernel import Simulator
+
+#: Modeled migration link: snapshot bytes stream at this rate during
+#: the copy window (LAN-class replication traffic).
+DEFAULT_BANDWIDTH_BYTES_PER_S = 8_000_000.0
+#: Fixed per-migration setup cost (connection + coordination).
+DEFAULT_TRANSFER_LATENCY_S = 0.05
+#: How long after a ring flip the router re-aims disowned responses at
+#: the new owner (covers legs that were in flight at the flip).
+DEFAULT_DUAL_READ_WINDOW_S = 2.0
+
+
+@dataclass
+class MigrationReport:
+    """One completed migration, for the E4 experiment ledger."""
+
+    kind: str  # "scale_up" | "drain" | "reconcile"
+    host: str  # the shard added or removed
+    accounts: int
+    snapshot_bytes: int
+    tail_records: int
+    tail_bytes: int
+    started_at: float
+    flipped_at: float
+
+    @property
+    def migration_s(self) -> float:
+        return self.flipped_at - self.started_at
+
+
+class ShardPoolManager:
+    """Coordinator for account-range migration on a live shard pool.
+
+    One migration at a time (``busy`` guards overlap — ranges in
+    flight must not be re-sliced by a second operation).  The
+    ``shard_factory(host)`` callable builds a fresh, network-attached
+    shard; keeping construction outside the manager lets callers
+    decide journaling, caching, and provider class.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        router: ProviderRouter,
+        shard_factory: Callable[[str], ServiceProvider],
+        *,
+        bandwidth_bytes_per_s: float = DEFAULT_BANDWIDTH_BYTES_PER_S,
+        transfer_latency_s: float = DEFAULT_TRANSFER_LATENCY_S,
+        dual_read_window_s: float = DEFAULT_DUAL_READ_WINDOW_S,
+        drain_poll_s: float = 0.25,
+        drain_grace_s: float = 30.0,
+    ) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"bandwidth must be > 0: {bandwidth_bytes_per_s}"
+            )
+        self.simulator = simulator
+        self.router = router
+        self.shard_factory = shard_factory
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self.transfer_latency_s = transfer_latency_s
+        self.dual_read_window_s = dual_read_window_s
+        self.drain_poll_s = drain_poll_s
+        self.drain_grace_s = drain_grace_s
+        self.reports: List[MigrationReport] = []
+        self.failovers_reconciled = 0
+        self._busy = False
+        #: Highest shard number ever used, drained shards included — a
+        #: reused hostname would re-derive the same DRBG streams.
+        self._retired_seq = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def totals(self) -> Dict[str, float]:
+        """Aggregate migration cost, for experiment rows."""
+        return {
+            "migrations": len(self.reports),
+            "accounts_moved": sum(r.accounts for r in self.reports),
+            "snapshot_bytes": sum(r.snapshot_bytes for r in self.reports),
+            "tail_records": sum(r.tail_records for r in self.reports),
+            "tail_bytes": sum(r.tail_bytes for r in self.reports),
+            "migration_s": sum(r.migration_s for r in self.reports),
+            "failovers_reconciled": self.failovers_reconciled,
+        }
+
+    def _next_host(self) -> str:
+        """Monotonic shard numbering: never reuse a drained shard's
+        hostname — a reused host would re-derive the *same* DRBG
+        streams, and freshness must never repeat."""
+        prefix = f"{self.router.host}!shard"
+        highest = -1
+        for shard in self.router.shards:
+            if shard.host.startswith(prefix):
+                try:
+                    highest = max(highest, int(shard.host[len(prefix):]))
+                except ValueError:
+                    continue
+        highest = max(highest, self._retired_seq)
+        return f"{prefix}{highest + 1}"
+
+    def _note_seq(self, host: str) -> None:
+        prefix = f"{self.router.host}!shard"
+        if host.startswith(prefix):
+            try:
+                self._retired_seq = max(
+                    self._retired_seq, int(host[len(prefix):])
+                )
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Scale up: add a shard, migrate its ring ranges in
+    # ------------------------------------------------------------------
+    def scale_up(self) -> Optional[str]:
+        """Add one shard and migrate the account ranges the grown ring
+        assigns to it.  Returns the new shard's host, or ``None`` if a
+        migration is already in flight.
+
+        Sequence: (1) attach the empty shard — reachable by index, owns
+        nothing; (2) capture each source's slice and open a migration
+        tap; (3) after the modeled copy window, replay the WAL tails,
+        drop the source ranges, rebuild the ring, and rewrite the
+        router's learned routes — the atomic flip.  Legs that raced the
+        flip are covered by the dual-read window.
+        """
+        if self._busy:
+            return None
+        self._busy = True
+        router = self.router
+        new_host = self._next_host()
+        self._note_seq(new_host)
+        shard = self.shard_factory(new_host)
+        new_index = router.add_shard(shard)
+        new_ring = HashRing(
+            [s.host for s in router.shards], vnodes=router._vnodes
+        )
+        started = self.simulator.now
+        moves: List[tuple] = []  # (source, names, blob, tap)
+        snapshot_bytes = 0
+        for source in router.shards[:-1]:
+            names = sorted(
+                name for name in source.accounts
+                if new_ring.index_for(name) == new_index
+            )
+            if not names:
+                continue
+            blob = source.capture_slice(names)
+            snapshot_bytes += len(encode_message(blob))
+            moves.append((source, names, blob, source.start_migration_tap()))
+        copy_s = (
+            self.transfer_latency_s
+            + snapshot_bytes / self.bandwidth_bytes_per_s
+        )
+
+        def flip() -> None:
+            moved: Dict[str, int] = {}
+            tail_records = 0
+            tail_bytes = 0
+            for source, names, blob, tap in moves:
+                records = source.stop_migration_tap(tap)
+                tail_bytes += sum(len(encode_message(r)) for r in records)
+                # Accounts *registered during the copy window* whose
+                # range belongs to the new shard ride along in the tail
+                # (their reg record recreates them on replay) — frozen
+                # name lists would strand them on a range they no
+                # longer own.
+                window_names = set(names)
+                for record in records:
+                    if record.get("t") != "reg":
+                        continue
+                    account = str(decode_message(record["req"])["account"])
+                    if new_ring.index_for(account) == new_index:
+                        window_names.add(account)
+                all_names = sorted(window_names)
+                shard.install_slice(blob)
+                tail_records += shard.apply_migration_records(
+                    records, all_names
+                )
+                source.drop_slice(all_names)
+                for name in all_names:
+                    moved[name] = new_index
+            router.rebuild_ring()
+            router.complete_migration(moved, self.dual_read_window_s)
+            self.reports.append(MigrationReport(
+                kind="scale_up", host=new_host, accounts=len(moved),
+                snapshot_bytes=snapshot_bytes, tail_records=tail_records,
+                tail_bytes=tail_bytes, started_at=started,
+                flipped_at=self.simulator.now,
+            ))
+            self.simulator.metrics.counter("rebalance.scale_ups").increment()
+            self._busy = False
+
+        self.simulator.schedule(copy_s, flip, label="rebalance.flip_up")
+        return new_host
+
+    # ------------------------------------------------------------------
+    # Drain: migrate a shard's ranges out, then remove it
+    # ------------------------------------------------------------------
+    def drain_shard(self, host: str) -> bool:
+        """Begin draining ``host`` for removal.  The shard immediately
+        stops admitting new sessions; once its outstanding legs settle
+        (or the grace period lapses), its ranges migrate to the ring's
+        surviving owners and the shard is detached."""
+        if self._busy:
+            return False
+        router = self.router
+        if len(router.shards) <= 1:
+            raise ValueError("cannot drain the last shard")
+        index = next(
+            (i for i, s in enumerate(router.shards) if s.host == host), None
+        )
+        if index is None:
+            raise ValueError(f"no shard with host {host!r}")
+        self._busy = True
+        self._note_seq(host)
+        router.draining.add(index)
+        deadline = self.simulator.now + self.drain_grace_s
+
+        def poll() -> None:
+            live = next(
+                i for i, s in enumerate(router.shards) if s.host == host
+            )
+            if (
+                router.outstanding[live] > 0
+                and self.simulator.now < deadline
+            ):
+                self.simulator.schedule(
+                    self.drain_poll_s, poll, label="rebalance.drain_poll"
+                )
+                return
+            self._begin_drain_copy(host)
+
+        self.simulator.schedule(
+            self.drain_poll_s, poll, label="rebalance.drain_poll"
+        )
+        return True
+
+    def _begin_drain_copy(self, host: str) -> None:
+        router = self.router
+        source = next(s for s in router.shards if s.host == host)
+        survivor_ring = HashRing(
+            [s.host for s in router.shards if s.host != host],
+            vnodes=router._vnodes,
+        )
+        groups: Dict[str, List[str]] = {}
+        for name in sorted(source.accounts):
+            groups.setdefault(survivor_ring.host_for(name), []).append(name)
+        blobs = {
+            dest: source.capture_slice(names)
+            for dest, names in groups.items()
+        }
+        tap = source.start_migration_tap()
+        snapshot_bytes = sum(len(encode_message(b)) for b in blobs.values())
+        copy_s = (
+            self.transfer_latency_s
+            + snapshot_bytes / self.bandwidth_bytes_per_s
+        )
+        started = self.simulator.now
+
+        def flip() -> None:
+            records = source.stop_migration_tap(tap)
+            tail_bytes = sum(len(encode_message(r)) for r in records)
+            tail_records = 0
+            dest_hosts: Dict[str, str] = {}
+            all_names: List[str] = []
+            for dest_host, names in groups.items():
+                dest = next(
+                    s for s in router.shards if s.host == dest_host
+                )
+                dest.install_slice(blobs[dest_host])
+                tail_records += dest.apply_migration_records(records, names)
+                all_names.extend(names)
+                for name in names:
+                    dest_hosts[name] = dest_host
+            source.drop_slice(all_names)
+            router.remove_shard(host)  # rebuilds ring, shifts indices
+            host_index = {s.host: i for i, s in enumerate(router.shards)}
+            moved = {
+                name: host_index[dest] for name, dest in dest_hosts.items()
+            }
+            router.complete_migration(moved, self.dual_read_window_s)
+            self.reports.append(MigrationReport(
+                kind="drain", host=host, accounts=len(moved),
+                snapshot_bytes=snapshot_bytes, tail_records=tail_records,
+                tail_bytes=tail_bytes, started_at=started,
+                flipped_at=self.simulator.now,
+            ))
+            self.simulator.metrics.counter("rebalance.drains").increment()
+            self._busy = False
+
+        self.simulator.schedule(copy_s, flip, label="rebalance.flip_drain")
+
+    # ------------------------------------------------------------------
+    # Failover reconciliation
+    # ------------------------------------------------------------------
+    def reconcile_failovers(self) -> int:
+        """Migrate register-failover overrides back to ring ownership.
+
+        A register that failed over during an outage left the account
+        on a neighbor shard plus a router-side override entry; without
+        reconciliation those overrides accumulate forever (and a router
+        restart would lose them, orphaning the accounts).  Once the
+        home shard's breaker is closed again, each override's account
+        migrates home through the same slice machinery and the override
+        is dropped.  Returns the number of accounts moved."""
+        if self._busy:
+            return 0
+        router = self.router
+        moved: Dict[str, int] = {}
+        for account in sorted(router._account_shard):
+            override = router._account_shard[account]
+            home = router.ring.index_for(account)
+            if home == override:
+                del router._account_shard[account]
+                continue
+            source = router.shards[override]
+            if account not in source.accounts:
+                # The account never materialized (failed registration);
+                # the override maps nothing and just goes.
+                del router._account_shard[account]
+                continue
+            if router.breakers[home].state != CircuitBreaker.CLOSED:
+                continue
+            if home in router.draining:
+                continue
+            target = router.shards[home]
+            blob = source.capture_slice([account])
+            target.install_slice(blob)
+            source.drop_slice([account])
+            moved[account] = home
+        if moved:
+            router.complete_migration(moved, self.dual_read_window_s)
+            self.failovers_reconciled += len(moved)
+            self.reports.append(MigrationReport(
+                kind="reconcile", host=router.host, accounts=len(moved),
+                snapshot_bytes=0, tail_records=0, tail_bytes=0,
+                started_at=self.simulator.now,
+                flipped_at=self.simulator.now,
+            ))
+        return len(moved)
+
+
+class AutoScaler:
+    """Periodic control loop over the router's own load signals.
+
+    Pressure = load shedding this tick, or a shard's outstanding
+    backlog near the shedding threshold.  Calm = no shedding, shallow
+    backlogs, every breaker closed.  ``up_ticks`` consecutive pressure
+    ticks trigger a scale-up (to ``max_shards``); ``down_ticks``
+    consecutive calm ticks drain the newest shard (to ``min_shards``).
+    A cooldown after every action lets the previous migration's effect
+    show up in the signals before the controller moves again —
+    hysteresis against flapping on the F6 flash-crowd edge.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        router: ProviderRouter,
+        manager: ShardPoolManager,
+        *,
+        min_shards: int = 1,
+        max_shards: int = 4,
+        tick_s: float = 1.0,
+        up_shed_per_tick: int = 1,
+        up_outstanding: int = 48,
+        up_ticks: int = 2,
+        down_outstanding: int = 2,
+        down_ticks: int = 20,
+        cooldown_s: float = 30.0,
+    ) -> None:
+        if min_shards < 1 or max_shards < min_shards:
+            raise ValueError(
+                f"bad shard bounds: [{min_shards}, {max_shards}]"
+            )
+        if tick_s <= 0:
+            raise ValueError(f"tick_s must be > 0: {tick_s}")
+        self.simulator = simulator
+        self.router = router
+        self.manager = manager
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.tick_s = tick_s
+        self.up_shed_per_tick = up_shed_per_tick
+        self.up_outstanding = up_outstanding
+        self.up_ticks = up_ticks
+        self.down_outstanding = down_outstanding
+        self.down_ticks = down_ticks
+        self.cooldown_s = cooldown_s
+        self.events: List[dict] = []
+        self.ticks = 0
+        self._last_shed = router.shed
+        self._last_action_at = float("-inf")
+        self._up_streak = 0
+        self._down_streak = 0
+
+    def start(self) -> None:
+        self.simulator.schedule(self.tick_s, self._tick, label="autoscaler.tick")
+
+    def _newest_host(self) -> Optional[str]:
+        """Drain candidate: the highest-numbered non-draining shard
+        (newest first keeps the pool's stable core untouched)."""
+        prefix = f"{self.router.host}!shard"
+        best: Optional[tuple] = None
+        for index, shard in enumerate(self.router.shards):
+            if index in self.router.draining:
+                continue
+            if not shard.host.startswith(prefix):
+                continue
+            try:
+                seq = int(shard.host[len(prefix):])
+            except ValueError:
+                continue
+            if best is None or seq > best[0]:
+                best = (seq, shard.host)
+        return best[1] if best else None
+
+    def _tick(self) -> None:
+        router = self.router
+        self.ticks += 1
+        self.manager.reconcile_failovers()
+        shed_delta = router.shed - self._last_shed
+        self._last_shed = router.shed
+        backlog = max(router.outstanding) if router.outstanding else 0
+        open_breakers = sum(
+            1 for b in router.breakers if b.state != CircuitBreaker.CLOSED
+        )
+        pressure = (
+            shed_delta >= self.up_shed_per_tick
+            or backlog >= self.up_outstanding
+        )
+        # Never scale down mid-outage: a trough with an open breaker is
+        # missing capacity, not excess.
+        calm = (
+            shed_delta == 0
+            and backlog <= self.down_outstanding
+            and open_breakers == 0
+        )
+        if pressure:
+            self._up_streak += 1
+            self._down_streak = 0
+        elif calm:
+            self._down_streak += 1
+            self._up_streak = 0
+        else:
+            self._up_streak = 0
+            self._down_streak = 0
+        now = self.simulator.now
+        ready = (
+            not self.manager.busy
+            and now - self._last_action_at >= self.cooldown_s
+        )
+        if (
+            ready
+            and self._up_streak >= self.up_ticks
+            and len(router.shards) < self.max_shards
+        ):
+            host = self.manager.scale_up()
+            if host is not None:
+                self.events.append({
+                    "at": now, "action": "scale_up", "host": host,
+                    "shards": len(router.shards),
+                })
+                self._last_action_at = now
+                self._up_streak = 0
+        elif (
+            ready
+            and self._down_streak >= self.down_ticks
+            and len(router.shards) > self.min_shards
+        ):
+            host = self._newest_host()
+            if host is not None and self.manager.drain_shard(host):
+                self.events.append({
+                    "at": now, "action": "drain", "host": host,
+                    "shards": len(router.shards),
+                })
+                self._last_action_at = now
+                self._down_streak = 0
+        self.simulator.schedule(self.tick_s, self._tick, label="autoscaler.tick")

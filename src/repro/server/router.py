@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.net.messages import Message
 from repro.net.network import LinkSpec, Network
@@ -58,6 +58,12 @@ _ACCOUNT_ROUTED = ("register", "login")
 #: open.  An explicit, immediate refusal — the one thing the router must
 #: never do during an outage is hang the caller.
 DENIAL_SHARD_DOWN = "shard down"
+
+#: Denial reason while a shard is being drained for removal: it stops
+#: admitting *new* sessions (login) but keeps serving in-flight ones.
+#: Retryable — the account's range flips to a surviving shard within
+#: the copy window, so the client's next attempt lands on the new owner.
+DENIAL_SHARD_DRAINING = "shard draining"
 
 #: Response key marking a DENIAL_SHARD_DOWN refusal as retryable — the
 #: shard's state is intact (or restorable); only its process is gone.
@@ -210,6 +216,9 @@ class ProviderRouter:
         self.simulator = simulator
         self.host = host
         self.shards = list(shards)
+        self._vnodes = vnodes
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset_s = breaker_reset_s
         self.ring = HashRing([shard.host for shard in self.shards], vnodes=vnodes)
         if not network.is_attached(host):
             network.attach(host, LinkSpec.lan())
@@ -240,6 +249,16 @@ class ProviderRouter:
         #: failed over from an open home shard; account-hash routing
         #: consults this first so the account stays findable.
         self._account_shard: Dict[str, int] = {}
+        # -- live rebalancing (repro.server.rebalance) ----------------------
+        #: Shard indices draining for removal: no new sessions admitted,
+        #: in-flight legs settle, ranges migrate out before the flip.
+        self.draining: Set[int] = set()
+        #: End of the dual-read window (virtual time).  After a ring
+        #: flip, a leg already in flight at the *old* owner may come
+        #: back "not logged in"/"unknown transaction" for a migrated
+        #: account; until this instant the router re-aims such a
+        #: response once at the current owner instead of denying.
+        self._dual_read_until = 0.0
         # -- routing accounting --------------------------------------------
         self.forwards_by_shard = [0] * len(self.shards)
         self.unroutable = 0
@@ -250,6 +269,9 @@ class ProviderRouter:
         self.shed = 0
         self.register_failovers = 0
         self.cookie_prunes = 0
+        self.draining_denials = 0
+        self.cookie_rewrites = 0
+        self.dual_read_redirects = 0
 
     # ------------------------------------------------------------------
     # Routing
@@ -330,6 +352,54 @@ class ProviderRouter:
         self.simulator.metrics.counter("router.shard_down_denials").increment()
         return {"error": f"denied: {DENIAL_SHARD_DOWN}", SHARD_DOWN_KEY: 1}
 
+    def _draining_response(self) -> Message:
+        self.draining_denials += 1
+        self.simulator.metrics.counter("router.draining_denials").increment()
+        return {"error": f"denied: {DENIAL_SHARD_DRAINING}", SHARD_DOWN_KEY: 1}
+
+    def _retarget_index(
+        self, request: Message, response: Message, index: int
+    ) -> Optional[int]:
+        """Dual-read check: a leg that raced a ring flip may land on
+        the *old* owner of a migrated account and come back disowned
+        ("not logged in" / "unknown transaction" — or, for an
+        account-routed login whose registration record already moved,
+        "bad credentials").  Inside the window, if the current route
+        (rewritten cookie map, or ring ownership for account-routed
+        legs) already points somewhere else, re-aim the leg once at
+        the current owner instead of surfacing the denial — the
+        migrated state (account, cookie, nonce, transaction) is all
+        there, and the true owner's verdict is authoritative either
+        way."""
+        if self.simulator.now >= self._dual_read_until:
+            return None
+        error = response.get("error")
+        if not isinstance(error, str):
+            return None
+        if not any(
+            marker in error
+            for marker in (
+                "not logged in", "unknown transaction", "unknown batch",
+                "bad credentials",
+            )
+        ):
+            return None
+        cookie = request.get("session")
+        if isinstance(cookie, bytes):
+            target = self._cookie_shard.get(cookie)
+            if target is not None and target != index:
+                return target
+            return None
+        account = str(request.get("account", ""))
+        if not account:
+            return None
+        target = self._account_shard.get(account)
+        if target is None:
+            target = self.ring.index_for(account)
+        if target == index:
+            return None
+        return target
+
     def _failover_register(self, index: int, account: str) -> Optional[int]:
         """A *register* aimed at an open shard may be placed on the next
         live shard instead — a brand-new account has no home yet, so
@@ -340,6 +410,8 @@ class ProviderRouter:
         now = self.simulator.now
         for step in range(1, len(self.shards)):
             candidate = (index + step) % len(self.shards)
+            if candidate in self.draining:
+                continue
             if self.breakers[candidate].allow(now):
                 self._account_shard[account] = candidate
                 self.register_failovers += 1
@@ -363,6 +435,21 @@ class ProviderRouter:
         if error is not None:
             self.unroutable += 1
             return error
+        # A draining shard admits no *new* sessions: registrations are
+        # placed elsewhere immediately; logins get an explicit retryable
+        # refusal (the account's range flips to a survivor within the
+        # copy window).  Cookie-routed methods keep flowing — in-flight
+        # sessions are exactly what the drain waits for.
+        if index in self.draining and method in _ACCOUNT_ROUTED:
+            if method == "register":
+                failover = self._failover_register(
+                    index, str(request.get("account", ""))
+                )
+                if failover is None:
+                    return self._draining_response()
+                index = failover
+            else:
+                return self._draining_response()
         shard = self.shards[index]
         # Load shedding first: a full shard backlog is explicit back-
         # pressure, refused before it can consume a half-open breaker's
@@ -409,6 +496,30 @@ class ProviderRouter:
                         else {"error": str(exc)}
                     )
             self._record_outcome(index, failed)
+            target = self._retarget_index(request, response, index)
+            if target is not None:
+                self.dual_read_redirects += 1
+                self.simulator.metrics.counter(
+                    "router.dual_read_redirects"
+                ).increment()
+                self.forwards_by_shard[target] += 1
+                retry_shard = self.shards[target]
+                failed = False
+                with tracer.span(
+                    "router.forward", method=method, shard=retry_shard.host
+                ):
+                    try:
+                        response = retry_shard.endpoint.call_sync(
+                            self.host, method, request
+                        )
+                    except RpcError as exc:
+                        failed = exc.transport
+                        response = (
+                            dict(exc.response) if exc.response
+                            else {"error": str(exc)}
+                        )
+                self._record_outcome(target, failed)
+                index = target
             self._observe(request, response, index)
             return response
         # Queued path: forward via the shard's own queue and release
@@ -416,20 +527,159 @@ class ProviderRouter:
         # retry policy; a dead-lettered leg resolves the deferred with
         # the structured deadline error, so the client never hangs.
         deferred = DeferredResponse()
-        span = tracer.begin("router.forward", method=method, shard=shard.host)
         self.outstanding[index] += 1
+        self._submit_leg(index, method, request, deferred, redirected=False)
+        return deferred
+
+    def _submit_leg(
+        self,
+        index: int,
+        method: str,
+        request: Message,
+        deferred: DeferredResponse,
+        redirected: bool,
+    ) -> None:
+        """One queued router→shard leg.  The relay closure holds the
+        shard *object*, not its index: a drain can remove a shard
+        (shifting every index) while this leg is in flight, so the
+        live index is resolved again when the response lands."""
+        shard = self.shards[index]
+        tracer = self.simulator.tracer
+        span = tracer.begin("router.forward", method=method, shard=shard.host)
 
         def relay(response: Message) -> None:
             tracer.finish(span)
-            self.outstanding[index] -= 1
-            self._record_outcome(index, DEADLINE_ERROR_KEY in response)
-            self._observe(request, response, index)
+            try:
+                live = self.shards.index(shard)
+            except ValueError:
+                live = None  # shard removed while the leg was in flight
+            if live is not None:
+                self.outstanding[live] -= 1
+                self._record_outcome(live, DEADLINE_ERROR_KEY in response)
+                if not redirected:
+                    target = self._retarget_index(request, response, live)
+                    if target is not None:
+                        self.dual_read_redirects += 1
+                        self.simulator.metrics.counter(
+                            "router.dual_read_redirects"
+                        ).increment()
+                        self.forwards_by_shard[target] += 1
+                        self.outstanding[target] += 1
+                        self._submit_leg(
+                            target, method, request, deferred, redirected=True
+                        )
+                        return
+                self._observe(request, response, live)
             deferred.resolve(response)
 
         shard.endpoint.submit(
             self.host, method, request, relay, policy=self.leg_policy
         )
-        return deferred
+
+    # ------------------------------------------------------------------
+    # Elasticity (driven by repro.server.rebalance)
+    # ------------------------------------------------------------------
+    def add_shard(self, shard: ServiceProvider) -> int:
+        """Attach a new, empty shard *without* rebuilding the ring: the
+        shard is reachable by index (migration legs, health accounting)
+        but owns no key ranges until :meth:`rebuild_ring` flips
+        ownership at the end of the copy."""
+        self.shards.append(shard)
+        self.breakers.append(
+            CircuitBreaker(self._breaker_threshold, self._breaker_reset_s)
+        )
+        self.outstanding.append(0)
+        self.forwards_by_shard.append(0)
+        return len(self.shards) - 1
+
+    def rebuild_ring(self) -> None:
+        """Recompute ring ownership from the current shard list — the
+        atomic half of a migration flip."""
+        self.ring = HashRing(
+            [shard.host for shard in self.shards], vnodes=self._vnodes
+        )
+
+    def remove_shard(self, host: str) -> int:
+        """Detach a drained shard.  Every index above it shifts down by
+        one, so all index-keyed routing state is rewritten in the same
+        step — entries pointing *at* the removed shard are dropped
+        (its accounts migrated out before removal; anything left is
+        stale by definition).  Returns the removed index."""
+        index = next(
+            i for i, shard in enumerate(self.shards) if shard.host == host
+        )
+        del self.shards[index]
+        del self.breakers[index]
+        del self.outstanding[index]
+        del self.forwards_by_shard[index]
+
+        def shift(owner: int) -> Optional[int]:
+            if owner == index:
+                return None
+            return owner - 1 if owner > index else owner
+
+        cookies: Dict[bytes, int] = {}
+        for cookie, owner in self._cookie_shard.items():
+            live = shift(owner)
+            if live is not None:
+                cookies[cookie] = live
+        self._cookie_shard = cookies
+        overrides: Dict[str, int] = {}
+        for account, owner in self._account_shard.items():
+            live = shift(owner)
+            if live is not None:
+                overrides[account] = live
+        self._account_shard = overrides
+        draining: Set[int] = set()
+        for owner in self.draining:
+            live = shift(owner)
+            if live is not None:
+                draining.add(live)
+        self.draining = draining
+        self.rebuild_ring()
+        return index
+
+    def complete_migration(
+        self, moved: Dict[str, int], window_s: float
+    ) -> None:
+        """Finish a ring flip for ``moved`` (account → new shard
+        index): rewrite learned cookie routes so the next request lands
+        on the new owner first try, reconcile register-failover
+        overrides back to ring ownership where the ring now agrees, and
+        open the dual-read window for legs that raced the flip."""
+        for account, target in moved.items():
+            cookie = self._account_cookie.get(account)
+            if cookie is not None and self._cookie_shard.get(cookie) != target:
+                self._cookie_shard[cookie] = target
+                self.cookie_rewrites += 1
+                self.simulator.metrics.counter(
+                    "router.cookie_rewrites"
+                ).increment()
+            if account in self._account_shard:
+                if self.ring.index_for(account) == target:
+                    # The ring now homes the account where it actually
+                    # lives — the override has nothing left to say.
+                    del self._account_shard[account]
+                else:
+                    self._account_shard[account] = target
+        if window_s > 0:
+            self._dual_read_until = max(
+                self._dual_read_until, self.simulator.now + window_s
+            )
+
+    def state_digest(self) -> bytes:
+        """Pool-level state identity: a digest over (host, shard
+        digest) pairs in *host* order.  Shard-list order is an artifact
+        of scaling history; host-sorted digests make "same accounts on
+        the same owners with the same state" compare equal regardless
+        of how the pool got there."""
+        hasher = hashlib.sha256()
+        for host, digest in sorted(
+            (shard.host, shard.state_digest()) for shard in self.shards
+        ):
+            hasher.update(host.encode("utf-8"))
+            hasher.update(digest)
+        return hasher.digest()
 
     # ------------------------------------------------------------------
     # Aggregated provider surface (experiment/fleet accessors)
@@ -460,7 +710,7 @@ class ProviderRouter:
         totals = {"appends": 0, "snapshots": 0, "wal_bytes": 0, "restores": 0}
         for shard in self.shards:
             for key, value in shard.journal_stats().items():
-                totals[key] += value
+                totals[key] = totals.get(key, 0) + value
             totals["restores"] += shard.journal_restores
         return totals
 

@@ -1,0 +1,332 @@
+"""Elastic shard pool: migration, drain, reconciliation, autoscaling.
+
+The acceptance properties for `repro.server.rebalance`:
+
+* scaling up moves exactly the grown ring's account ranges — sessions,
+  pending transactions and their nonces migrate, so in-flight work
+  settles on the new owner and the replay defense never weakens;
+* after the flip the router's learned routes are rewritten: the next
+  request for a migrated account lands on the new owner *first try*;
+* a leg that raced the flip is re-aimed once inside the dual-read
+  window instead of surfacing a spurious denial;
+* add-then-drain returns the pool to a state **bit-identical** (pool
+  digest) to a run that never scaled;
+* register-failover overrides reconcile back to ring ownership once
+  the home shard recovers — the override map drains instead of leaking;
+* the autoscaler scales up under sustained pressure and drains in
+  sustained calm, with hysteresis and cooldown against flapping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confirmation_pal import confirmation_digest
+from repro.crypto import HmacDrbg, generate_rsa_keypair, pkcs1_sign
+from repro.net.network import LinkSpec, Network
+from repro.net.rpc import RpcError
+from repro.os.disk import UntrustedDisk
+from repro.server.bank import BankServer
+from repro.server.policy import VerifierPolicy
+from repro.server.rebalance import AutoScaler, ShardPoolManager
+from repro.server.router import build_sharded_pool
+from repro.sim import Simulator
+
+CLIENT = "load-host"
+POOL = "pool.test"
+
+
+def _build(shard_count: int, journal: bool = True, seed: int = 404):
+    simulator = Simulator(seed=seed)
+    network = Network(simulator)
+    network.attach(CLIENT, LinkSpec.lan())
+    policy = VerifierPolicy()
+    disk = UntrustedDisk() if journal else None
+    router = build_sharded_pool(
+        simulator, network, POOL, policy,
+        shard_count=shard_count, provider_factory=BankServer,
+        workers_per_shard=1, journal_disk=disk, snapshot_every=8,
+    )
+
+    def make_shard(host: str) -> BankServer:
+        if not network.is_attached(host):
+            network.attach(host, LinkSpec.lan())
+        shard = BankServer(simulator, network, host, policy, workers=1)
+        if disk is not None:
+            shard.attach_journal(disk, snapshot_every=8)
+        return shard
+
+    signing_key = generate_rsa_keypair(512, HmacDrbg(b"rebalance-signing"))
+    return simulator, router, signing_key, make_shard
+
+
+def _enroll(router, signing_key, name):
+    router.endpoint.call_sync(
+        CLIENT, "register",
+        {"account": name, "password": "pw", "opening_balance": 10_000_000},
+    )
+    login = router.endpoint.call_sync(
+        CLIENT, "login", {"account": name, "password": "pw"}
+    )
+    router.shard_for_account(name).register_signing_key(
+        name, signing_key.public
+    )
+    return login["set_session"]
+
+
+def _request(router, cookie, amount, name):
+    return router.endpoint.call_sync(
+        CLIENT, "tx.request",
+        {
+            "kind": "transfer", "account": name, "session": cookie,
+            "f.to": "sink", "f.amount": amount,
+        },
+    )
+
+
+def _confirm(router, signing_key, cookie, challenge):
+    digest = confirmation_digest(
+        challenge["text"], challenge["nonce"], b"accept"
+    )
+    return router.endpoint.call_sync(
+        CLIENT, "tx.confirm",
+        {
+            "tx_id": challenge["tx_id"], "decision": b"accept",
+            "evidence": "signed",
+            "signature": pkcs1_sign(signing_key, digest, prehashed=True),
+            "session": cookie,
+        },
+    )
+
+
+def _transfer(router, signing_key, cookie, amount, name):
+    challenge = _request(router, cookie, amount, name)
+    assert "error" not in challenge, challenge
+    return _confirm(router, signing_key, cookie, challenge)
+
+
+class TestScaleUp:
+    def test_ranges_move_and_sessions_survive_first_try(self):
+        simulator, router, signing_key, make = _build(shard_count=2)
+        names = [f"acct-{i:02d}" for i in range(16)]
+        cookies = {n: _enroll(router, signing_key, n) for n in names}
+        manager = ShardPoolManager(simulator, router, make)
+        new_host = manager.scale_up()
+        assert new_host == f"{POOL}!shard2"
+        assert manager.scale_up() is None  # one migration at a time
+        simulator.run(until=simulator.now + 5.0)
+        assert not manager.busy
+
+        new_shard = router.shards[2]
+        moved = sorted(new_shard.accounts)
+        assert moved, "grown ring should assign some of 16 accounts"
+        assert sum(len(s.accounts) for s in router.shards) == len(names)
+        assert router.cookie_rewrites >= len(moved)
+        report = manager.reports[-1]
+        assert report.kind == "scale_up"
+        assert report.accounts == len(moved)
+        assert report.snapshot_bytes > 0
+
+        # First-try routing: the migrated session's next request lands
+        # on the new owner directly — no dual-read redirect needed.
+        name = moved[0]
+        forwards_before = router.forwards_by_shard[2]
+        redirects_before = router.dual_read_redirects
+        challenge = _request(router, cookies[name], 500, name)
+        assert "error" not in challenge, challenge
+        assert router.forwards_by_shard[2] == forwards_before + 1
+        assert router.dual_read_redirects == redirects_before
+        # The nonce migrated with the account: the confirm settles.
+        result = _confirm(router, signing_key, cookies[name], challenge)
+        assert result["status"] == "executed"
+
+    def test_leg_racing_the_flip_is_redirected_not_denied(self):
+        simulator, router, signing_key, make = _build(shard_count=2)
+        names = [f"acct-{i:02d}" for i in range(16)]
+        cookies = {n: _enroll(router, signing_key, n) for n in names}
+        # Instant copy: the flip fires before the in-flight leg's
+        # network hop lands, so the leg reaches the *old* owner after
+        # its range moved away.
+        manager = ShardPoolManager(
+            simulator, router, make,
+            transfer_latency_s=0.0, bandwidth_bytes_per_s=1e15,
+        )
+        new_index = len(router.shards)  # index the new shard will get
+        # Pick an account the grown ring will assign to the new shard.
+        from repro.server.router import HashRing
+        grown = HashRing(
+            [s.host for s in router.shards] + [f"{POOL}!shard2"],
+            vnodes=router._vnodes,
+        )
+        victim = next(
+            n for n in names if grown.index_for(n) == new_index
+        )
+        outcomes: list = []
+        router.endpoint.submit(
+            CLIENT, "tx.request",
+            {
+                "kind": "transfer", "account": victim,
+                "session": cookies[victim], "f.to": "sink", "f.amount": 77,
+            },
+            outcomes.append,
+        )
+        # Advance until the router has the shard leg in flight, then
+        # flip ownership instantly underneath it.
+        while not sum(router.outstanding):
+            simulator.run(until=simulator.now + 0.0005)
+        assert not outcomes
+        assert manager.scale_up() == f"{POOL}!shard2"
+        simulator.run(until=simulator.now + 5.0)
+        assert outcomes and "error" not in outcomes[-1], outcomes
+        assert router.dual_read_redirects == 1
+        assert victim in router.shards[new_index].accounts
+
+
+class TestDrainDigestParity:
+    def _run(self, scale: bool) -> bytes:
+        simulator, router, signing_key, make = _build(
+            shard_count=2, journal=True
+        )
+        names = [f"acct-{i:02d}" for i in range(8)]
+        cookies = {n: _enroll(router, signing_key, n) for n in names}
+        for index, name in enumerate(names):
+            result = _transfer(
+                router, signing_key, cookies[name], 100 + index, name
+            )
+            assert result["status"] == "executed"
+        if scale:
+            manager = ShardPoolManager(simulator, router, make)
+            assert manager.scale_up() == f"{POOL}!shard2"
+            simulator.run(until=200.0)
+            assert len(router.shards) == 3
+            assert manager.drain_shard(f"{POOL}!shard2")
+            simulator.run(until=400.0)
+            assert len(router.shards) == 2
+            assert manager.totals()["migrations"] == 2
+        else:
+            simulator.run(until=400.0)
+        return router.state_digest()
+
+    def test_add_then_drain_matches_never_scaled_pool(self):
+        """The tentpole acceptance: a quiesced scale-up + drain round
+        trip leaves the survivor pool bit-identical — same accounts on
+        the same owners, same nonces, same DRBG positions — to a pool
+        that never scaled, at the same virtual time."""
+        assert self._run(scale=True) == self._run(scale=False)
+
+    def test_drained_shard_accounts_stay_served(self):
+        simulator, router, signing_key, make = _build(shard_count=2)
+        names = [f"acct-{i:02d}" for i in range(12)]
+        cookies = {n: _enroll(router, signing_key, n) for n in names}
+        manager = ShardPoolManager(simulator, router, make)
+        manager.scale_up()
+        simulator.run(until=simulator.now + 5.0)
+        migrated = sorted(router.shards[2].accounts)
+        assert migrated
+        manager.drain_shard(f"{POOL}!shard2")
+        simulator.run(until=simulator.now + 10.0)
+        assert len(router.shards) == 2
+        assert f"{POOL}!shard2" not in [s.host for s in router.shards]
+        # Every formerly-migrated session still works, first try.
+        for name in migrated:
+            result = _transfer(
+                router, signing_key, cookies[name], 999, name
+            )
+            assert result["status"] == "executed", (name, result)
+        # A fresh scale-up never reuses the drained hostname (DRBG
+        # streams derive from hostnames and freshness must not repeat).
+        assert manager.scale_up() == f"{POOL}!shard3"
+
+
+class TestFailoverReconciliation:
+    def test_overrides_drain_home_after_recovery(self):
+        simulator, router, signing_key, make = _build(
+            shard_count=4, journal=True
+        )
+        home_names = [
+            name for name in (f"acct-{i:03d}" for i in range(200))
+            if router.ring.index_for(name) == 0
+        ]
+        assert len(home_names) >= 5
+        router.shards[0].crash()
+        # Three transport failures trip shard 0's breaker...
+        for name in home_names[:3]:
+            with pytest.raises(RpcError):
+                router.endpoint.call_sync(
+                    CLIENT, "register", {"account": name, "password": "pw"}
+                )
+        assert router.breakers[0].state != "closed"
+        # ...then a register fails over to a live neighbor, recording
+        # an override so the account stays findable.
+        landed = home_names[3]
+        response = router.endpoint.call_sync(
+            CLIENT, "register",
+            {"account": landed, "password": "pw", "opening_balance": 5_000},
+        )
+        assert response.get("ok") == 1
+        assert landed in router._account_shard
+        override = router._account_shard[landed]
+        assert override != 0
+        assert landed in router.shards[override].accounts
+
+        router.shards[0].restart()
+        # Carry the virtual clock past the breaker's reset timeout (the
+        # queue is empty, so run() alone would not advance time).
+        simulator.schedule(2.0, lambda: None, label="test.tick")
+        simulator.run(until=simulator.now + 2.0)
+        # A successful probe closes the breaker again.
+        probe = router.endpoint.call_sync(
+            CLIENT, "register",
+            {"account": home_names[4], "password": "pw"},
+        )
+        assert probe.get("ok") == 1
+        assert router.breakers[0].state == "closed"
+
+        manager = ShardPoolManager(simulator, router, make)
+        moved = manager.reconcile_failovers()
+        assert moved == 1
+        # The regression: without reconciliation this map only grows.
+        assert router._account_shard == {}
+        assert landed in router.shards[0].accounts
+        assert landed not in router.shards[override].accounts
+        assert router.shard_for_account(landed) is router.shards[0]
+        login = router.endpoint.call_sync(
+            CLIENT, "login", {"account": landed, "password": "pw"}
+        )
+        assert "set_session" in login
+
+
+class TestAutoScaler:
+    def test_scales_up_under_pressure_and_drains_in_calm(self):
+        simulator, router, signing_key, make = _build(
+            shard_count=1, journal=False
+        )
+        manager = ShardPoolManager(
+            simulator, router, make, transfer_latency_s=0.05
+        )
+        scaler = AutoScaler(
+            simulator, router, manager,
+            min_shards=1, max_shards=2, tick_s=1.0,
+            up_ticks=2, down_ticks=5, cooldown_s=3.0,
+        )
+        scaler.start()
+
+        # Synthetic pressure: shedding for four consecutive seconds.
+        def shed_burst() -> None:
+            router.shed += 5
+
+        for second in range(4):
+            simulator.schedule(second + 0.5, shed_burst, label="test.shed")
+        simulator.run(until=5.0)
+        ups = [e for e in scaler.events if e["action"] == "scale_up"]
+        assert len(ups) == 1  # max_shards + cooldown cap the response
+        assert len(router.shards) == 2
+        # Hysteresis: the first pressure tick alone must not scale.
+        assert ups[0]["at"] >= 2.0
+
+        # Calm: no shedding, empty backlogs -> drain back down.
+        simulator.run(until=60.0)
+        downs = [e for e in scaler.events if e["action"] == "drain"]
+        assert len(downs) == 1
+        assert len(router.shards) == 1
+        assert scaler.ticks > 0

@@ -257,6 +257,59 @@ class TestJournalOffAblation:
             "executed"
 
 
+class TestTornTail:
+    def test_crash_mid_append_restores_to_last_complete_record(self):
+        """A crash that lands mid-append leaves a truncated final WAL
+        frame.  That is the one loss a WAL permits — the interrupted
+        operation never became durable — so restore must stop at the
+        last complete record and bring the shard back, not brick it."""
+        simulator, router, signing_key = _build(journal=True)
+        shard = router.shards[0]
+        cookie = _enroll(router, signing_key)
+        assert _transfer(router, signing_key, cookie, 111)["status"] == \
+            "executed"
+        disk = shard.journal.disk
+        wal_path = shard.journal.wal_path
+        raw = disk.read_file(wal_path)
+        assert raw, "workload must leave WAL records to tear"
+        # Tear the final frame mid-record, as a crash mid-append would.
+        disk.write_file(wal_path, raw[:-3])
+        shard.crash()
+        shard.restart()
+        assert shard.journal_restores == 1
+        assert shard.journal.stats()["torn_tails"] == 1
+        assert router.journal_stats()["torn_tails"] == 1
+        # The shard serves again; only the torn record's operation is
+        # gone.  (The last record was the settle: the transfer's
+        # pending state survives, its settlement does not.)
+        login = router.endpoint.call_sync(
+            CLIENT, "login", {"account": ACCOUNT, "password": "pw"}
+        )
+        assert "set_session" in login
+
+    def test_torn_length_prefix_is_also_end_of_log(self):
+        journal = ProviderJournal(UntrustedDisk(), "shardX")
+        journal.append(b"alpha")
+        journal.append(b"beta")
+        raw = journal.disk.read_file(journal.wal_path)
+        journal.disk.write_file(journal.wal_path, raw + b"\x00\x00")
+        assert journal.read_records() == [b"alpha", b"beta"]
+        assert journal.stats()["torn_tails"] == 1
+
+    def test_mid_log_corruption_still_refuses(self):
+        """An implausible frame length is not a crash artifact (torn
+        appends only ever shorten the file) — restore must refuse
+        rather than silently skip records."""
+        journal = ProviderJournal(UntrustedDisk(), "shardX")
+        journal.append(b"alpha")
+        journal.append(b"beta")
+        raw = journal.disk.read_file(journal.wal_path)
+        corrupted = b"\xff\xff\xff\xff" + raw[4:]
+        journal.disk.write_file(journal.wal_path, corrupted)
+        with pytest.raises(JournalError):
+            journal.read_records()
+
+
 class TestJournalMechanics:
     def test_restore_without_snapshot_rejected(self):
         simulator = Simulator(seed=1)
