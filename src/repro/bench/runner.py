@@ -53,6 +53,10 @@ from repro.bench.experiments.extensions import (
     e1_attention_sweep,
     e3_batch_amortization,
 )
+from repro.bench.experiments.kernel_microbench import (
+    kern_micro_summary,
+    kernel_event_microbench,
+)
 from repro.bench.experiments.rsa_microbench import (
     rsa_backend_microbench,
     rsa_micro_summary,
@@ -106,13 +110,19 @@ class Cell:
     kwargs: Dict[str, object] = field(default_factory=dict)
 
 
-def build_cells(smoke: bool = False) -> List[Cell]:
+def build_cells(
+    smoke: bool = False, partitions: Optional[int] = None
+) -> List[Cell]:
     """The full experiment matrix in canonical (report) order.
 
     Cell parameters mirror the historical serial
     ``repro.bench.report.run_experiments`` exactly, so results merged
     from these cells are byte-identical to the pre-runner pipeline.
+    ``partitions`` routes the open-loop cells (F6, E4) through the
+    conservative parallel kernel; their virtual results are
+    byte-identical to the sequential default — only wall time moves.
     """
+    pool_kwargs = {} if partitions is None else {"partitions": partitions}
     if smoke:
         return [
             Cell("t1", ("t1",), table1_tpm_microbench,
@@ -142,14 +152,16 @@ def build_cells(smoke: bool = False) -> List[Cell]:
             # The acceptance bar for CI is a full >=10^4-user open-loop
             # day; the 10^5 row runs in the nightly full matrix.
             Cell("f6", ("f6",), f6_open_loop_rows,
-                 dict(populations=(1_000, 10_000), seed=SMOKE_SEED)),
+                 dict(populations=(1_000, 10_000), seed=SMOKE_SEED,
+                      **pool_kwargs)),
             # E4 smoke keeps the sizing contract of the full run — the
             # spike overruns one shard (~265 sessions/s) and two absorb
             # it — on a shorter day so the cell stays CI-cheap.
             Cell("e4", ("e4",), e4_elastic_rows,
                  dict(users=6_000, day_seconds=600.0, spike_start=300.0,
                       spike_duration_s=10.0, spike_multiplier=60.0,
-                      roundtrip_accounts=6, seed=SMOKE_SEED)),
+                      roundtrip_accounts=6, seed=SMOKE_SEED,
+                      **pool_kwargs)),
             Cell("f5", ("f5",), fig5_noncedb_scalability,
                  dict(populations=(500, 2_000), seed=SMOKE_SEED)),
             Cell("r1", ("r1",), r1_loss_robustness,
@@ -170,6 +182,9 @@ def build_cells(smoke: bool = False) -> List[Cell]:
                  dict(clients=4, infected=1, seed=SMOKE_SEED)),
             Cell("rsax", ("rsax",), rsa_backend_microbench,
                  dict(bits_list=(512, 1024), iterations=6, seed=SMOKE_SEED)),
+            Cell("kernx", ("kernx",), kernel_event_microbench,
+                 dict(shallow_events=2_000, deep_events=4_000,
+                      iterations=3, seed=SMOKE_SEED)),
         ]
     return [
         Cell("t1", ("t1",), table1_tpm_microbench),
@@ -184,8 +199,8 @@ def build_cells(smoke: bool = False) -> List[Cell]:
         Cell("f4", ("f4", "crossovers"), _amortization_cell,
              dict(vendors=("infineon", "broadcom"),
                   measure_kwargs={}, f4_kwargs={}, crossover_kwargs={})),
-        Cell("f6", ("f6",), f6_open_loop_rows),
-        Cell("e4", ("e4",), e4_elastic_rows),
+        Cell("f6", ("f6",), f6_open_loop_rows, dict(**pool_kwargs)),
+        Cell("e4", ("e4",), e4_elastic_rows, dict(**pool_kwargs)),
         Cell("f5", ("f5",), fig5_noncedb_scalability),
         Cell("r1", ("r1",), r1_loss_robustness),
         Cell("r2", ("r2",), r2_crash_availability),
@@ -195,6 +210,7 @@ def build_cells(smoke: bool = False) -> List[Cell]:
         Cell("e3", ("e3",), e3_batch_amortization),
         Cell("e2", ("e2",), e2_fleet_rows),
         Cell("rsax", ("rsax",), rsa_backend_microbench),
+        Cell("kernx", ("kernx",), kernel_event_microbench),
     ]
 
 
@@ -212,6 +228,10 @@ class MatrixResult:
     #: the backend's op counters — a pure function of the simulated
     #: work, identical across arms and worker placements.
     cell_rsa_ops: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Partition count the open-loop cells ran on (None = sequential
+    #: kernel).  Wall-record bookkeeping only: virtual results are
+    #: byte-identical either way.
+    partitions: Optional[int] = None
 
 
 def _run_cell(cell: Cell) -> Tuple[str, object, float, Dict[str, int]]:
@@ -221,6 +241,40 @@ def _run_cell(cell: Cell) -> Tuple[str, object, float, Dict[str, int]]:
     wall_s = time.perf_counter() - started
     after = rsa_op_counts()
     ops = {op: after[op] - before[op] for op in after}
+    return cell.cell_id, value, wall_s, ops
+
+
+def _run_cell_profiled(
+    cell: Cell, top_n: int
+) -> Tuple[str, object, float, Dict[str, int]]:
+    """Run one cell under cProfile and print its top-N hotspots.
+
+    In-process only (``workers=1``): profiling a pool worker would
+    scatter the output across processes and perturb every cell sharing
+    the worker.  The profile itself goes to stdout — it is a
+    diagnostic, never part of any artifact.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    before = rsa_op_counts()
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    try:
+        value = cell.fn(**cell.kwargs)
+    finally:
+        profiler.disable()
+    wall_s = time.perf_counter() - started
+    after = rsa_op_counts()
+    ops = {op: after[op] - before[op] for op in after}
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top_n)
+    print(f"--- profile: cell {cell.cell_id} "
+          f"({wall_s:.2f}s wall, top {top_n} by cumulative) ---")
+    print(stream.getvalue())
     return cell.cell_id, value, wall_s, ops
 
 
@@ -256,6 +310,7 @@ def run_cells(
     cells: Sequence[Cell],
     workers: int = 1,
     backend: Optional[str] = None,
+    profile: Optional[int] = None,
 ) -> Tuple[Dict[str, object], Dict[str, float], Dict[str, Dict[str, int]]]:
     """Run ``cells``; return ``(results, per-cell wall_s, per-cell RSA ops)``.
 
@@ -263,8 +318,12 @@ def run_cells(
     reference arm for determinism tests.  ``backend`` selects the
     crypto backend for the run (restored afterwards in-process; set via
     the pool initializer in workers).  Either way the choice is
-    validated eagerly, before the first cell runs.
+    validated eagerly, before the first cell runs.  ``profile`` (an
+    int) dumps each cell's top-N cProfile hotspots; it requires the
+    in-process arm.
     """
+    if profile is not None and workers > 1:
+        raise ValueError("--profile requires workers=1 (in-process run)")
     if workers <= 1:
         if backend is not None:
             previous = set_backend(resolve_backend_name(backend))
@@ -274,7 +333,10 @@ def run_cells(
             resolve_backend_name(None)
             previous = None
         try:
-            outcomes = [_run_cell(cell) for cell in cells]
+            if profile is not None:
+                outcomes = [_run_cell_profiled(c, profile) for c in cells]
+            else:
+                outcomes = [_run_cell(cell) for cell in cells]
         finally:
             if previous is not None:
                 set_backend(previous)
@@ -300,13 +362,17 @@ def run_matrix(
     smoke: bool = False,
     workers: int = 1,
     backend: Optional[str] = None,
+    partitions: Optional[int] = None,
+    profile: Optional[int] = None,
 ) -> MatrixResult:
     """Run the whole experiment matrix; see :func:`run_cells`."""
     from repro.crypto.backend import backend_name
 
     started = time.perf_counter()
-    results, wall, rsa_ops = run_cells(build_cells(smoke), workers=workers,
-                                       backend=backend)
+    results, wall, rsa_ops = run_cells(
+        build_cells(smoke, partitions=partitions), workers=workers,
+        backend=backend, profile=profile,
+    )
     return MatrixResult(
         results=results,
         cell_wall_s=wall,
@@ -315,6 +381,7 @@ def run_matrix(
         backend=backend if backend is not None else backend_name(),
         smoke=smoke,
         cell_rsa_ops=rsa_ops,
+        partitions=partitions,
     )
 
 
@@ -336,6 +403,9 @@ WALL_KEYS = frozenset(
         # E4's round-trip migration is wall-timed separately from its
         # virtual migration seconds (which are deterministic and stay).
         "rebalance_wall_s",
+        # KERNX per-event dispatch cost — the deterministic remainder of
+        # each row ({scenario, kernel, events, windows}) survives.
+        "us_per_event",
     }
 )
 
@@ -366,6 +436,8 @@ def wall_record(matrix: MatrixResult) -> Dict[str, object]:
         "cells": {k: round(v, 4) for k, v in matrix.cell_wall_s.items()},
         "total_wall_s": round(matrix.total_wall_s, 4),
     }
+    if matrix.partitions is not None:
+        record["partitions"] = matrix.partitions
     f6_rows = matrix.results.get("f6")
     if f6_rows:
         # Headline kernel-throughput number: the best simulated-users
@@ -382,6 +454,9 @@ def wall_record(matrix: MatrixResult) -> Dict[str, object]:
     rsax_rows = matrix.results.get("rsax")
     if rsax_rows:
         record["rsa_micro"] = rsa_micro_summary(rsax_rows)
+    kernx_rows = matrix.results.get("kernx")
+    if kernx_rows:
+        record["kern_micro"] = kern_micro_summary(kernx_rows)
     e4 = matrix.results.get("e4")
     if e4:
         # Rebalance cost trajectory: how many bytes a scale-up + drain

@@ -137,9 +137,14 @@ class _RpcRouter:
     One router owns every host's inbox (installed lazily, only where no
     custom inbox exists): request packets go to the endpoint bound to
     the destination host, response packets resolve the matching pending
-    call.  Call ids are unique per network, so late or duplicated
-    responses for completed calls are recognized and dropped (counted
-    as ``stale_responses``) instead of mis-delivered.
+    call.  Call ids are allocated per *caller host* — a response packet
+    arrives at its caller's inbox, so ``(caller, call_id)`` is a unique
+    key and no global counter is needed.  Per-caller allocation keeps
+    the id sequence identical between the sequential and partitioned
+    kernels (a global counter's order would depend on cross-partition
+    interleaving).  Late or duplicated responses for completed calls
+    are recognized and dropped (counted as ``stale_responses``) instead
+    of mis-delivered.
     """
 
     _ATTR = "_rpc_router"
@@ -147,9 +152,15 @@ class _RpcRouter:
     def __init__(self, network: Network) -> None:
         self.network = network
         self.endpoints: Dict[str, "RpcEndpoint"] = {}
-        self.pending: Dict[int, _PendingCall] = {}
-        self.next_call_ids = itertools.count()
+        self.pending: Dict[Tuple[str, int], _PendingCall] = {}
+        self._next_ids: Dict[str, "itertools.count"] = {}
         self.stale_responses = 0
+
+    def next_call_id(self, caller: str) -> int:
+        counter = self._next_ids.get(caller)
+        if counter is None:
+            counter = self._next_ids[caller] = itertools.count()
+        return next(counter)
 
     @classmethod
     def for_network(cls, network: Network) -> "_RpcRouter":
@@ -184,7 +195,9 @@ class _RpcRouter:
             if endpoint is not None:
                 endpoint._receive_request(source, packet)
         elif kind == "resp":
-            call = self.pending.get(packet.get("call", -1))
+            # A response packet lands at the caller's own inbox, so
+            # ``host`` here *is* the caller that submitted the call.
+            call = self.pending.get((host, packet.get("call", -1)))
             if call is None or call.done:
                 self.stale_responses += 1
                 return
@@ -233,12 +246,18 @@ class RpcEndpoint:
         # -- queued-path reliability state --------------------------------
         #: Default policy for submit(); callers may override per call.
         self.retry_policy = RetryPolicy()
-        self._retry_rng = simulator.rng.stream("rpc.retry")
+        #: Retry jitter is drawn from one stream per caller host
+        #: (created lazily on first submit): each caller's draws happen
+        #: on its own partition in its own event order, which keeps the
+        #: sequences identical across sequential and partitioned runs.
+        self._retry_rngs: Dict[str, object] = {}
         self._router = _RpcRouter.for_network(network)
         self._router.bind(self)
-        #: call_id -> None (request in service) or encoded response
-        #: (kept so lost responses replay without re-executing).
-        self._request_cache: "OrderedDict[int, Optional[bytes]]" = OrderedDict()
+        #: (caller, call_id) -> None (request in service) or encoded
+        #: response (kept so lost responses replay without re-executing).
+        self._request_cache: "OrderedDict[Tuple[str, int], Optional[bytes]]" = (
+            OrderedDict()
+        )
         self.response_cache_limit = 100_000
         self._stalled_until = 0.0
         self.worker_stalls = 0
@@ -413,11 +432,21 @@ class RpcEndpoint:
         """
         policy = policy or self.retry_policy
         tracer = self.tracer
-        simulator = self.simulator
         router = self._router
         router.ensure_inbox(caller)
         router.ensure_inbox(self.host)
-        call_id = next(router.next_call_ids)
+        # All caller-side state — the pending entry, retransmit and
+        # deadline timers, jitter draws — lives on the *caller's*
+        # simulator: the retransmit loop is the caller's behavior and
+        # must run on the caller's partition.
+        caller_sim = self.network.simulator_for(caller)
+        retry_rng = self._retry_rngs.get(caller)
+        if retry_rng is None:
+            retry_rng = self._retry_rngs[caller] = caller_sim.rng.stream(
+                f"rpc.retry.{caller}->{self.host}"
+            )
+        call_id = router.next_call_id(caller)
+        call_key = (caller, call_id)
         body = encode_message(request)
         call_span = tracer.begin(
             "rpc.call", method=method, host=self.host, caller=caller,
@@ -425,14 +454,14 @@ class RpcEndpoint:
         )
         call = _PendingCall(call_id, method)
         call.call_span = call_span
-        router.pending[call_id] = call
+        router.pending[call_key] = call
         self.calls_submitted += 1
 
         def finish(response: Message) -> None:
             if call.done:
                 return
             call.done = True
-            router.pending.pop(call_id, None)
+            router.pending.pop(call_key, None)
             for event in (call.retransmit_event, call.deadline_event):
                 if event is not None:
                     event.cancel()
@@ -452,8 +481,8 @@ class RpcEndpoint:
             })
             self.network.send(caller, self.host, packet)
             if call.attempts < policy.max_attempts:
-                timeout = policy.timeout_for(attempt, self._retry_rng)
-                call.retransmit_event = simulator.schedule(
+                timeout = policy.timeout_for(attempt, retry_rng)
+                call.retransmit_event = caller_sim.schedule(
                     timeout, retransmit, label=f"rpc:retx:{method}"
                 )
 
@@ -468,10 +497,10 @@ class RpcEndpoint:
                 if call.done:
                     return
                 self.dead_letters += 1
-                simulator.metrics.counter("rpc.dead_letters").increment()
+                caller_sim.metrics.counter("rpc.dead_letters").increment()
                 finish(deadline_error(call.attempts, deadline))
 
-            call.deadline_event = simulator.schedule(
+            call.deadline_event = caller_sim.schedule(
                 deadline, expire, label=f"rpc:deadline:{method}"
             )
 
@@ -483,7 +512,8 @@ class RpcEndpoint:
             self.crash_dropped_requests += 1
             return
         call_id = packet.get("call", -1)
-        cached = self._request_cache.get(call_id, _MISSING)
+        cache_key = (caller, call_id)
+        cached = self._request_cache.get(cache_key, _MISSING)
         if cached is not _MISSING:
             # At-most-once execution: a retransmitted request never
             # re-runs the handler.  If the response already exists, its
@@ -493,7 +523,7 @@ class RpcEndpoint:
                 self.responses_replayed += 1
                 self.network.send(self.host, caller, cached)
             return
-        self._request_cache[call_id] = None
+        self._request_cache[cache_key] = None
         method = str(packet.get("method", ""))
         try:
             request = decode_message(packet["body"])
@@ -503,7 +533,7 @@ class RpcEndpoint:
         tracer = self.tracer
         call_span: Optional[Span] = None
         if tracer.enabled:
-            pending = self._router.pending.get(call_id)
+            pending = self._router.pending.get(cache_key)
             call_span = pending.call_span if pending is not None else None
         wait_span = tracer.begin("rpc.queue_wait", parent=call_span)
         self._queue.append((caller, call_id, method, request, wait_span, call_span))
@@ -516,8 +546,9 @@ class RpcEndpoint:
         payload = encode_message({
             "kind": "resp", "call": call_id, "body": encode_message(response),
         })
-        if call_id in self._request_cache:
-            self._request_cache[call_id] = payload
+        cache_key = (caller, call_id)
+        if cache_key in self._request_cache:
+            self._request_cache[cache_key] = payload
             while len(self._request_cache) > self.response_cache_limit:
                 self._request_cache.popitem(last=False)
         self.network.send(self.host, caller, payload)

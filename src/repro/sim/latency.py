@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Optional, Sequence
 
 
 class LatencyModel(ABC):
@@ -25,6 +25,17 @@ class LatencyModel(ABC):
     @abstractmethod
     def mean(self) -> float:
         """Expected value of the distribution (used by analytical checks)."""
+
+    def lower_bound(self) -> float:
+        """Smallest value :meth:`sample` can return.
+
+        The conservative parallel kernel (`repro.sim.partition`) uses
+        link lower bounds as its lookahead: a message sent at ``t``
+        arrives no earlier than ``t + lower_bound``, so partitions may
+        safely advance that far without hearing from each other.  The
+        default of 0.0 is always sound but yields no lookahead.
+        """
+        return 0.0
 
     def __call__(self, rng: random.Random) -> float:
         return self.sample(rng)
@@ -42,6 +53,9 @@ class ConstantLatency(LatencyModel):
         return self.seconds
 
     def mean(self) -> float:
+        return self.seconds
+
+    def lower_bound(self) -> float:
         return self.seconds
 
     def __repr__(self) -> str:
@@ -63,39 +77,61 @@ class UniformLatency(LatencyModel):
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
 
+    def lower_bound(self) -> float:
+        return self.low
+
     def __repr__(self) -> str:
         return f"UniformLatency({self.low!r}, {self.high!r})"
 
 
 class NormalLatency(LatencyModel):
-    """Normal distribution truncated at zero (resampled, not clipped)."""
+    """Normal distribution truncated from below (clamped at a floor).
 
-    _MAX_RESAMPLES = 64
+    The floor defaults to ``max(0, mu - 4*sigma)``: far enough out that
+    clamping barely distorts the distribution, close enough to ``mu``
+    that the floor is a useful conservative-lookahead bound.  Clamping
+    (rather than resampling) keeps RNG consumption at exactly one draw
+    per sample regardless of the outcome, so every downstream sample in
+    the stream stays aligned across configurations.
+    """
 
-    def __init__(self, mu: float, sigma: float) -> None:
+    def __init__(
+        self, mu: float, sigma: float, floor: Optional[float] = None
+    ) -> None:
         if mu < 0:
             raise ValueError(f"mean latency must be non-negative, got {mu}")
         if sigma < 0:
             raise ValueError(f"sigma must be non-negative, got {sigma}")
         self.mu = float(mu)
         self.sigma = float(sigma)
+        if floor is None:
+            floor = max(0.0, self.mu - 4.0 * self.sigma)
+        if floor < 0:
+            raise ValueError(f"floor must be non-negative, got {floor}")
+        if floor > mu:
+            raise ValueError(f"floor {floor} exceeds mean {mu}")
+        self.floor = float(floor)
 
     def sample(self, rng: random.Random) -> float:
         if self.sigma == 0:
             return self.mu
-        for _ in range(self._MAX_RESAMPLES):
-            value = rng.normalvariate(self.mu, self.sigma)
-            if value >= 0:
-                return value
-        return 0.0
+        value = rng.normalvariate(self.mu, self.sigma)
+        return value if value >= self.floor else self.floor
 
     def mean(self) -> float:
-        # For sigma << mu the truncation bias is negligible; analytical
-        # consumers in this repo only use models with mu >= 3*sigma.
+        # The floor sits >= 4 sigma below mu for every model in this
+        # repo, so the clamping bias is negligible; analytical consumers
+        # only use models with mu >= 3*sigma.
         return self.mu
 
+    def lower_bound(self) -> float:
+        return self.floor if self.sigma else self.mu
+
     def __repr__(self) -> str:
-        return f"NormalLatency(mu={self.mu!r}, sigma={self.sigma!r})"
+        return (
+            f"NormalLatency(mu={self.mu!r}, sigma={self.sigma!r}, "
+            f"floor={self.floor!r})"
+        )
 
 
 class EmpiricalLatency(LatencyModel):
@@ -125,6 +161,9 @@ class EmpiricalLatency(LatencyModel):
     def mean(self) -> float:
         return sum(self._sorted) / len(self._sorted)
 
+    def lower_bound(self) -> float:
+        return self._sorted[0]
+
     def quantile(self, q: float) -> float:
         """Return the ``q``-quantile (0 <= q <= 1) of the observations."""
         if not 0 <= q <= 1:
@@ -149,6 +188,9 @@ def scaled(model: LatencyModel, factor: float) -> LatencyModel:
 
         def mean(self) -> float:
             return model.mean() * factor
+
+        def lower_bound(self) -> float:
+            return model.lower_bound() * factor
 
         def __repr__(self) -> str:
             return f"scaled({model!r}, {factor!r})"

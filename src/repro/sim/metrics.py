@@ -61,14 +61,19 @@ class Histogram:
     def mean(self) -> float:
         if not self._values:
             raise ValueError(f"histogram {self.name!r} is empty")
-        return sum(self._values) / len(self._values)
+        # fsum is exactly rounded over the multiset, so the mean does
+        # not depend on observation order — required for the parallel
+        # kernel, whose merged histograms interleave observations in a
+        # different (but set-equal) order than the sequential run.
+        return math.fsum(self._values) / len(self._values)
 
     def stdev(self) -> float:
         if len(self._values) < 2:
             return 0.0
         mu = self.mean()
         return math.sqrt(
-            sum((v - mu) ** 2 for v in self._values) / (len(self._values) - 1)
+            math.fsum((v - mu) ** 2 for v in self._values)
+            / (len(self._values) - 1)
         )
 
     def quantile(self, q: float) -> float:

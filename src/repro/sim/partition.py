@@ -1,0 +1,574 @@
+"""Conservative parallel-in-virtual-time kernel.
+
+One :class:`PartitionedKernel` splits a simulation across N
+sub-simulators (partitions), each owning its own event queue, clock,
+metric registry and RNG replica.  Partition 0 hosts everything built
+without an explicit placement (the load engine, the provider router);
+provider shards are placed round-robin on the remaining partitions.
+
+Correctness argument (why the merge is deterministic)
+-----------------------------------------------------
+Partitions interact **only** through the network, and every link's
+latency model has a strictly positive lower bound.  Let ``L`` be the
+minimum possible one-way latency between any two hosts on different
+partitions (``Network.cross_partition_lookahead``).  The kernel
+advances in bounded windows:
+
+1. Let ``t_next`` be the earliest pending event across all partitions
+   and ``W = t_next + L`` (capped by the horizon and by the next
+   *global* event, see below).  Every event a partition executes inside
+   ``[t_next, W)`` happens at ``t >= t_next``; any message it sends to
+   another partition arrives at ``t + latency >= t_next + L >= W``.
+   Hence no partition can receive anything *within* the current window
+   that it does not already have queued — the window bodies are
+   independent and may run concurrently.
+2. At the window barrier, every partition's clock is advanced to ``W``
+   and all cross-partition messages buffered during the window are
+   injected into their destination queues in ``(arrival_time,
+   source_partition, send_order)`` order.  Arrival times are continuous
+   random latencies, so cross-partition ties are measure-zero; within a
+   destination the heap's ``(time, seq)`` order then reproduces the
+   sequential kernel's dispatch order.
+3. Windows are half-open (events at exactly ``W`` stay queued) except
+   the final window at the run horizon, which is inclusive — matching
+   a single sequential ``run(until)``.
+
+Every named RNG stream is consumed by exactly one partition in the
+same relative event order as the sequential kernel (per-source-host
+network streams, per-caller RPC retry streams), every metrics counter
+is incremented on exactly one registry and summed on read, and
+histogram statistics use order-independent reductions — so counters,
+digests and stripped experiment JSON are byte-identical to the
+sequential kernel for any partition count.
+
+Global events
+-------------
+Control-plane components that must observe and mutate *cross-partition*
+state atomically (the rebalance manager copying account slices between
+shards, the autoscaler reading router signals) schedule through
+:attr:`PartitionedKernel.global_scheduler`.  Global events live on a
+separate queue and cap the window bound: they fire between windows with
+every partition quiesced at exactly the event's time — a system-wide
+barrier, which is precisely the "stop the world briefly" semantics an
+atomic ring flip wants.
+
+Execution
+---------
+``executor="serial"`` runs window bodies on the calling thread (zero
+overhead beyond the barrier bookkeeping, the right choice on one core);
+``"thread"`` fans each window across a persistent thread pool — under
+free-threaded builds this is true multicore, under the GIL it still
+overlaps any native-code sections.  ``"auto"`` picks threads only on
+multicore hosts, and even then falls back to serial for windows that
+look too small to amortize the handoff (previous window's event count
+below ``thread_threshold``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.clock import fuse_clocks, unfuse_clocks
+from repro.sim.events import EventQueue
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.metrics import Histogram
+
+
+class MergedMetrics:
+    """Read-side merge of the per-partition metric registries.
+
+    Instrument *creation* (``counter(name)`` etc.) lands on partition
+    0's registry — components constructed without explicit placement
+    run there, and each partition-placed component holds its own
+    simulator's registry directly.  Reads merge by name: counters sum,
+    histogram/timer observations concatenate (their statistics are
+    order-independent, see ``Histogram.mean``).
+    """
+
+    def __init__(self, registries) -> None:
+        self._registries = list(registries)
+
+    def counter(self, name: str):
+        return self._registries[0].counter(name)
+
+    def timer(self, name: str):
+        return self._registries[0].timer(name)
+
+    def histogram(self, name: str):
+        return self._registries[0].histogram(name)
+
+    def counters(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for registry in self._registries:
+            for name, value in registry.counters().items():
+                totals[name] = totals.get(name, 0) + value
+        return {name: totals[name] for name in sorted(totals)}
+
+    def _merged_histograms(self, attribute: str) -> Dict[str, Histogram]:
+        names = sorted(
+            {
+                name
+                for registry in self._registries
+                for name in getattr(registry, attribute)
+            }
+        )
+        merged: Dict[str, Histogram] = {}
+        for name in names:
+            combined = Histogram(name)
+            for registry in self._registries:
+                source = getattr(registry, attribute).get(name)
+                if source is None:
+                    continue
+                values = (
+                    source.histogram.values
+                    if attribute == "_timers"
+                    else source.values
+                )
+                combined.observe_many(values)
+            merged[name] = combined
+        return merged
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Same shape and key order as ``MetricRegistry.snapshot``."""
+        report: Dict[str, Dict[str, float]] = {}
+        for name, histogram in self._merged_histograms("_histograms").items():
+            if histogram.count:
+                report[name] = histogram.summary()
+        for name, histogram in self._merged_histograms("_timers").items():
+            if histogram.count:
+                report[f"timer:{name}"] = histogram.summary()
+        for name, value in self.counters().items():
+            report[f"counter:{name}"] = {"count": float(value)}
+        return report
+
+
+class GlobalScheduler:
+    """Simulator-shaped facade whose events run at window barriers.
+
+    Hand this to control-plane components (``ShardPoolManager``,
+    ``AutoScaler``) in place of a simulator: their scheduled actions
+    fire with every partition quiesced at exactly the event's virtual
+    time, so they may read and mutate state across partitions without
+    racing window execution.
+    """
+
+    def __init__(self, kernel: "PartitionedKernel") -> None:
+        self._kernel = kernel
+
+    @property
+    def now(self) -> float:
+        return self._kernel.now
+
+    @property
+    def clock(self):
+        return self._kernel.clock
+
+    @property
+    def metrics(self):
+        return self._kernel.metrics
+
+    @property
+    def rng(self):
+        return self._kernel.rng
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    def schedule(self, delay: float, action, label: str = ""):
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule event in the past (delay={delay})"
+            )
+        return self._kernel._global_queue.push(self.now + delay, action, label)
+
+    def schedule_at(self, time: float, action, label: str = ""):
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now ({self.now})"
+            )
+        return self._kernel._global_queue.push(time, action, label)
+
+
+class PartitionedKernel:
+    """N per-partition simulators advanced in conservative windows.
+
+    Duck-types the :class:`~repro.sim.kernel.Simulator` surface the
+    experiment harnesses use (``now``/``clock``/``metrics``/``rng``/
+    ``schedule``/``schedule_at``/``run``/``events_dispatched``), so a
+    load engine or router built against "a simulator" runs unmodified
+    on partition 0.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        partitions: int = 2,
+        crypto_backend: Optional[str] = None,
+        executor: str = "auto",
+        thread_threshold: int = 128,
+    ) -> None:
+        if partitions < 1:
+            raise SimulationError(f"need at least one partition, got {partitions}")
+        if executor not in ("auto", "serial", "thread"):
+            raise SimulationError(f"unknown executor {executor!r}")
+        if crypto_backend is not None:
+            from repro.crypto.backend import set_backend
+
+            set_backend(crypto_backend)
+        self.seed = seed
+        self.partitions: List[Simulator] = [
+            Simulator(seed=seed) for _ in range(partitions)
+        ]
+        self._clocks = [p.clock for p in self.partitions]
+        self._index_of = {id(p): i for i, p in enumerate(self.partitions)}
+        self._outboxes: List[List[Tuple[float, Simulator, object, str]]] = [
+            [] for _ in self.partitions
+        ]
+        self._global_queue = EventQueue()
+        self._global_dispatched = 0
+        self._networks: List[object] = []
+        self._lookahead_cache: Optional[float] = None
+        self._in_window = False
+        self._running = False
+        self._place_counter = 0
+        self.windows_run = 0
+        self.barrier_messages = 0
+        self.metrics = MergedMetrics([p.metrics for p in self.partitions])
+        self.global_scheduler = GlobalScheduler(self)
+        if executor == "auto":
+            executor = (
+                "thread"
+                if partitions > 1 and (os.cpu_count() or 1) > 1
+                else "serial"
+            )
+        self._executor_mode = executor
+        self._thread_threshold = thread_threshold
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._last_window_events = 0
+        # Outside windowed runs the clocks move in lock-step so
+        # synchronous setup phases (call_sync chains charging time
+        # inline) keep the whole system on one timeline.
+        fuse_clocks(self._clocks)
+
+    # ------------------------------------------------------------------
+    # Simulator-shaped surface (partition 0 is the default home)
+    # ------------------------------------------------------------------
+    @property
+    def default_simulator(self) -> Simulator:
+        return self.partitions[0]
+
+    @property
+    def clock(self):
+        return self.partitions[0].clock
+
+    @property
+    def now(self) -> float:
+        return self.partitions[0].clock.now
+
+    @property
+    def rng(self):
+        return self.partitions[0].rng
+
+    @property
+    def tracer(self):
+        return self.partitions[0].tracer
+
+    def schedule(self, delay: float, action, label: str = ""):
+        return self.partitions[0].schedule(delay, action, label)
+
+    def schedule_at(self, time: float, action, label: str = ""):
+        return self.partitions[0].schedule_at(time, action, label)
+
+    @property
+    def events_dispatched(self) -> int:
+        return (
+            sum(p.events_dispatched for p in self.partitions)
+            + self._global_dispatched
+        )
+
+    # ------------------------------------------------------------------
+    # Placement and cross-partition plumbing
+    # ------------------------------------------------------------------
+    def simulator_for_host(self, host: str) -> Simulator:
+        """Round-robin shard placement over partitions 1..N-1.
+
+        Deterministic: depends only on the order of placement requests,
+        which the experiment wiring fixes.  With a single partition
+        everything lives together and the kernel degenerates to (nearly)
+        the sequential fast path.
+        """
+        if len(self.partitions) == 1:
+            return self.partitions[0]
+        index = 1 + self._place_counter % (len(self.partitions) - 1)
+        self._place_counter += 1
+        return self.partitions[index]
+
+    def register_network(self, network) -> None:
+        self._networks.append(network)
+        self._lookahead_cache = None
+
+    def invalidate_lookahead(self) -> None:
+        self._lookahead_cache = None
+
+    @property
+    def lookahead(self) -> float:
+        """Minimum cross-partition one-way latency over all networks."""
+        if self._lookahead_cache is None:
+            bound = math.inf
+            for network in self._networks:
+                bound = min(bound, network.cross_partition_lookahead())
+            self._lookahead_cache = bound
+        return self._lookahead_cache
+
+    @property
+    def in_window(self) -> bool:
+        return self._in_window
+
+    def post(
+        self,
+        src_sim: Simulator,
+        dst_sim: Simulator,
+        arrival: float,
+        action,
+        label: str,
+    ) -> None:
+        """A timestamped cross-partition message from the network layer.
+
+        During a window it is buffered in the source partition's outbox
+        (single writer: the thread executing that partition) and
+        injected at the barrier; between windows — clocks fused,
+        everything quiesced — it is scheduled directly.
+        """
+        if self._in_window:
+            self._outboxes[self._index_of[id(src_sim)]].append(
+                (arrival, dst_sim, action, label)
+            )
+        else:
+            dst_sim.schedule_at(arrival, action, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, until: Optional[float] = None, max_events: int = 10_000_000
+    ) -> int:
+        """Advance all partitions in conservative windows.
+
+        Semantics match ``Simulator.run``: dispatch everything with
+        ``time <= until`` (or drain, when ``until`` is None), leave all
+        clocks at ``until``.  Returns events dispatched by this call.
+        ``max_events`` bounds each window body per partition and the
+        total across the run (checked at barriers).
+        """
+        if self._running:
+            raise SimulationError("kernel is not re-entrant")
+        self._running = True
+        unfuse_clocks(self._clocks)
+        dispatched_before = self.events_dispatched
+        try:
+            while True:
+                t_global = self._global_queue.peek_time()
+                t_next: Optional[float] = None
+                for partition in self.partitions:
+                    t = partition.queue.peek_time()
+                    if t is not None and (t_next is None or t < t_next):
+                        t_next = t
+                if t_next is None and t_global is None:
+                    self._advance_all(until)
+                    break
+                earliest = min(
+                    t for t in (t_next, t_global) if t is not None
+                )
+                if until is not None and earliest > until:
+                    self._advance_all(until)
+                    break
+                if t_global is not None and (
+                    t_next is None or t_global <= t_next
+                ):
+                    # Global events: every partition quiesced at exactly
+                    # the event's time — a system-wide barrier.
+                    self._advance_all(t_global)
+                    self._run_global(t_global)
+                    continue
+                window_end, inclusive = self._window_bounds(
+                    t_next, t_global, until
+                )
+                spent = self.events_dispatched - dispatched_before
+                if spent >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a runaway loop"
+                    )
+                self._execute_window(window_end, inclusive, max_events - spent)
+                self._advance_all(window_end)
+                self._flush_outboxes()
+                self.windows_run += 1
+        finally:
+            fuse_clocks(self._clocks)
+            self._running = False
+        return self.events_dispatched - dispatched_before
+
+    def run_for(self, duration: float) -> int:
+        return self.run(until=self.now + duration)
+
+    # -- internals ---------------------------------------------------------
+    def _window_bounds(
+        self,
+        t_next: float,
+        t_global: Optional[float],
+        until: Optional[float],
+    ) -> Tuple[Optional[float], bool]:
+        if len(self.partitions) == 1:
+            end = math.inf
+        else:
+            la = self.lookahead
+            if la <= 0:
+                raise SimulationError(
+                    "cross-partition lookahead is zero: every link "
+                    "latency model must have a positive lower_bound() "
+                    "for conservative parallel execution"
+                )
+            end = t_next + la
+        if t_global is not None:
+            end = min(end, t_global)
+        if until is not None and end >= until:
+            # Final window: inclusive of the horizon, like a sequential
+            # run(until).
+            return until, True
+        if math.isinf(end):
+            return None, True  # unbounded drain (no interaction possible)
+        return end, False
+
+    def _execute_window(
+        self, end: Optional[float], inclusive: bool, remaining: int
+    ) -> None:
+        due = []
+        for partition in self.partitions:
+            t = partition.queue.peek_time()
+            if t is None:
+                continue
+            if end is not None and (t > end or (t == end and not inclusive)):
+                continue
+            due.append(partition)
+        if not due:
+            return
+        self._in_window = True
+        try:
+            use_threads = (
+                self._executor_mode == "thread"
+                and len(due) > 1
+                and self._last_window_events >= self._thread_threshold
+            )
+            if use_threads:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=len(self.partitions),
+                        thread_name_prefix="sim-partition",
+                    )
+                futures = [
+                    self._pool.submit(
+                        partition.run,
+                        until=end,
+                        max_events=remaining,
+                        inclusive=inclusive,
+                    )
+                    for partition in due
+                ]
+                errors = []
+                counts = []
+                for future in futures:
+                    try:
+                        counts.append(future.result())
+                    except BaseException as exc:  # re-raised after join
+                        errors.append(exc)
+                if errors:
+                    raise errors[0]
+                self._last_window_events = sum(counts)
+            else:
+                self._last_window_events = sum(
+                    partition.run(
+                        until=end, max_events=remaining, inclusive=inclusive
+                    )
+                    for partition in due
+                )
+        finally:
+            self._in_window = False
+
+    def _run_global(self, time: float) -> None:
+        queue = self._global_queue
+        while True:
+            event = queue.pop_due(time)
+            if event is None:
+                break
+            event.action()
+            self._global_dispatched += 1
+
+    def _advance_all(self, time: Optional[float]) -> None:
+        if time is None:
+            return
+        for clock in self._clocks:
+            if time > clock._now:
+                clock._now = time
+
+    def _flush_outboxes(self) -> None:
+        entries = []
+        for index, outbox in enumerate(self._outboxes):
+            if not outbox:
+                continue
+            entries.extend(
+                (arrival, index, position, dst_sim, action, label)
+                for position, (arrival, dst_sim, action, label) in enumerate(
+                    outbox
+                )
+            )
+            outbox.clear()
+        if not entries:
+            return
+        # Deterministic injection order; cross-source ties at one
+        # destination are measure-zero (continuous latencies) but the
+        # order is fixed even then.
+        entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        for arrival, _, _, dst_sim, action, label in entries:
+            if arrival < dst_sim.clock.now:
+                raise SimulationError(
+                    f"lookahead violation: message {label!r} arrives at "
+                    f"{arrival} but its destination is already at "
+                    f"{dst_sim.clock.now}"
+                )
+            dst_sim.schedule_at(arrival, action, label=label)
+        self.barrier_messages += len(entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedKernel(partitions={len(self.partitions)}, "
+            f"now={self.now:.6f}, windows={self.windows_run}, "
+            f"dispatched={self.events_dispatched})"
+        )
+
+
+def make_kernel(
+    seed: int = 0,
+    partitions: Optional[int] = None,
+    crypto_backend: Optional[str] = None,
+    executor: str = "auto",
+):
+    """Build the right kernel for an experiment arm.
+
+    ``partitions=None`` (or 0) returns the plain sequential
+    :class:`Simulator`; any positive count returns a
+    :class:`PartitionedKernel` — including ``partitions=1``, which
+    exercises the windowed machinery with a degenerate topology (useful
+    for parity testing).
+    """
+    if not partitions:
+        return Simulator(seed=seed, crypto_backend=crypto_backend)
+    return PartitionedKernel(
+        seed=seed,
+        partitions=partitions,
+        crypto_backend=crypto_backend,
+        executor=executor,
+    )

@@ -1,0 +1,437 @@
+"""The conservative parallel kernel and its determinism contract.
+
+The partitioned kernel (`repro.sim.partition`) must be a wall-clock
+optimization only: for any partition count and any crypto backend, the
+virtual-time results — event timelines, metrics counters, experiment
+rows — are byte-identical to the sequential :class:`Simulator`.  These
+tests pin that contract at three levels:
+
+* the :class:`EventQueue` primitives the windowed runs are built on
+  (half-open ``pop_due`` windows, FIFO tie-breaking),
+* the kernel mechanics (window bounds, barriers, cross-partition
+  messages, global events, fused clocks, merged metrics),
+* end-to-end experiment parity (F6 open-loop rows and the E4 elastic
+  round-trip digest across partitions {None, 1, 2, 4} x backends
+  {pure, accel}).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net.network import LinkSpec, Network, NetworkError
+from repro.sim.clock import VirtualClock, fuse_clocks, unfuse_clocks
+from repro.sim.events import EventQueue
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.latency import ConstantLatency, NormalLatency
+from repro.sim.partition import GlobalScheduler, PartitionedKernel, make_kernel
+
+
+class TestPopDueEdgeCases:
+    """Satellite: the queue primitive the windowed kernel leans on."""
+
+    def test_empty_queue_fast_path(self):
+        queue = EventQueue()
+        assert queue.pop_due() is None
+        assert queue.pop_due(until=1.0) is None
+        assert queue.pop_due(until=1.0, inclusive=False) is None
+        assert queue.peek_time() is None
+
+    def test_equal_timestamp_fifo_stability(self):
+        queue = EventQueue()
+        order = []
+        for i in range(32):
+            queue.push(1.0, lambda i=i: None, label=str(i))
+            order.append(str(i))
+        popped = []
+        while True:
+            event = queue.pop_due(until=1.0)
+            if event is None:
+                break
+            popped.append(event.label)
+        assert popped == order
+
+    def test_pop_at_exact_boundary_inclusive_vs_exclusive(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, label="at-boundary")
+        # Half-open window [_, 2.0): the boundary event stays queued.
+        assert queue.pop_due(until=2.0, inclusive=False) is None
+        assert queue.peek_time() == 2.0
+        # Closed window [_, 2.0]: now it pops.
+        event = queue.pop_due(until=2.0, inclusive=True)
+        assert event is not None and event.label == "at-boundary"
+        assert queue.pop_due(until=2.0) is None
+
+    def test_boundary_event_survives_for_next_window(self):
+        """An event at exactly the barrier time is dispatched by the
+        *next* window, not lost — the invariant the kernel's half-open
+        intermediate windows rely on."""
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, label="inside")
+        queue.push(2.0, lambda: None, label="barrier")
+        first_window = []
+        while (event := queue.pop_due(until=2.0, inclusive=False)) is not None:
+            first_window.append(event.label)
+        second_window = []
+        while (event := queue.pop_due(until=3.0, inclusive=False)) is not None:
+            second_window.append(event.label)
+        assert first_window == ["inside"]
+        assert second_window == ["barrier"]
+
+    def test_interleaved_push_during_drain(self):
+        """Events pushed from inside a drain loop join the same window
+        when due, in (time, seq) order."""
+        queue = EventQueue()
+        seen = []
+
+        def spawn(label, at):
+            def action():
+                seen.append(label)
+                if at < 0.5:
+                    queue.push(at + 0.1, *spawn_args(f"{label}+", at + 0.1))
+
+            return action
+
+        def spawn_args(label, at):
+            return (spawn(label, at), label)
+
+        queue.push(0.1, *spawn_args("a", 0.1))
+        queue.push(0.1, *spawn_args("b", 0.1))
+        while (event := queue.pop_due(until=1.0)) is not None:
+            event.action()
+        # Both chains interleave strictly by (time, seq).
+        assert seen == ["a", "b", "a+", "b+", "a++", "b++", "a+++", "b+++",
+                        "a++++", "b++++"]
+
+    def test_cancelled_events_are_skipped_not_returned(self):
+        queue = EventQueue()
+        doomed = queue.push(1.0, lambda: None, label="doomed")
+        queue.push(1.0, lambda: None, label="kept")
+        doomed.cancel()
+        event = queue.pop_due(until=1.0)
+        assert event is not None and event.label == "kept"
+        assert queue.pop_due(until=1.0) is None
+
+
+def _attach_pair(kernel, network=None, link=None):
+    """Two hosts on distinct partitions (finite lookahead)."""
+    network = network or Network(kernel)
+    link = link or LinkSpec.lan()
+    network.attach("a", link)  # partition 0 (default placement)
+    network.attach("b", link, simulator=kernel.simulator_for_host("b"))
+    return network
+
+
+class TestKernelMechanics:
+    def test_make_kernel_dispatch(self):
+        assert isinstance(make_kernel(seed=1, partitions=None), Simulator)
+        assert isinstance(make_kernel(seed=1, partitions=0), Simulator)
+        single = make_kernel(seed=1, partitions=1)
+        assert isinstance(single, PartitionedKernel)
+        assert len(single.partitions) == 1
+        assert len(make_kernel(seed=1, partitions=4).partitions) == 4
+
+    def test_default_simulator_is_partition_zero(self):
+        kernel = PartitionedKernel(seed=3, partitions=3)
+        assert kernel.default_simulator is kernel.partitions[0]
+        plain = Simulator(seed=3)
+        assert plain.default_simulator is plain
+
+    def test_simulator_for_host_round_robin_skips_partition_zero(self):
+        kernel = PartitionedKernel(seed=0, partitions=3)
+        owners = [kernel.simulator_for_host(f"h{i}") for i in range(4)]
+        assert owners == [
+            kernel.partitions[1], kernel.partitions[2],
+            kernel.partitions[1], kernel.partitions[2],
+        ]
+        # A plain simulator owns every host (duck-typed fallback).
+        plain = Simulator(seed=0)
+        assert plain.simulator_for_host("x") is plain
+
+    def test_single_partition_round_robin_stays_on_partition_zero(self):
+        kernel = PartitionedKernel(seed=0, partitions=1)
+        assert kernel.simulator_for_host("h") is kernel.partitions[0]
+
+    def test_windows_and_barrier_messages_counted(self):
+        kernel = PartitionedKernel(seed=5, partitions=2)
+        network = _attach_pair(kernel)
+        got = []
+        network.set_inbox("b", lambda src, payload: got.append(payload))
+        kernel.default_simulator.schedule(
+            0.01, lambda: network.send("a", "b", b"ping")
+        )
+        kernel.run(until=1.0)
+        assert got == [b"ping"]
+        assert kernel.windows_run > 0
+        assert kernel.barrier_messages == 1
+
+    def test_lookahead_must_be_positive_for_multi_partition_run(self):
+        kernel = PartitionedKernel(seed=1, partitions=2)
+        network = Network(kernel)
+        zero_floor = LinkSpec(latency=ConstantLatency(0.0))
+        network.attach("a", zero_floor)
+        network.attach("b", zero_floor,
+                       simulator=kernel.simulator_for_host("b"))
+        kernel.partitions[0].schedule(0.1, lambda: None)
+        kernel.partitions[1].schedule(0.2, lambda: None)
+        with pytest.raises(SimulationError, match="lookahead"):
+            kernel.run(until=1.0)
+
+    def test_run_is_not_reentrant(self):
+        kernel = PartitionedKernel(seed=1, partitions=2)
+        _attach_pair(kernel)
+
+        def reenter():
+            kernel.run(until=2.0)
+
+        kernel.default_simulator.schedule(0.1, reenter)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            kernel.run(until=1.0)
+
+    def test_max_events_budget_enforced(self):
+        kernel = PartitionedKernel(seed=1, partitions=2)
+        _attach_pair(kernel)
+        sim = kernel.default_simulator
+
+        def tick():
+            sim.schedule(0.0001, tick)
+
+        sim.schedule(0.0, tick)
+        with pytest.raises(SimulationError, match="max_events"):
+            kernel.run(until=10.0, max_events=100)
+
+    def test_final_window_is_inclusive_like_sequential_run(self):
+        """An event at exactly ``until`` fires, matching Simulator.run's
+        default inclusive horizon."""
+        kernel = PartitionedKernel(seed=1, partitions=2)
+        _attach_pair(kernel)
+        fired = []
+        kernel.default_simulator.schedule_at(1.0, lambda: fired.append("end"))
+        kernel.run(until=1.0)
+        assert fired == ["end"]
+
+    def test_clocks_advance_to_horizon(self):
+        kernel = PartitionedKernel(seed=1, partitions=2)
+        _attach_pair(kernel)
+        kernel.run(until=0.5)
+        assert [sim.now for sim in kernel.partitions] == [0.5, 0.5]
+
+
+class TestGlobalEvents:
+    def test_global_event_runs_with_all_partitions_quiesced(self):
+        kernel = PartitionedKernel(seed=2, partitions=3)
+        network = Network(kernel)
+        link = LinkSpec.lan()
+        network.attach("a", link)
+        network.attach("b", link, simulator=kernel.simulator_for_host("b"))
+        network.attach("c", link, simulator=kernel.simulator_for_host("c"))
+        observed = []
+        control = kernel.global_scheduler
+        assert isinstance(control, GlobalScheduler)
+        control.schedule(
+            0.5, lambda: observed.append(tuple(s.now for s in kernel.partitions))
+        )
+        # Surrounding per-partition activity on both sides of the tick.
+        kernel.partitions[1].schedule(0.3, lambda: None)
+        kernel.partitions[2].schedule(0.7, lambda: None)
+        kernel.run(until=1.0)
+        # The global action saw every clock at exactly the tick time.
+        assert observed == [(0.5, 0.5, 0.5)]
+
+    def test_global_scheduler_rejects_past_times(self):
+        kernel = PartitionedKernel(seed=2, partitions=2)
+        _attach_pair(kernel)
+        kernel.run(until=1.0)
+        control = kernel.global_scheduler
+        with pytest.raises(SimulationError):
+            control.schedule(-0.1, lambda: None)
+        with pytest.raises(SimulationError):
+            control.schedule_at(0.5, lambda: None)
+
+    def test_global_scheduler_facade_surface(self):
+        kernel = PartitionedKernel(seed=2, partitions=2)
+        control = kernel.global_scheduler
+        assert control.now == kernel.now
+        assert control.metrics is kernel.metrics
+        assert control.rng is kernel.rng
+
+
+class TestFusedClocks:
+    def test_fused_clocks_advance_together_outside_runs(self):
+        c1, c2 = VirtualClock(), VirtualClock()
+        fuse_clocks([c1, c2])
+        c1.advance(5.0)
+        assert c2.now == 5.0
+        c2.advance_to(7.0)
+        assert c1.now == 7.0
+        unfuse_clocks([c1, c2])
+        c1.advance(1.0)
+        assert (c1.now, c2.now) == (8.0, 7.0)
+
+    def test_fusing_unequal_clocks_never_rewinds(self):
+        behind, ahead = VirtualClock(), VirtualClock()
+        ahead.advance(3.0)
+        fuse_clocks([behind, ahead])
+        behind.advance(1.0)  # target 1.0 < ahead's 3.0
+        assert behind.now == 1.0 and ahead.now == 3.0
+        behind.advance(4.0)  # target 5.0 drags both
+        assert behind.now == 5.0 and ahead.now == 5.0
+
+    def test_kernel_clocks_fused_between_runs(self):
+        """Synchronous setup phases that charge time inline keep every
+        partition on one timeline while no windowed run is active."""
+        kernel = PartitionedKernel(seed=1, partitions=2)
+        kernel.partitions[1].clock.advance(2.5)
+        assert kernel.partitions[0].now == 2.5
+
+
+class TestMergedMetrics:
+    def test_counters_summed_across_partitions(self):
+        kernel = PartitionedKernel(seed=0, partitions=3)
+        kernel.partitions[0].metrics.counter("ops").increment()
+        kernel.partitions[1].metrics.counter("ops").increment(2)
+        kernel.partitions[2].metrics.counter("ops").increment(3)
+        kernel.partitions[1].metrics.counter("other").increment()
+        counters = kernel.metrics.counters()
+        assert counters["ops"] == 6
+        assert counters["other"] == 1
+
+    def test_counter_creation_lands_on_partition_zero(self):
+        kernel = PartitionedKernel(seed=0, partitions=2)
+        kernel.metrics.counter("made-via-facade").increment()
+        assert (
+            kernel.partitions[0].metrics.counters()["made-via-facade"] == 1
+        )
+
+
+class TestCrossPartitionNetwork:
+    def test_synchronous_transfer_forbidden_across_partitions_in_window(self):
+        kernel = PartitionedKernel(seed=4, partitions=2)
+        network = _attach_pair(kernel)
+        errors = []
+
+        def attempt():
+            try:
+                network.transfer("a", "b", b"x")
+            except NetworkError as exc:
+                errors.append(str(exc))
+
+        kernel.default_simulator.schedule(0.01, attempt)
+        kernel.run(until=1.0)
+        assert errors and "cross partitions" in errors[0]
+
+    def test_lookahead_is_sum_of_two_smallest_partition_floors(self):
+        kernel = PartitionedKernel(seed=4, partitions=2)
+        network = Network(kernel)
+        network.attach("a", LinkSpec(latency=ConstantLatency(0.002)))
+        network.attach(
+            "b", LinkSpec(latency=ConstantLatency(0.003)),
+            simulator=kernel.simulator_for_host("b"),
+        )
+        assert network.cross_partition_lookahead() == pytest.approx(0.005)
+        assert kernel.lookahead == pytest.approx(0.005)
+
+    def _ping_pong_trace(self, partitions, rounds=6, seed=42):
+        """Record every delivery (host, virtual time, payload) of an
+        a<->b ping-pong; the trace must not depend on partitioning."""
+        kernel = make_kernel(seed=seed, partitions=partitions)
+        network = Network(kernel)
+        b_sim = kernel.simulator_for_host("b")
+        trace = []
+        # Jittered links: draws come from per-source-host streams, so
+        # latency samples align across kernels too.
+        link = LinkSpec(latency=NormalLatency(mu=0.005, sigma=0.0005))
+
+        def a_inbox(src, payload):
+            trace.append(("a", kernel.default_simulator.now, payload))
+            if len(trace) < 2 * rounds:
+                network.send("a", "b", payload + b"!")
+
+        def b_inbox(src, payload):
+            trace.append(("b", b_sim.now, payload))
+            network.send("b", "a", payload)
+
+        network.attach("a", link, inbox=a_inbox)
+        network.attach("b", link, inbox=b_inbox, simulator=b_sim)
+        kernel.default_simulator.schedule(
+            0.001, lambda: network.send("a", "b", b"m")
+        )
+        kernel.run(until=5.0)
+        stats = (network.packets_sent, network.packets_dropped,
+                 network.bytes_sent)
+        return trace, stats
+
+    def test_ping_pong_timeline_identical_across_partition_counts(self):
+        baseline = self._ping_pong_trace(partitions=None)
+        for partitions in (1, 2):
+            assert self._ping_pong_trace(partitions=partitions) == baseline
+        trace, _ = baseline
+        assert len(trace) == 12  # the exchange actually happened
+
+
+class TestExperimentParity:
+    """Acceptance criteria: stripped experiment JSON and metrics
+    counters byte-identical across partition counts and backends."""
+
+    F6_KWARGS = dict(populations=(300,), shards=2, seed=77,
+                     max_outstanding=64)
+
+    @staticmethod
+    def _canonical_f6(partitions, backend="accel"):
+        from repro.bench.experiments.openloop import f6_open_loop_rows
+        from repro.bench.runner import strip_wall
+        from repro.crypto.backend import use_backend
+
+        with use_backend(backend):
+            rows = f6_open_loop_rows(
+                partitions=partitions,
+                **TestExperimentParity.F6_KWARGS,
+            )
+        return json.dumps(strip_wall(rows), sort_keys=False)
+
+    def test_f6_rows_identical_across_partition_counts(self):
+        baseline = self._canonical_f6(partitions=None)
+        for partitions in (1, 2, 4):
+            assert self._canonical_f6(partitions=partitions) == baseline
+
+    def test_f6_rows_identical_across_backends_when_partitioned(self):
+        assert (
+            self._canonical_f6(partitions=2, backend="pure")
+            == self._canonical_f6(partitions=2, backend="accel")
+        )
+
+    def test_e4_roundtrip_digest_identical_across_partition_counts(self):
+        from repro.bench.experiments.elasticity import _roundtrip_digest_check
+        from repro.bench.runner import strip_wall
+
+        results = {
+            partitions: strip_wall(_roundtrip_digest_check(
+                accounts=4, seed=909, partitions=partitions
+            ))
+            for partitions in (None, 2)
+        }
+        for result in results.values():
+            assert result["digest_match"] is True
+        assert (
+            json.dumps(results[None], sort_keys=False)
+            == json.dumps(results[2], sort_keys=False)
+        )
+
+    def test_loadgen_counters_identical_across_partition_counts(self):
+        """The kernel-facade counters (not just rows) agree: same
+        arrivals, same confirms, same sheds, summed across shards."""
+        from repro.bench.experiments.openloop import f6_open_loop_rows
+
+        counters = {}
+        for partitions in (None, 2):
+            rows = f6_open_loop_rows(
+                partitions=partitions, **self.F6_KWARGS
+            )
+            counters[partitions] = {
+                k: rows[0][k]
+                for k in ("arrivals", "completed", "failed", "confirms",
+                          "shed", "retries")
+            }
+        assert counters[None] == counters[2]
