@@ -21,6 +21,7 @@ from repro.bench.experiments.robustness import r1_loss_robustness
 from repro.bench.experiments.sharding import f3s_sharded_scaling
 from repro.bench.experiments.openloop import f6_open_loop_rows
 from repro.bench.experiments.elasticity import e4_elastic_rows
+from repro.bench.experiments.chaos import crash_matrix, r3_chaos_sweep
 from repro.bench.experiments.rsa_microbench import (
     rsa_backend_microbench,
     rsa_micro_summary,
@@ -42,6 +43,8 @@ __all__ = [
     "a1_defense_ablation",
     "r1_loss_robustness",
     "r2_crash_availability",
+    "r3_chaos_sweep",
+    "crash_matrix",
     "rsa_backend_microbench",
     "rsa_micro_summary",
 ]

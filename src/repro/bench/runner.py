@@ -39,6 +39,7 @@ from repro.bench.experiments import (
     fig5_noncedb_scalability,
     r1_loss_robustness,
     r2_crash_availability,
+    r3_chaos_sweep,
     table1_tpm_microbench,
     table2_session_breakdown,
     table3_end_to_end,
@@ -170,6 +171,12 @@ def build_cells(
             Cell("r2", ("r2",), r2_crash_availability,
                  dict(crash_rates=(0.0, 0.7), recovery_s=0.35, offered=120.0,
                       duration=1.2, accounts=8, seed=SMOKE_SEED)),
+            # R3 smoke keeps the full crash-anywhere matrix (it is the
+            # acceptance artifact) on a shortened chaos day.
+            Cell("r3", ("r3",), r3_chaos_sweep,
+                 dict(crash_rates=(0.0, 0.1), users=800, day_seconds=180.0,
+                      shards=2, recovery_s=1.5, seed=SMOKE_SEED,
+                      matrix_accounts=3, **pool_kwargs)),
             Cell("a1", ("a1",), a1_defense_ablation, dict(seed=SMOKE_SEED)),
             Cell("a2", ("a2",), a2_latency_hiding,
                  dict(repetitions=1, seed=SMOKE_SEED)),
@@ -204,6 +211,7 @@ def build_cells(
         Cell("f5", ("f5",), fig5_noncedb_scalability),
         Cell("r1", ("r1",), r1_loss_robustness),
         Cell("r2", ("r2",), r2_crash_availability),
+        Cell("r3", ("r3",), r3_chaos_sweep, dict(**pool_kwargs)),
         Cell("a1", ("a1",), a1_defense_ablation),
         Cell("a2", ("a2",), a2_latency_hiding),
         Cell("e1", ("e1",), e1_attention_sweep),
@@ -457,6 +465,16 @@ def wall_record(matrix: MatrixResult) -> Dict[str, object]:
     kernx_rows = matrix.results.get("kernx")
     if kernx_rows:
         record["kern_micro"] = kern_micro_summary(kernx_rows)
+    r3 = matrix.results.get("r3")
+    if r3:
+        # Chaos provenance: the exact fault plan of every faulted row
+        # plus the crash-anywhere verdict — a red nightly sweep is
+        # reproducible from this artifact alone.
+        record["chaos"] = {
+            "fault_plans": r3["fault_plans"],
+            "matrix_ok": r3["crash_matrix"]["all_ok"],
+            "matrix_cells": len(r3["crash_matrix"]["cells"]),
+        }
     e4 = matrix.results.get("e4")
     if e4:
         # Rebalance cost trajectory: how many bytes a scale-up + drain

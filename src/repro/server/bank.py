@@ -123,6 +123,46 @@ class BankServer(ServiceProvider):
         for name in accounts:
             self.balances.pop(name, None)
 
+    def capture_business_residual(self) -> Message:
+        """Everything the slice protocol leaves behind when this shard
+        is drained away: external counterparty balances (destinations
+        auto-created by transfers, never owned accounts) and the
+        executed-transfer log.  Destroying either with the shard would
+        break pool-wide ledger conservation and duplicate-execution
+        accounting, so a drain ships this residual to a survivor."""
+        external = sorted(set(self.balances) - set(self.accounts))
+        return {
+            "bal": [
+                encode_message({"a": name, "v": self.balances[name]})
+                for name in external
+            ],
+            "xf": [
+                encode_message({
+                    "s": transfer.source,
+                    "d": transfer.destination,
+                    "v": transfer.amount_cents,
+                })
+                for transfer in self.executed_transfers
+            ],
+        }
+
+    def install_business_residual(self, state: Message) -> None:
+        """Additive absorb: external balances sum (the survivor may hold
+        its own balance for the same counterparty) and the transfer log
+        extends — each historical entry still appears exactly once
+        pool-wide."""
+        for msg in map(decode_message, state.get("bal", [])):
+            name = str(msg["a"])
+            self.balances[name] = self.balances.get(name, 0) + int(msg["v"])
+        for msg in map(decode_message, state.get("xf", [])):
+            self.executed_transfers.append(
+                Transfer(
+                    source=str(msg["s"]),
+                    destination=str(msg["d"]),
+                    amount_cents=int(msg["v"]),
+                )
+            )
+
     # -- experiment accessors ----------------------------------------------
     def balance_of(self, account: str) -> int:
         return self.balances.get(account, 0)

@@ -18,10 +18,15 @@ the persistence layer for that state, on the simulated
   provider's full captured state replaces the snapshot file and the WAL
   truncates.  Restore = load snapshot, replay the WAL tail.
 
-Disk writes are modeled as atomic and durable (the simulated disk has
-no partial-write failure mode); what the crash destroys is *memory* —
-and, deliberately, the RPC layer's request-dedup/response cache, which
-is exactly the loss the journaled ``final_response`` compensates for.
+Completed disk writes are durable, but an append interrupted by a crash
+may leave a *torn tail*: a truncated final frame that
+:meth:`ProviderJournal.read_records` tolerates (the interrupted record's
+operation never became durable).  The chaos harness exercises this
+explicitly via :meth:`ProviderJournal.tear_tail`, which models a crash
+landing mid-append.  Beyond that one loss, what a crash destroys is
+*memory* — and, deliberately, the RPC layer's request-dedup/response
+cache, which is exactly the loss the journaled ``final_response``
+compensates for.
 """
 
 from __future__ import annotations
@@ -121,6 +126,62 @@ class ProviderJournal:
         self.disk.write_file(self.wal_path, b"")
         self.snapshots += 1
         self._since_snapshot = 0
+
+    def tear_tail(self, fraction: float = 0.5) -> int:
+        """Truncate the WAL inside its final frame (torn-write fault).
+
+        Models a crash that lands mid-append: the last complete frame is
+        re-cut at ``fraction`` of its framed length, leaving a partial
+        length prefix or a short record body — exactly the shape
+        :meth:`read_records` tolerates as a torn tail.  Returns the
+        number of bytes torn off (0 when the WAL holds no complete
+        frame, in which case nothing changes).
+        """
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError(f"tear fraction must be in [0, 1): {fraction}")
+        raw = self.disk.read_file(self.wal_path) or b""
+        last_start = None
+        last_len = 0
+        offset = 0
+        while offset + _LEN.size <= len(raw):
+            (length,) = _LEN.unpack_from(raw, offset)
+            if length > _MAX_RECORD or offset + _LEN.size + length > len(raw):
+                break
+            last_start = offset
+            last_len = _LEN.size + length
+            offset += _LEN.size + length
+        if last_start is None:
+            return 0
+        keep = last_start + int(last_len * fraction)
+        self.disk.write_file(self.wal_path, raw[:keep])
+        return len(raw) - keep
+
+    def repair_tail(self) -> int:
+        """Truncate a torn tail at the last complete frame boundary.
+
+        Recovery-time counterpart of :meth:`read_records`' tolerance:
+        tolerating the partial frame on *read* is not enough, because
+        the restarted shard keeps appending — and a new frame written
+        after leftover partial bytes would corrupt the framing of
+        everything that follows.  Called on restore, before any new
+        append.  Returns the number of bytes discarded."""
+        raw = self.disk.read_file(self.wal_path) or b""
+        offset = 0
+        while offset + _LEN.size <= len(raw):
+            (length,) = _LEN.unpack_from(raw, offset)
+            if length > _MAX_RECORD:
+                raise JournalError(
+                    f"corrupt WAL record length {length} at offset "
+                    f"{offset} in {self.wal_path}"
+                )
+            if offset + _LEN.size + length > len(raw):
+                break
+            offset += _LEN.size + length
+        torn = len(raw) - offset
+        if torn:
+            self.torn_tails += 1
+            self.disk.write_file(self.wal_path, raw[:offset])
+        return torn
 
     # -- read side ----------------------------------------------------------
     def read_snapshot(self) -> Optional[bytes]:

@@ -223,6 +223,11 @@ class ServiceProvider:
         #: can ship the WAL tail at ring-flip time (`repro.server
         #: .rebalance`).  Taps work with or without a disk journal.
         self._migration_taps: List[list] = []
+        #: True while replaying a migration WAL tail (live apply or
+        #: journal recovery of a ``mig_tail`` record): business effects
+        #: of window settles are suppressed — the flip-time ``mig_biz``
+        #: refresh delivers them instead.
+        self._migration_replay = False
         self.accounts_migrated_in = 0
         self.accounts_migrated_out = 0
         self._register_handlers()
@@ -1360,6 +1365,11 @@ class ServiceProvider:
         self.batches.clear()
         self.nonces.wipe()
         self._last_store_sweep = 0.0
+        # Migration taps are coordinator-held RAM buffers fed by this
+        # process; a crash severs them.  The coordinator's recovery path
+        # must treat any in-flight copy window through this shard as
+        # lost and abort the migration.
+        self._migration_taps.clear()
 
     def restart(self) -> None:
         """Bring the process back.  With a journal attached the shard is
@@ -1380,6 +1390,11 @@ class ServiceProvider:
         snapshot = self.journal.read_snapshot()
         if snapshot is None:
             raise JournalError(f"no snapshot on disk for {self.host}")
+        # A mid-append crash left a partial final frame: discard it now
+        # (its operation never became durable), or the first post-restart
+        # append would land after the partial bytes and corrupt the
+        # framing of every later record.
+        self.journal.repair_tail()
         self.restore_state(decode_message(snapshot))
         records = [decode_message(raw) for raw in self.journal.read_records()]
         self._replaying = True
@@ -1519,8 +1534,24 @@ class ServiceProvider:
         elif kind == "mig_out":
             self._drop_slice([str(name) for name in rec["a"]])
         elif kind == "mig_tail":
-            for encoded in rec["rs"]:
-                self._replay_record(decode_message(encoded))
+            # Tail records replay their *protocol* effects only; the
+            # business effect of window settles is delivered separately
+            # by the flip-time ``mig_biz`` refresh (the source already
+            # executed them live — re-executing here would double-count
+            # external accounts and the transfer log pool-wide).
+            previous = self._migration_replay
+            self._migration_replay = True
+            try:
+                for encoded in rec["rs"]:
+                    self._replay_record(decode_message(encoded))
+            finally:
+                self._migration_replay = previous
+        elif kind == "mig_biz":
+            self.install_business_slice(decode_message(rec["b"]))
+        elif kind == "mig_res":
+            self.install_business_residual(decode_message(rec["b"]))
+        elif kind in ("mig_prepare", "mig_commit", "mig_abort"):
+            pass  # protocol markers: state lives in the intent log
         else:
             raise JournalError(f"unknown journal record kind {kind!r}")
 
@@ -1545,7 +1576,10 @@ class ServiceProvider:
         if status is TxStatus.EXECUTED:
             # Deterministic re-application of the business effect; the
             # receipt already lives in pending.detail from the record.
-            self.execute_transaction(pending.transaction)
+            # Skipped for migration tails — the flip-time business
+            # refresh carries the post-window balances instead.
+            if not self._migration_replay:
+                self.execute_transaction(pending.transaction)
         elif status is TxStatus.DENIED:
             self.denials[pending.detail] = self.denials.get(pending.detail, 0) + 1
         elif status is TxStatus.EXPIRED:
@@ -1569,7 +1603,8 @@ class ServiceProvider:
         if status is TxStatus.EXECUTED:
             for tx_id in batch.tx_ids:
                 member = self.transactions[tx_id]
-                self.execute_transaction(member.transaction)
+                if not self._migration_replay:
+                    self.execute_transaction(member.transaction)
                 member.status = TxStatus.EXECUTED
                 member.settled_at = at
         elif status is TxStatus.REJECTED_BY_USER:
@@ -1616,6 +1651,33 @@ class ServiceProvider:
         """Subclass hook: forget the business state of a migrated-out
         account range."""
 
+    def capture_business_residual(self) -> Message:
+        """Subclass hook: business state *not* bound to any owned
+        account — external counterparty balances and historical logs.
+        Captured when a shard is drained away so the pool-wide ledger
+        conserves; an empty message means nothing to ship."""
+        return {}
+
+    def install_business_residual(self, state: Message) -> None:
+        """Subclass hook: additively absorb a drained peer's residual
+        business state (inverse of :meth:`capture_business_residual`)."""
+
+    def install_business_refresh(self, state: Message) -> None:
+        """Overwrite the migrated range's business state with its value
+        at ring-flip time, journaled as one ``mig_biz`` record.  The
+        copy-window tail replays protocol effects only, so this refresh
+        is what delivers the window's business effects to the new owner
+        — exactly once, because the source executed them exactly once."""
+        self.install_business_slice(state)
+        self._journal_append({"t": "mig_biz", "b": encode_message(state)})
+
+    def install_residual(self, state: Message) -> None:
+        """Absorb a drained shard's residual business state, journaled
+        as one ``mig_res`` record so the absorption survives a later
+        crash of this shard."""
+        self.install_business_residual(state)
+        self._journal_append({"t": "mig_res", "b": encode_message(state)})
+
     def start_migration_tap(self) -> list:
         """Begin mirroring mutation records (the live WAL tail) into a
         fresh list; runs with or without a disk journal attached."""
@@ -1626,6 +1688,25 @@ class ServiceProvider:
     def stop_migration_tap(self, tap: list) -> list:
         self._migration_taps.remove(tap)
         return tap
+
+    def clear_migration_taps(self) -> int:
+        """Abort path: drop every active tap without needing the tap
+        handles (a crashed coordinator recovering from its intent log
+        has none).  Safe when the shard crashed in between — the crash
+        already cleared the taps."""
+        dropped = len(self._migration_taps)
+        self._migration_taps.clear()
+        return dropped
+
+    def note_migration(self, kind: str, op_id: str) -> None:
+        """Journal a migration-protocol marker (``mig_prepare`` /
+        ``mig_commit`` / ``mig_abort``) on this shard.  Markers are the
+        participant-side trace of the coordinator's write-ahead intent
+        log: they replay as no-ops but make every shard's WAL
+        self-describing about the scale events it took part in."""
+        if kind not in ("mig_prepare", "mig_commit", "mig_abort"):
+            raise ValueError(f"not a migration marker kind: {kind!r}")
+        self._journal_append({"t": kind, "op": op_id})
 
     def capture_slice(self, account_names: Iterable[str]) -> Message:
         """Snapshot everything owned by ``account_names``: the account
@@ -1738,6 +1819,7 @@ class ServiceProvider:
         name_set = set(account_names)
         applied: List[Message] = []
         self._replaying = True
+        self._migration_replay = True
         try:
             for record in records:
                 if not self._migration_record_applies(record, name_set):
@@ -1746,6 +1828,7 @@ class ServiceProvider:
                 applied.append(record)
         finally:
             self._replaying = False
+            self._migration_replay = False
         if applied:
             self._journal_append(
                 {"t": "mig_tail", "rs": [encode_message(r) for r in applied]}

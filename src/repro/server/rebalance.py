@@ -1,4 +1,4 @@
-"""Elastic shard pool: live migration, drain, and autoscaling.
+"""Elastic shard pool: crash-safe live migration, drain, and autoscaling.
 
 The sharded provider (`repro.server.router`) fixes its pool size at
 build time, but the paper's deployment story — confirmation as a
@@ -20,12 +20,47 @@ pool sized for the trough sheds the spike.  This module makes the pool
   admitting new sessions, in-flight legs settle, its ranges migrate to
   the survivors, and the shard is removed — survivor state is
   bit-identical (pool ``state_digest``) to a pool that was never
-  scaled.
+  scaled.  A drain also ships the departing shard's business
+  *residual* (external counterparty balances, the executed-transfer
+  log) to a survivor, so pool-wide ledger conservation and
+  duplicate-execution accounting survive the removal.
 * :class:`AutoScaler` closes the loop: a periodic controller reads the
   router's own signals (shed rate, outstanding legs, breaker states)
   and scales up under sustained pressure, drains the newest shard in
   sustained calm — with streak hysteresis and a cooldown so a single
   noisy tick never thrashes the pool.
+
+Crash safety — the migration write-ahead protocol
+-------------------------------------------------
+
+Every scale event runs a write-ahead intent protocol against a
+durable :class:`MigrationIntentLog` plus ``mig_prepare`` /
+``mig_commit`` / ``mig_abort`` marker records in the participating
+shards' own journals:
+
+* ``mig_prepare`` is logged before anything else happens; it names the
+  operation, the shard added or drained, and the source ranges.
+* The flip's durable transition — stop taps, log ``mig_commit``,
+  install slices + replay tails + refresh business state on targets,
+  drop ranges from sources, ship the drain residual, rebuild the ring
+  — executes as one atomic simulation event.  The commit record is
+  written *before* the transition applies (write-ahead), and the
+  model's crash points (fault hooks, see ``phase_hooks``) sit strictly
+  before the commit or strictly after the full transition.
+* ``mig_done`` closes the operation; ``mig_abort`` records a clean
+  abort.
+
+Recovery (:meth:`ShardPoolManager.recover`, run on manager restart)
+resolves every open operation deterministically: **commit logged →
+idempotent resume** (re-assert drops, ring ownership, learned-route
+rewrites, then ``mig_done``); **no commit → clean abort** (clear
+migration taps, detach a half-added shard, clear the draining flag —
+source ownership retained, ``busy`` released).  No account is ever
+stranded, dropped, or owned by two shards.
+
+A watchdog guards the non-crash failure mode too: if the scheduled
+flip callback is lost, the operation aborts at its deadline instead of
+latching ``busy`` forever (``rebalance.aborts``).
 
 Everything runs on the simulation's virtual clock and derives no new
 randomness, so an elastic run is as deterministic as a static one.
@@ -33,12 +68,15 @@ randomness, so an elastic run is as deterministic as a static one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.messages import Message, decode_message, encode_message
+from repro.os.disk import UntrustedDisk
+from repro.server.journal import ProviderJournal
 from repro.server.provider import ServiceProvider
 from repro.server.router import CircuitBreaker, HashRing, ProviderRouter
+from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 
 #: Modeled migration link: snapshot bytes stream at this rate during
@@ -49,6 +87,14 @@ DEFAULT_TRANSFER_LATENCY_S = 0.05
 #: How long after a ring flip the router re-aims disowned responses at
 #: the new owner (covers legs that were in flight at the flip).
 DEFAULT_DUAL_READ_WINDOW_S = 2.0
+#: Watchdog slack past the expected flip time before an operation is
+#: declared stuck and aborted.
+DEFAULT_FLIP_GRACE_S = 10.0
+
+#: Migration phases exposed to fault hooks, in protocol order.
+MIGRATION_PHASES = (
+    "capture", "copy", "drain_poll", "tail_replay", "ring_flip", "dual_read",
+)
 
 
 @dataclass
@@ -69,14 +115,92 @@ class MigrationReport:
         return self.flipped_at - self.started_at
 
 
+class MigrationIntentLog:
+    """Durable write-ahead log of migration intent records.
+
+    With a disk attached the log is a real WAL on the simulated
+    :class:`~repro.os.disk.UntrustedDisk` (same framing and torn-tail
+    tolerance as the provider journal); without one it degrades to an
+    in-memory list that models an external durable configuration store
+    — either way the records survive a coordinator crash, which is the
+    whole point.
+    """
+
+    def __init__(
+        self, disk: Optional[UntrustedDisk] = None, host: str = "pool!mgr"
+    ) -> None:
+        self.host = host
+        self._journal = (
+            ProviderJournal(disk, host) if disk is not None else None
+        )
+        self._memory: List[bytes] = []
+        self.appends = 0
+
+    @property
+    def durable_on_disk(self) -> bool:
+        return self._journal is not None
+
+    def append(self, record: Message) -> None:
+        raw = encode_message(record)
+        if self._journal is not None:
+            self._journal.append(raw)
+        else:
+            self._memory.append(raw)
+        self.appends += 1
+
+    def records(self) -> List[Message]:
+        raws = (
+            self._journal.read_records()
+            if self._journal is not None
+            else list(self._memory)
+        )
+        return [decode_message(raw) for raw in raws]
+
+
+@dataclass
+class _Operation:
+    """Volatile coordinator state for one in-flight scale event.  The
+    durable twin lives in the intent log; everything here may be lost
+    to a coordinator crash and must be reconstructible from the log."""
+
+    op_id: str
+    kind: str  # "scale_up" | "drain"
+    host: str  # shard added (scale_up) / drained (drain)
+    epoch: int
+    started: float
+    deadline: float = 0.0
+    #: (source shard, prepared names) — the ranges leaving each source.
+    sources: List[Tuple[ServiceProvider, List[str]]] = field(
+        default_factory=list
+    )
+    #: participant host -> crash count sampled at prepare; a changed
+    #: count before commit means the participant lost RAM mid-protocol.
+    participants: Dict[str, ServiceProvider] = field(default_factory=dict)
+    epochs: Dict[str, int] = field(default_factory=dict)
+    target: Optional[ServiceProvider] = None
+    taps: List[Tuple[ServiceProvider, list]] = field(default_factory=list)
+    snapshot_bytes: int = 0
+    flip_event: Optional[Event] = None
+    poll_event: Optional[Event] = None
+    watchdog: Optional[Event] = None
+    finished: bool = False
+
+
 class ShardPoolManager:
-    """Coordinator for account-range migration on a live shard pool.
+    """Crash-safe coordinator for account-range migration on a live
+    shard pool.
 
     One migration at a time (``busy`` guards overlap — ranges in
     flight must not be re-sliced by a second operation).  The
     ``shard_factory(host)`` callable builds a fresh, network-attached
     shard; keeping construction outside the manager lets callers
     decide journaling, caching, and provider class.
+
+    ``phase_hooks`` is a list of ``hook(phase, info)`` callables fired
+    at each protocol phase (:data:`MIGRATION_PHASES`); the chaos
+    harness uses them to aim crashes at exact migration phases.  A
+    hook may crash this manager or any participant — the protocol
+    resolves either deterministically.
     """
 
     def __init__(
@@ -90,11 +214,15 @@ class ShardPoolManager:
         dual_read_window_s: float = DEFAULT_DUAL_READ_WINDOW_S,
         drain_poll_s: float = 0.25,
         drain_grace_s: float = 30.0,
+        flip_grace_s: float = DEFAULT_FLIP_GRACE_S,
+        intent_disk: Optional[UntrustedDisk] = None,
     ) -> None:
         if bandwidth_bytes_per_s <= 0:
             raise ValueError(
                 f"bandwidth must be > 0: {bandwidth_bytes_per_s}"
             )
+        if flip_grace_s <= 0:
+            raise ValueError(f"flip_grace_s must be > 0: {flip_grace_s}")
         self.simulator = simulator
         self.router = router
         self.shard_factory = shard_factory
@@ -103,9 +231,22 @@ class ShardPoolManager:
         self.dual_read_window_s = dual_read_window_s
         self.drain_poll_s = drain_poll_s
         self.drain_grace_s = drain_grace_s
+        self.flip_grace_s = flip_grace_s
+        self.intent_log = MigrationIntentLog(
+            intent_disk, f"{router.host}!mgr"
+        )
+        self.phase_hooks: List[Callable[[str, dict], None]] = []
         self.reports: List[MigrationReport] = []
         self.failovers_reconciled = 0
+        self.aborts = 0
+        self.resumes = 0
+        self.crashes = 0
+        self.restarts = 0
         self._busy = False
+        self._crashed = False
+        self._epoch = 0
+        self._op: Optional[_Operation] = None
+        self._op_seq = 0
         #: Highest shard number ever used, drained shards included — a
         #: reused hostname would re-derive the same DRBG streams.
         self._retired_seq = -1
@@ -114,6 +255,10 @@ class ShardPoolManager:
     @property
     def busy(self) -> bool:
         return self._busy
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
 
     def totals(self) -> Dict[str, float]:
         """Aggregate migration cost, for experiment rows."""
@@ -125,6 +270,8 @@ class ShardPoolManager:
             "tail_bytes": sum(r.tail_bytes for r in self.reports),
             "migration_s": sum(r.migration_s for r in self.reports),
             "failovers_reconciled": self.failovers_reconciled,
+            "aborts": self.aborts,
+            "resumes": self.resumes,
         }
 
     def _next_host(self) -> str:
@@ -153,89 +300,479 @@ class ShardPoolManager:
                 pass
 
     # ------------------------------------------------------------------
+    # Crash-stop lifecycle of the coordinator itself
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Control-plane crash-stop: every volatile handle — the active
+        operation, its scheduled flip/poll/watchdog events, captured
+        blobs and tap handles — is gone.  The intent log survives (it
+        is the durable store), and :meth:`restart` resolves whatever
+        was in flight from it."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.crashes += 1
+        self._epoch += 1
+        self.simulator.metrics.counter("rebalance.manager_crashes").increment()
+        op = self._op
+        if op is not None and not op.finished:
+            self._cancel_events(op)
+        self._op = None
+        # _busy stays latched until recovery resolves the logged intent.
+
+    def restart(self) -> None:
+        """Bring the coordinator back and resolve the intent log."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.restarts += 1
+        self.recover()
+
+    def recover(self) -> Dict[str, int]:
+        """Resolve every open operation in the intent log.
+
+        Deterministic outcome per operation: a logged ``mig_commit``
+        means the durable transition applied — re-assert its effects
+        idempotently and close with ``mig_done`` (*resume*); no commit
+        means nothing durable changed hands — clear taps, detach a
+        half-added shard, clear the draining flag, and close with
+        ``mig_abort`` (*abort*, source ownership retained).  Always
+        releases ``busy``."""
+        ops: Dict[str, Dict[str, Message]] = {}
+        order: List[str] = []
+        for record in self.intent_log.records():
+            op_id = str(record["op"])
+            if op_id not in ops:
+                ops[op_id] = {}
+                order.append(op_id)
+            kind = str(record["t"])
+            if kind == "mig_prepare":
+                # A drain logs a second, range-bearing prepare when the
+                # copy starts; recovery acts on the latest one.
+                ops[op_id]["prepare"] = record
+            elif kind in ("mig_commit", "mig_abort", "mig_done"):
+                ops[op_id][kind[4:]] = record
+            try:
+                self._op_seq = max(self._op_seq, int(op_id.rsplit("-", 1)[1]) + 1)
+            except (IndexError, ValueError):
+                pass
+        aborted = resumed = 0
+        for op_id in order:
+            entry = ops[op_id]
+            if "prepare" not in entry or "done" in entry or "abort" in entry:
+                continue
+            if "commit" in entry:
+                self._resume_from_log(entry["prepare"], entry["commit"])
+                resumed += 1
+            else:
+                self._abort_from_log(entry["prepare"])
+                aborted += 1
+        self._busy = False
+        self._op = None
+        return {"aborted": aborted, "resumed": resumed}
+
+    # ------------------------------------------------------------------
+    # Intent-log plumbing
+    # ------------------------------------------------------------------
+    def _begin_op(self, kind: str, host: str) -> _Operation:
+        op = _Operation(
+            op_id=f"{kind}-{self._op_seq}",
+            kind=kind,
+            host=host,
+            epoch=self._epoch,
+            started=self.simulator.now,
+        )
+        self._op_seq += 1
+        self._op = op
+        return op
+
+    @staticmethod
+    def _encode_sources(sources: List[Tuple[str, List[str]]]) -> List[bytes]:
+        return [
+            encode_message({"h": host, "ns": list(names)})
+            for host, names in sources
+        ]
+
+    @staticmethod
+    def _decode_sources(encoded: List[bytes]) -> List[Tuple[str, List[str]]]:
+        out: List[Tuple[str, List[str]]] = []
+        for raw in encoded:
+            msg = decode_message(raw)
+            out.append((str(msg["h"]), [str(n) for n in msg["ns"]]))
+        return out
+
+    def _log_prepare(
+        self,
+        op: _Operation,
+        sources: List[Tuple[str, List[str]]],
+        phase: str,
+    ) -> None:
+        self.intent_log.append({
+            "t": "mig_prepare",
+            "op": op.op_id,
+            "k": op.kind,
+            "h": op.host,
+            "ph": phase,
+            "srcs": self._encode_sources(sources),
+        })
+
+    def _log_commit(
+        self,
+        op: _Operation,
+        moved_names: List[str],
+        moved_hosts: List[str],
+        sources: List[Tuple[str, List[str]]],
+    ) -> None:
+        self.intent_log.append({
+            "t": "mig_commit",
+            "op": op.op_id,
+            "k": op.kind,
+            "h": op.host,
+            "mvn": list(moved_names),
+            "mvh": list(moved_hosts),
+            "srcs": self._encode_sources(sources),
+        })
+
+    def _log_abort(self, op_id: str, reason: str) -> None:
+        self.intent_log.append({"t": "mig_abort", "op": op_id, "r": reason})
+
+    def _log_done(self, op_id: str) -> None:
+        self.intent_log.append({"t": "mig_done", "op": op_id})
+
+    # ------------------------------------------------------------------
+    # Phase hooks and crash checks
+    # ------------------------------------------------------------------
+    def _phase(self, phase: str, op: _Operation) -> None:
+        if not self.phase_hooks:
+            return
+        info = {
+            "op": op.op_id,
+            "kind": op.kind,
+            "host": op.host,
+            "sources": [shard.host for shard, _ in op.sources],
+            "targets": sorted(
+                host for host in op.participants
+                if all(shard.host != host for shard, _ in op.sources)
+            ),
+        }
+        for hook in list(self.phase_hooks):
+            hook(phase, info)
+
+    def _abandoned(self, op: _Operation) -> bool:
+        """True when the operation's coordinator context is gone — the
+        op finished, or the manager crashed since it began (recovery
+        owns the outcome now)."""
+        return op.finished or self._crashed or op.epoch != self._epoch
+
+    def _crashed_participants(self, op: _Operation) -> List[str]:
+        return sorted(
+            host
+            for host, shard in op.participants.items()
+            if shard.endpoint.crashed or shard.crashes != op.epochs.get(host, shard.crashes)
+        )
+
+    def _cancel_events(self, op: _Operation) -> None:
+        for event in (op.flip_event, op.poll_event, op.watchdog):
+            if event is not None:
+                event.cancel()
+        op.flip_event = op.poll_event = op.watchdog = None
+
+    def _arm_watchdog(self, op: _Operation, deadline: float) -> None:
+        op.deadline = deadline
+        if op.watchdog is not None:
+            op.watchdog.cancel()
+        op.watchdog = self.simulator.schedule_at(
+            deadline, lambda: self._watchdog_fire(op),
+            label="rebalance.watchdog",
+        )
+
+    def _watchdog_fire(self, op: _Operation) -> None:
+        if self._abandoned(op):
+            return
+        if self.simulator.now < op.deadline:
+            self._arm_watchdog(op, op.deadline)
+            return
+        self._abort_active(op, "flip deadline lapsed")
+
+    # ------------------------------------------------------------------
+    # Abort / resume
+    # ------------------------------------------------------------------
+    def _abort_active(self, op: _Operation, reason: str) -> None:
+        """Abort an operation whose volatile context is still held:
+        nothing durable changed hands yet (aborts only happen before
+        the commit record), so cleanup is clearing taps and detaching
+        the half-added shard / draining flag."""
+        if op.finished:
+            return
+        op.finished = True
+        self._cancel_events(op)
+        router = self.router
+        for shard, _ in op.sources:
+            if not shard.endpoint.crashed:
+                shard.clear_migration_taps()
+                shard.note_migration("mig_abort", op.op_id)
+        if op.kind == "scale_up" and op.target is not None:
+            if not op.target.endpoint.crashed:
+                op.target.note_migration("mig_abort", op.op_id)
+            if any(s.host == op.host for s in router.shards):
+                router.remove_shard(op.host)
+        elif op.kind == "drain":
+            index = next(
+                (i for i, s in enumerate(router.shards) if s.host == op.host),
+                None,
+            )
+            if index is not None:
+                router.draining.discard(index)
+        self._log_abort(op.op_id, reason)
+        self.aborts += 1
+        self.simulator.metrics.counter("rebalance.aborts").increment()
+        self._busy = False
+        self._op = None
+
+    def _abort_from_log(self, prepare: Message) -> None:
+        """Abort an operation known only from the intent log (the
+        coordinator crashed mid-protocol).  No commit was logged, so
+        sources still own every range; cleanup mirrors
+        :meth:`_abort_active` but reconstructs participants by host."""
+        op_id = str(prepare["op"])
+        kind = str(prepare["k"])
+        host = str(prepare["h"])
+        router = self.router
+        by_host = {s.host: s for s in router.shards}
+        for src_host, _ in self._decode_sources(prepare["srcs"]):
+            shard = by_host.get(src_host)
+            if shard is not None and not shard.endpoint.crashed:
+                shard.clear_migration_taps()
+                shard.note_migration("mig_abort", op_id)
+        if kind == "scale_up":
+            target = by_host.get(host)
+            if target is not None:
+                if not target.endpoint.crashed:
+                    target.note_migration("mig_abort", op_id)
+                router.remove_shard(host)
+                self._note_seq(host)
+        else:
+            index = next(
+                (i for i, s in enumerate(router.shards) if s.host == host),
+                None,
+            )
+            if index is not None:
+                router.draining.discard(index)
+        self._log_abort(op_id, "recovered: no commit record")
+        self.aborts += 1
+        self.simulator.metrics.counter("rebalance.aborts").increment()
+
+    def _resume_from_log(self, prepare: Message, commit: Message) -> None:
+        """Resume an operation whose commit record landed: the durable
+        transition (installs, tails, drops, residual, ring rebuild)
+        applied atomically before any later crash point, so resumption
+        re-asserts the idempotent parts — drops, ring ownership,
+        learned-route rewrites — and closes the op."""
+        op_id = str(commit["op"])
+        kind = str(commit["k"])
+        host = str(commit["h"])
+        router = self.router
+        by_host = {s.host: s for s in router.shards}
+        for src_host, names in self._decode_sources(commit["srcs"]):
+            shard = by_host.get(src_host)
+            if shard is not None and not shard.endpoint.crashed:
+                shard.drop_slice(names)
+        if kind == "scale_up":
+            router.rebuild_ring()
+        else:
+            if host in by_host:
+                router.remove_shard(host)
+        host_index = {s.host: i for i, s in enumerate(router.shards)}
+        moved = {
+            str(name): host_index[str(dest)]
+            for name, dest in zip(commit["mvn"], commit["mvh"])
+            if str(dest) in host_index
+        }
+        router.complete_migration(moved, self.dual_read_window_s)
+        self._log_done(op_id)
+        self.resumes += 1
+        self.simulator.metrics.counter("rebalance.resumes").increment()
+
+    def _finish_op(
+        self,
+        op: _Operation,
+        *,
+        accounts: int,
+        tail_records: int,
+        tail_bytes: int,
+    ) -> None:
+        self._log_done(op.op_id)
+        op.finished = True
+        self._cancel_events(op)
+        self.reports.append(MigrationReport(
+            kind=op.kind, host=op.host, accounts=accounts,
+            snapshot_bytes=op.snapshot_bytes, tail_records=tail_records,
+            tail_bytes=tail_bytes, started_at=op.started,
+            flipped_at=self.simulator.now,
+        ))
+        counter = "rebalance.scale_ups" if op.kind == "scale_up" else "rebalance.drains"
+        self.simulator.metrics.counter(counter).increment()
+        self._busy = False
+        self._op = None
+
+    # ------------------------------------------------------------------
     # Scale up: add a shard, migrate its ring ranges in
     # ------------------------------------------------------------------
     def scale_up(self) -> Optional[str]:
         """Add one shard and migrate the account ranges the grown ring
         assigns to it.  Returns the new shard's host, or ``None`` if a
-        migration is already in flight.
+        migration is already in flight, the coordinator is down, or a
+        source shard is down (capturing a crashed shard would ship its
+        wiped state).
 
-        Sequence: (1) attach the empty shard — reachable by index, owns
-        nothing; (2) capture each source's slice and open a migration
-        tap; (3) after the modeled copy window, replay the WAL tails,
-        drop the source ranges, rebuild the ring, and rewrite the
-        router's learned routes — the atomic flip.  Legs that raced the
-        flip are covered by the dual-read window.
-        """
-        if self._busy:
+        Sequence: ``mig_prepare`` intent; attach the empty shard —
+        reachable by index, owns nothing; capture each source's slice
+        and open a migration tap; after the modeled copy window the
+        flip commits and applies the durable transition.  Legs that
+        raced the flip are covered by the dual-read window."""
+        if self._busy or self._crashed:
             return None
-        self._busy = True
         router = self.router
+        if any(s.endpoint.crashed for s in router.shards):
+            return None
         new_host = self._next_host()
         self._note_seq(new_host)
-        shard = self.shard_factory(new_host)
-        new_index = router.add_shard(shard)
-        new_ring = HashRing(
-            [s.host for s in router.shards], vnodes=router._vnodes
-        )
-        started = self.simulator.now
-        moves: List[tuple] = []  # (source, names, blob, tap)
-        snapshot_bytes = 0
-        for source in router.shards[:-1]:
+        hosts = [s.host for s in router.shards] + [new_host]
+        new_ring = HashRing(hosts, vnodes=router._vnodes)
+        new_index = len(router.shards)
+        plan: List[Tuple[ServiceProvider, List[str]]] = []
+        for source in router.shards:
             names = sorted(
                 name for name in source.accounts
                 if new_ring.index_for(name) == new_index
             )
-            if not names:
-                continue
+            if names:
+                plan.append((source, names))
+        self._busy = True
+        op = self._begin_op("scale_up", new_host)
+        op.sources = plan
+        self._log_prepare(
+            op, [(s.host, names) for s, names in plan], phase="copy"
+        )
+        for source, _ in plan:
+            source.note_migration("mig_prepare", op.op_id)
+            op.participants[source.host] = source
+            op.epochs[source.host] = source.crashes
+        shard = self.shard_factory(new_host)
+        router.add_shard(shard)
+        op.target = shard
+        shard.note_migration("mig_prepare", op.op_id)
+        op.participants[new_host] = shard
+        op.epochs[new_host] = shard.crashes
+        self._phase("capture", op)
+        if self._abandoned(op):
+            return new_host
+        if self._crashed_participants(op):
+            self._abort_active(op, "participant crashed during capture")
+            return None
+        snapshot_bytes = 0
+        moves: List[tuple] = []  # (source, names, blob, tap)
+        for source, names in plan:
             blob = source.capture_slice(names)
             snapshot_bytes += len(encode_message(blob))
-            moves.append((source, names, blob, source.start_migration_tap()))
+            tap = source.start_migration_tap()
+            op.taps.append((source, tap))
+            moves.append((source, names, blob, tap))
+        op.snapshot_bytes = snapshot_bytes
         copy_s = (
             self.transfer_latency_s
             + snapshot_bytes / self.bandwidth_bytes_per_s
         )
-
-        def flip() -> None:
-            moved: Dict[str, int] = {}
-            tail_records = 0
-            tail_bytes = 0
-            for source, names, blob, tap in moves:
-                records = source.stop_migration_tap(tap)
-                tail_bytes += sum(len(encode_message(r)) for r in records)
-                # Accounts *registered during the copy window* whose
-                # range belongs to the new shard ride along in the tail
-                # (their reg record recreates them on replay) — frozen
-                # name lists would strand them on a range they no
-                # longer own.
-                window_names = set(names)
-                for record in records:
-                    if record.get("t") != "reg":
-                        continue
-                    account = str(decode_message(record["req"])["account"])
-                    if new_ring.index_for(account) == new_index:
-                        window_names.add(account)
-                all_names = sorted(window_names)
-                shard.install_slice(blob)
-                tail_records += shard.apply_migration_records(
-                    records, all_names
-                )
-                source.drop_slice(all_names)
-                for name in all_names:
-                    moved[name] = new_index
-            router.rebuild_ring()
-            router.complete_migration(moved, self.dual_read_window_s)
-            self.reports.append(MigrationReport(
-                kind="scale_up", host=new_host, accounts=len(moved),
-                snapshot_bytes=snapshot_bytes, tail_records=tail_records,
-                tail_bytes=tail_bytes, started_at=started,
-                flipped_at=self.simulator.now,
-            ))
-            self.simulator.metrics.counter("rebalance.scale_ups").increment()
-            self._busy = False
-
-        self.simulator.schedule(copy_s, flip, label="rebalance.flip_up")
+        self._phase("copy", op)
+        if self._abandoned(op):
+            return new_host
+        if self._crashed_participants(op):
+            self._abort_active(op, "participant crashed opening the copy window")
+            return None
+        op.flip_event = self.simulator.schedule(
+            copy_s,
+            lambda: self._flip_scale_up(op, moves, new_ring, new_index),
+            label="rebalance.flip_up",
+        )
+        self._arm_watchdog(op, self.simulator.now + copy_s + self.flip_grace_s)
         return new_host
+
+    def _flip_scale_up(
+        self,
+        op: _Operation,
+        moves: List[tuple],
+        new_ring: HashRing,
+        new_index: int,
+    ) -> None:
+        if self._abandoned(op):
+            return
+        self._phase("tail_replay", op)
+        if self._abandoned(op):
+            return
+        if self._crashed_participants(op):
+            self._abort_active(op, "participant crashed in the copy window")
+            return
+        self._phase("ring_flip", op)
+        if self._abandoned(op):
+            return
+        if self._crashed_participants(op):
+            self._abort_active(op, "participant crashed before the flip")
+            return
+        router = self.router
+        shard = op.target
+        staged: List[tuple] = []
+        tail_bytes = 0
+        for source, names, blob, tap in moves:
+            records = source.stop_migration_tap(tap)
+            tail_bytes += sum(len(encode_message(r)) for r in records)
+            # Accounts *registered during the copy window* whose range
+            # belongs to the new shard ride along in the tail (their
+            # reg record recreates them on replay) — frozen name lists
+            # would strand them on a range they no longer own.
+            window_names = set(names)
+            for record in records:
+                if record.get("t") != "reg":
+                    continue
+                account = str(decode_message(record["req"])["account"])
+                if new_ring.index_for(account) == new_index:
+                    window_names.add(account)
+            staged.append((source, sorted(window_names), blob, records))
+        op.taps.clear()
+        moved: Dict[str, int] = {}
+        all_moved = [name for _, names, _, _ in staged for name in names]
+        # ---- durable transition: write-ahead commit, then apply.  No
+        # crash point (hook) sits inside this block; a later crash
+        # resumes idempotently from the commit record. ----
+        self._log_commit(
+            op,
+            all_moved,
+            [op.host] * len(all_moved),
+            [(source.host, names) for source, names, _, _ in staged],
+        )
+        tail_records = 0
+        for source, all_names, blob, records in staged:
+            source.note_migration("mig_commit", op.op_id)
+            shard.install_slice(blob)
+            tail_records += shard.apply_migration_records(records, all_names)
+            refresh = source.capture_business_slice(all_names)
+            tail_bytes += len(encode_message(refresh))
+            shard.install_business_refresh(refresh)
+            source.drop_slice(all_names)
+            for name in all_names:
+                moved[name] = new_index
+        shard.note_migration("mig_commit", op.op_id)
+        router.rebuild_ring()
+        router.complete_migration(moved, self.dual_read_window_s)
+        # ---- end durable transition ----
+        self._phase("dual_read", op)
+        if self._abandoned(op):
+            return  # recovery resumes straight to mig_done
+        self._finish_op(
+            op,
+            accounts=len(moved),
+            tail_records=tail_records,
+            tail_bytes=tail_bytes,
+        )
 
     # ------------------------------------------------------------------
     # Drain: migrate a shard's ranges out, then remove it
@@ -245,7 +782,7 @@ class ShardPoolManager:
         stops admitting new sessions; once its outstanding legs settle
         (or the grace period lapses), its ranges migrate to the ring's
         surviving owners and the shard is detached."""
-        if self._busy:
+        if self._busy or self._crashed:
             return False
         router = self.router
         if len(router.shards) <= 1:
@@ -255,12 +792,29 @@ class ShardPoolManager:
         )
         if index is None:
             raise ValueError(f"no shard with host {host!r}")
+        source = router.shards[index]
+        if source.endpoint.crashed:
+            return False
         self._busy = True
         self._note_seq(host)
+        op = self._begin_op("drain", host)
+        op.sources = [(source, [])]
+        op.participants[host] = source
+        op.epochs[host] = source.crashes
+        self._log_prepare(op, [(host, [])], phase="poll")
+        source.note_migration("mig_prepare", op.op_id)
         router.draining.add(index)
         deadline = self.simulator.now + self.drain_grace_s
 
         def poll() -> None:
+            if self._abandoned(op):
+                return
+            self._phase("drain_poll", op)
+            if self._abandoned(op):
+                return
+            if self._crashed_participants(op):
+                self._abort_active(op, "draining shard crashed")
+                return
             live = next(
                 i for i, s in enumerate(router.shards) if s.host == host
             )
@@ -268,20 +822,25 @@ class ShardPoolManager:
                 router.outstanding[live] > 0
                 and self.simulator.now < deadline
             ):
-                self.simulator.schedule(
+                op.poll_event = self.simulator.schedule(
                     self.drain_poll_s, poll, label="rebalance.drain_poll"
                 )
                 return
-            self._begin_drain_copy(host)
+            op.poll_event = None
+            self._begin_drain_copy(op, source)
 
-        self.simulator.schedule(
+        op.poll_event = self.simulator.schedule(
             self.drain_poll_s, poll, label="rebalance.drain_poll"
+        )
+        self._arm_watchdog(
+            op,
+            deadline + self.drain_poll_s + self.flip_grace_s,
         )
         return True
 
-    def _begin_drain_copy(self, host: str) -> None:
+    def _begin_drain_copy(self, op: _Operation, source: ServiceProvider) -> None:
         router = self.router
-        source = next(s for s in router.shards if s.host == host)
+        host = op.host
         survivor_ring = HashRing(
             [s.host for s in router.shards if s.host != host],
             vnodes=router._vnodes,
@@ -289,50 +848,124 @@ class ShardPoolManager:
         groups: Dict[str, List[str]] = {}
         for name in sorted(source.accounts):
             groups.setdefault(survivor_ring.host_for(name), []).append(name)
+        all_names = sorted(source.accounts)
+        op.sources = [(source, all_names)]
+        by_host = {s.host: s for s in router.shards}
+        for dest_host in groups:
+            dest = by_host[dest_host]
+            op.participants[dest_host] = dest
+            op.epochs[dest_host] = dest.crashes
+        # Second prepare supersedes the poll-phase one: recovery now
+        # knows the exact ranges in flight.
+        self._log_prepare(op, [(host, all_names)], phase="copy")
+        self._phase("capture", op)
+        if self._abandoned(op):
+            return
+        if self._crashed_participants(op):
+            self._abort_active(op, "participant crashed during drain capture")
+            return
         blobs = {
             dest: source.capture_slice(names)
             for dest, names in groups.items()
         }
         tap = source.start_migration_tap()
+        op.taps.append((source, tap))
         snapshot_bytes = sum(len(encode_message(b)) for b in blobs.values())
+        op.snapshot_bytes = snapshot_bytes
         copy_s = (
             self.transfer_latency_s
             + snapshot_bytes / self.bandwidth_bytes_per_s
         )
-        started = self.simulator.now
+        self._phase("copy", op)
+        if self._abandoned(op):
+            return
+        if self._crashed_participants(op):
+            self._abort_active(op, "participant crashed opening the drain copy")
+            return
+        op.flip_event = self.simulator.schedule(
+            copy_s,
+            lambda: self._flip_drain(op, source, groups, blobs, tap, survivor_ring),
+            label="rebalance.flip_drain",
+        )
+        self._arm_watchdog(op, self.simulator.now + copy_s + self.flip_grace_s)
 
-        def flip() -> None:
-            records = source.stop_migration_tap(tap)
-            tail_bytes = sum(len(encode_message(r)) for r in records)
-            tail_records = 0
-            dest_hosts: Dict[str, str] = {}
-            all_names: List[str] = []
-            for dest_host, names in groups.items():
-                dest = next(
-                    s for s in router.shards if s.host == dest_host
-                )
-                dest.install_slice(blobs[dest_host])
-                tail_records += dest.apply_migration_records(records, names)
-                all_names.extend(names)
-                for name in names:
-                    dest_hosts[name] = dest_host
-            source.drop_slice(all_names)
-            router.remove_shard(host)  # rebuilds ring, shifts indices
-            host_index = {s.host: i for i, s in enumerate(router.shards)}
-            moved = {
-                name: host_index[dest] for name, dest in dest_hosts.items()
-            }
-            router.complete_migration(moved, self.dual_read_window_s)
-            self.reports.append(MigrationReport(
-                kind="drain", host=host, accounts=len(moved),
-                snapshot_bytes=snapshot_bytes, tail_records=tail_records,
-                tail_bytes=tail_bytes, started_at=started,
-                flipped_at=self.simulator.now,
-            ))
-            self.simulator.metrics.counter("rebalance.drains").increment()
-            self._busy = False
-
-        self.simulator.schedule(copy_s, flip, label="rebalance.flip_drain")
+    def _flip_drain(
+        self,
+        op: _Operation,
+        source: ServiceProvider,
+        groups: Dict[str, List[str]],
+        blobs: Dict[str, Message],
+        tap: list,
+        survivor_ring: HashRing,
+    ) -> None:
+        if self._abandoned(op):
+            return
+        self._phase("tail_replay", op)
+        if self._abandoned(op):
+            return
+        if self._crashed_participants(op):
+            self._abort_active(op, "participant crashed in the drain window")
+            return
+        self._phase("ring_flip", op)
+        if self._abandoned(op):
+            return
+        if self._crashed_participants(op):
+            self._abort_active(op, "participant crashed before the drain flip")
+            return
+        router = self.router
+        host = op.host
+        records = source.stop_migration_tap(tap)
+        op.taps.clear()
+        tail_bytes = sum(len(encode_message(r)) for r in records)
+        moved_names: List[str] = []
+        moved_hosts: List[str] = []
+        for dest_host, names in groups.items():
+            moved_names.extend(names)
+            moved_hosts.extend([dest_host] * len(names))
+        # ---- durable transition (see _flip_scale_up) ----
+        self._log_commit(
+            op, moved_names, moved_hosts, [(host, sorted(moved_names))]
+        )
+        source.note_migration("mig_commit", op.op_id)
+        tail_records = 0
+        dest_hosts: Dict[str, str] = {}
+        by_host = {s.host: s for s in router.shards}
+        for dest_host, names in groups.items():
+            dest = by_host[dest_host]
+            dest.note_migration("mig_commit", op.op_id)
+            dest.install_slice(blobs[dest_host])
+            tail_records += dest.apply_migration_records(records, names)
+            refresh = source.capture_business_slice(names)
+            tail_bytes += len(encode_message(refresh))
+            dest.install_business_refresh(refresh)
+            for name in names:
+                dest_hosts[name] = dest_host
+        source.drop_slice(sorted(dest_hosts))
+        # The departing shard's business residual — external
+        # counterparty balances and the executed-transfer log — ships
+        # to a deterministic survivor, or ledger conservation and
+        # duplicate-execution accounting would break with the removal.
+        residual = source.capture_business_residual()
+        if any(residual.values()):
+            residual_host = survivor_ring.host_for(host)
+            by_host[residual_host].install_residual(residual)
+            tail_bytes += len(encode_message(residual))
+        router.remove_shard(host)  # rebuilds ring, shifts indices
+        host_index = {s.host: i for i, s in enumerate(router.shards)}
+        moved = {
+            name: host_index[dest] for name, dest in dest_hosts.items()
+        }
+        router.complete_migration(moved, self.dual_read_window_s)
+        # ---- end durable transition ----
+        self._phase("dual_read", op)
+        if self._abandoned(op):
+            return
+        self._finish_op(
+            op,
+            accounts=len(moved),
+            tail_records=tail_records,
+            tail_bytes=tail_bytes,
+        )
 
     # ------------------------------------------------------------------
     # Failover reconciliation
@@ -346,8 +979,10 @@ class ShardPoolManager:
         restart would lose them, orphaning the accounts).  Once the
         home shard's breaker is closed again, each override's account
         migrates home through the same slice machinery and the override
-        is dropped.  Returns the number of accounts moved."""
-        if self._busy:
+        is dropped.  Runs as one atomic event (no copy window), so it
+        needs no intent protocol.  Returns the number of accounts
+        moved."""
+        if self._busy or self._crashed:
             return 0
         router = self.router
         moved: Dict[str, int] = {}
@@ -368,6 +1003,8 @@ class ShardPoolManager:
             if home in router.draining:
                 continue
             target = router.shards[home]
+            if source.endpoint.crashed or target.endpoint.crashed:
+                continue
             blob = source.capture_slice([account])
             target.install_slice(blob)
             source.drop_slice([account])
@@ -492,6 +1129,7 @@ class AutoScaler:
         now = self.simulator.now
         ready = (
             not self.manager.busy
+            and not self.manager.crashed
             and now - self._last_action_at >= self.cooldown_s
         )
         if (

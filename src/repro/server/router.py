@@ -272,6 +272,8 @@ class ProviderRouter:
         self.draining_denials = 0
         self.cookie_rewrites = 0
         self.dual_read_redirects = 0
+        self.router_crashes = 0
+        self.router_restarts = 0
 
     # ------------------------------------------------------------------
     # Routing
@@ -556,19 +558,28 @@ class ProviderRouter:
             if live is not None:
                 self.outstanding[live] -= 1
                 self._record_outcome(live, DEADLINE_ERROR_KEY in response)
-                if not redirected:
-                    target = self._retarget_index(request, response, live)
-                    if target is not None:
-                        self.dual_read_redirects += 1
-                        self.simulator.metrics.counter(
-                            "router.dual_read_redirects"
-                        ).increment()
-                        self.forwards_by_shard[target] += 1
-                        self.outstanding[target] += 1
-                        self._submit_leg(
-                            target, method, request, deferred, redirected=True
-                        )
-                        return
+            if not redirected:
+                # A leg whose shard was removed mid-flight (live is
+                # None) is the dual-read case par excellence: a drain
+                # whose grace lapsed flipped ownership — and detached
+                # the shard — while the leg sat in its queue.  -1 can
+                # never equal a live index, so the disowned response is
+                # re-aimed at whichever shard owns the range now.
+                target = self._retarget_index(
+                    request, response, -1 if live is None else live
+                )
+                if target is not None:
+                    self.dual_read_redirects += 1
+                    self.simulator.metrics.counter(
+                        "router.dual_read_redirects"
+                    ).increment()
+                    self.forwards_by_shard[target] += 1
+                    self.outstanding[target] += 1
+                    self._submit_leg(
+                        target, method, request, deferred, redirected=True
+                    )
+                    return
+            if live is not None:
                 self._observe(request, response, live)
             deferred.resolve(response)
 
@@ -666,6 +677,50 @@ class ProviderRouter:
             self._dual_read_until = max(
                 self._dual_read_until, self.simulator.now + window_s
             )
+
+    # ------------------------------------------------------------------
+    # Crash-stop lifecycle (control plane)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop of the routing tier: the RPC endpoint drops its
+        queue and dedup cache, and every learned routing map — cookie
+        routes, account cookies, register-failover overrides — dies
+        with the process.  Shards are unaffected; they just become
+        unreachable until :meth:`restart`."""
+        if self.endpoint.crashed:
+            return
+        self.endpoint.crash()
+        self.router_crashes += 1
+        self.simulator.metrics.counter("router.crashes").increment()
+        self._cookie_shard.clear()
+        self._account_cookie.clear()
+        self._account_shard.clear()
+        self._dual_read_until = 0.0
+
+    def restart(self) -> None:
+        """Bring the routing tier back.  Cookie routes relearn lazily
+        (clients re-login through the normal retry ladder), but
+        register-failover overrides must be rebuilt eagerly — without
+        them, accounts living off their ring home would be unroutable
+        forever, not just slow."""
+        if not self.endpoint.crashed:
+            return
+        self.endpoint.restart()
+        self.router_restarts += 1
+        self.recover_routes()
+
+    def recover_routes(self) -> int:
+        """Rebuild register-failover overrides from actual ownership:
+        any account held by a shard that is not its ring home gets an
+        override pointing where it really lives.  Deterministic scan,
+        no randomness.  Returns the number of overrides rebuilt."""
+        rebuilt = 0
+        for index, shard in enumerate(self.shards):
+            for account in shard.accounts:
+                if self.ring.index_for(account) != index:
+                    self._account_shard[account] = index
+                    rebuilt += 1
+        return rebuilt
 
     def state_digest(self) -> bytes:
         """Pool-level state identity: a digest over (host, shard

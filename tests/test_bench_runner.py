@@ -52,7 +52,7 @@ class TestMatrixDefinition:
             # The canonical order the report merges (and renders) in.
             assert ids == [
                 "t1", "t2", "t2b", "t3", "t4", "f1", "f2", "f3", "f3s",
-                "f4", "f6", "e4", "f5", "r1", "r2", "a1", "a2", "e1", "e3",
+                "f4", "f6", "e4", "f5", "r1", "r2", "r3", "a1", "a2", "e1", "e3",
                 "e2", "rsax", "kernx",
             ]
 

@@ -296,6 +296,185 @@ class TestFailoverReconciliation:
         assert "set_session" in login
 
 
+class TestCrashSafety:
+    def test_lost_flip_callback_releases_busy_via_watchdog(self):
+        """The stuck-latch regression: a scale-up whose flip callback
+        is lost used to latch ``busy`` forever, wedging the autoscaler.
+        The watchdog now aborts the operation at its deadline."""
+        simulator, router, signing_key, make = _build(shard_count=2)
+        names = [f"acct-{i:02d}" for i in range(16)]
+        cookies = {n: _enroll(router, signing_key, n) for n in names}
+        manager = ShardPoolManager(simulator, router, make)
+        assert manager.scale_up() == f"{POOL}!shard2"
+        # Simulate the lost-callback failure mode: the scheduled flip
+        # never fires.
+        manager._op.flip_event.cancel()
+        simulator.run(until=simulator.now + 1.0)
+        assert manager.busy  # latched while the op is nominally live
+        assert manager.scale_up() is None
+        # The watchdog deadline (copy window + flip grace) lapses:
+        # abort, not a forever-stuck latch.
+        simulator.run(until=simulator.now + 60.0)
+        assert not manager.busy
+        assert manager.aborts == 1
+        assert simulator.metrics.counters().get("rebalance.aborts") == 1
+        # The half-added shard is detached and the sources kept
+        # ownership of every range.
+        assert len(router.shards) == 2
+        assert sum(len(s.accounts) for s in router.shards) == len(names)
+        result = _transfer(
+            router, signing_key, cookies[names[0]], 500, names[0]
+        )
+        assert result["status"] == "executed"
+        # The pool scales again — on a fresh hostname, never reusing
+        # the aborted one.
+        assert manager.scale_up() == f"{POOL}!shard3"
+        simulator.run(until=simulator.now + 5.0)
+        assert not manager.busy
+        assert manager.totals()["migrations"] == 1
+
+    def test_drain_grace_lapse_with_legs_outstanding(self):
+        """A drain whose shard never goes idle must not wait forever:
+        when the grace period lapses with legs still outstanding, the
+        copy proceeds anyway and the straggler is covered by the
+        dual-read window."""
+        simulator, router, signing_key, make = _build(shard_count=2)
+        names = [f"acct-{i:02d}" for i in range(12)]
+        cookies = {n: _enroll(router, signing_key, n) for n in names}
+        manager = ShardPoolManager(
+            simulator, router, make,
+            drain_grace_s=2.0, dual_read_window_s=10.0,
+        )
+        manager.scale_up()
+        simulator.run(until=simulator.now + 5.0)
+        migrated = sorted(router.shards[2].accounts)
+        assert migrated
+        victim = migrated[0]
+        # Stall the shard's workers past the grace period and put a leg
+        # in flight that cannot settle while they are stalled.
+        shard = router.shards[2]
+        shard.endpoint.stall_workers(3.0)
+        outcomes: list = []
+        router.endpoint.submit(
+            CLIENT, "tx.request",
+            {
+                "kind": "transfer", "account": victim,
+                "session": cookies[victim], "f.to": "sink", "f.amount": 41,
+            },
+            outcomes.append,
+        )
+        while not sum(router.outstanding):
+            simulator.run(until=simulator.now + 0.0005)
+        drained_at = simulator.now
+        assert manager.drain_shard(f"{POOL}!shard2")
+        simulator.run(until=simulator.now + 20.0)
+        # The grace lapse forced the copy: the shard is gone and busy
+        # released well before the stall would have ended on its own.
+        assert len(router.shards) == 2
+        assert not manager.busy
+        assert manager.totals()["migrations"] == 2
+        report = manager.reports[-1]
+        assert report.kind == "drain"
+        assert 2.0 <= report.flipped_at - drained_at < 3.0
+        # The stalled leg resolved inside the dual-read window instead
+        # of hanging or surfacing a spurious denial.
+        assert outcomes and "error" not in outcomes[-1], outcomes
+        result = _transfer(router, signing_key, cookies[victim], 99, victim)
+        assert result["status"] == "executed"
+
+    def test_source_crash_during_copy_aborts_with_ownership_retained(self):
+        simulator, router, signing_key, make = _build(shard_count=2)
+        names = [f"acct-{i:02d}" for i in range(8)]
+        cookies = {n: _enroll(router, signing_key, n) for n in names}
+        manager = ShardPoolManager(simulator, router, make)
+        fired: list = []
+
+        def hook(phase: str, info: dict) -> None:
+            if phase == "copy" and not fired:
+                fired.append(info["sources"][0])
+                source = next(
+                    s for s in router.shards if s.host == fired[0]
+                )
+                source.crash()
+                simulator.schedule(1.0, source.restart, label="test.restart")
+
+        manager.phase_hooks.append(hook)
+        assert manager.scale_up() is None  # aborted before the flip
+        simulator.run(until=simulator.now + 10.0)
+        assert fired
+        assert not manager.busy
+        assert manager.aborts == 1
+        assert manager.totals()["migrations"] == 0
+        assert len(router.shards) == 2
+        # The journaled source restarted bit-identical: every range
+        # stayed owned and in-flight work still settles.
+        assert sum(len(s.accounts) for s in router.shards) == len(names)
+        result = _transfer(
+            router, signing_key, cookies[names[0]], 250, names[0]
+        )
+        assert result["status"] == "executed"
+
+    def test_manager_crash_before_commit_aborts_on_restart(self):
+        simulator, router, signing_key, make = _build(shard_count=2)
+        names = [f"acct-{i:02d}" for i in range(8)]
+        cookies = {n: _enroll(router, signing_key, n) for n in names}
+        manager = ShardPoolManager(simulator, router, make)
+        manager.phase_hooks.append(
+            lambda phase, info: manager.crash()
+            if phase == "ring_flip" else None
+        )
+        assert manager.scale_up() == f"{POOL}!shard2"
+        simulator.run(until=simulator.now + 5.0)
+        # Crashed mid-protocol: busy stays latched until recovery
+        # resolves the logged intent — no second operation may re-slice
+        # the ranges in flight.
+        assert manager.crashed and manager.busy
+        assert manager.scale_up() is None
+        manager.restart()
+        assert not manager.busy
+        assert manager.aborts == 1 and manager.resumes == 0
+        # No commit record landed, so nothing durable changed hands:
+        # the half-added shard is gone, sources kept every range.
+        assert len(router.shards) == 2
+        assert sum(len(s.accounts) for s in router.shards) == len(names)
+        result = _transfer(
+            router, signing_key, cookies[names[0]], 300, names[0]
+        )
+        assert result["status"] == "executed"
+
+    def test_manager_crash_after_commit_resumes_on_restart(self):
+        def run(crash: bool) -> tuple:
+            simulator, router, signing_key, make = _build(shard_count=2)
+            names = [f"acct-{i:02d}" for i in range(8)]
+            for name in names:
+                _enroll(router, signing_key, name)
+            manager = ShardPoolManager(simulator, router, make)
+            if crash:
+                manager.phase_hooks.append(
+                    lambda phase, info: manager.crash()
+                    if phase == "dual_read" else None
+                )
+            assert manager.scale_up() == f"{POOL}!shard2"
+            simulator.run(until=50.0)
+            if crash:
+                assert manager.crashed and manager.busy
+                manager.restart()
+            return manager, router
+
+        manager, router = run(crash=True)
+        # The commit record landed before the crash point, so recovery
+        # re-asserts the durable transition idempotently: the migration
+        # counts, the new shard owns its ranges.
+        assert manager.resumes == 1 and manager.aborts == 0
+        assert not manager.busy
+        assert len(router.shards) == 3
+        assert router.shards[2].accounts
+        # Digest parity: the resumed pool is bit-identical to one whose
+        # coordinator never crashed.
+        _, reference = run(crash=False)
+        assert router.state_digest() == reference.state_digest()
+
+
 class TestAutoScaler:
     def test_scales_up_under_pressure_and_drains_in_calm(self):
         simulator, router, signing_key, make = _build(
